@@ -1,0 +1,67 @@
+"""Extension — the whole PINED-RQ family side by side.
+
+Section 1's motivating arc in one table: the original batch PINED-RQ
+congests at high rate (its per-interval work overruns the interval),
+PINED-RQ++ streams but bottlenecks on the sequential collector, its
+parallel variant moves the wall to the parser+checker front, and FRESQUE
+removes it.  All four at the paper's 200k records/s source.
+"""
+
+from benchmarks.common import DATASETS, emit, format_series, thousands
+from repro.simulation.analytic import (
+    fresque_throughput,
+    nonparallel_pp_throughput,
+    parallel_pp_throughput,
+    pinedrq_batch_throughput,
+    pinedrq_congestion_factor,
+)
+
+NODES = 12
+
+
+def _table():
+    rows = []
+    for name, costs in DATASETS:
+        rows.append(
+            [
+                name,
+                thousands(pinedrq_batch_throughput(costs)),
+                f"{pinedrq_congestion_factor(costs):.0f}x",
+                thousands(nonparallel_pp_throughput(costs)),
+                thousands(parallel_pp_throughput(costs, NODES)),
+                thousands(fresque_throughput(costs, NODES)),
+            ]
+        )
+    return rows
+
+
+def test_family_comparison(benchmark):
+    """Regenerate the four-system comparison."""
+    rows = benchmark.pedantic(_table, rounds=1, iterations=1)
+    emit(
+        "family_comparison",
+        format_series(
+            f"The PINED-RQ family at a 200k records/s source ({NODES} nodes)",
+            [
+                "dataset",
+                "PINED-RQ",
+                "overrun@200k",
+                "PINED-RQ++",
+                "parallel PP",
+                "FRESQUE",
+            ],
+            rows,
+        ),
+    )
+    for name, costs in DATASETS:
+        # The family's progression is strictly increasing.
+        batch = pinedrq_batch_throughput(costs)
+        streaming = nonparallel_pp_throughput(costs)
+        parallel = parallel_pp_throughput(costs, NODES)
+        fresque = fresque_throughput(costs, NODES)
+        assert streaming <= parallel <= fresque
+        # The batch publisher congests: one interval's work overruns the
+        # interval dozens of times over at the paper's source rate.
+        assert pinedrq_congestion_factor(costs) > 10
+        # Batch and streaming single-node systems are the same order.
+        assert 0.3 < batch / streaming < 3.5

@@ -1,0 +1,61 @@
+"""Figure 9 — FRESQUE ingestion throughput vs number of computing nodes.
+
+Paper: throughput grows with computing nodes, peaking at ~142k records/s
+(NASA, 12 nodes) and ~165k records/s (Gowalla, 8 nodes, flat afterwards).
+"""
+
+from benchmarks.common import (
+    DATASETS,
+    NODE_SWEEP,
+    emit,
+    format_series,
+    simulate_throughput,
+    thousands,
+)
+from repro.simulation.costs import GOWALLA_COSTS, NASA_COSTS
+
+
+def _sweep() -> dict[str, dict[int, float]]:
+    return {
+        name: {
+            nodes: simulate_throughput("fresque", costs, nodes)
+            for nodes in NODE_SWEEP
+        }
+        for name, costs in DATASETS
+    }
+
+
+def test_fig09_series(benchmark):
+    """Regenerate the Figure 9 series and check the paper's shape."""
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [nodes]
+        + [thousands(series[name][nodes]) for name, _ in DATASETS]
+        for nodes in NODE_SWEEP
+    ]
+    emit(
+        "fig09",
+        format_series(
+            "Figure 9: FRESQUE ingestion throughput (records/s)",
+            ["nodes", "nasa", "gowalla"],
+            rows,
+        ),
+    )
+    # Shape checks against the paper.
+    nasa, gowalla = series["nasa"], series["gowalla"]
+    assert 130_000 < nasa[12] < 155_000  # ~142k
+    assert 155_000 < gowalla[8] < 175_000  # ~165k
+    assert gowalla[12] <= gowalla[8] * 1.01  # flat after 8 (saturated)
+    assert all(nasa[a] <= nasa[b] for a, b in zip(NODE_SWEEP, NODE_SWEEP[1:]))
+
+
+def test_fig09_single_point_nasa(benchmark):
+    """Benchmark one simulated NASA point (12 nodes)."""
+    result = benchmark(simulate_throughput, "fresque", NASA_COSTS, 12, 1.0)
+    assert result > 100_000
+
+
+def test_fig09_single_point_gowalla(benchmark):
+    """Benchmark one simulated Gowalla point (8 nodes)."""
+    result = benchmark(simulate_throughput, "fresque", GOWALLA_COSTS, 8, 1.0)
+    assert result > 100_000

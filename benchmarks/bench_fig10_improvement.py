@@ -1,0 +1,59 @@
+"""Figure 10 — FRESQUE's improvement over non-parallel PINED-RQ++.
+
+Paper: the improvement grows with computing nodes, reaching ~43x (NASA)
+and ~11x (Gowalla) at 12 nodes; even at 2 nodes FRESQUE achieves 7.61x
+(NASA) and 2.69x (Gowalla).
+"""
+
+from benchmarks.common import (
+    DATASETS,
+    NODE_SWEEP,
+    emit,
+    format_series,
+    simulate_throughput,
+)
+from repro.simulation.costs import NASA_COSTS
+
+
+def _improvements() -> dict[str, dict[int, float]]:
+    result: dict[str, dict[int, float]] = {}
+    for name, costs in DATASETS:
+        baseline = simulate_throughput("nonparallel_pp", costs)
+        result[name] = {
+            nodes: simulate_throughput("fresque", costs, nodes) / baseline
+            for nodes in NODE_SWEEP
+        }
+    return result
+
+
+def test_fig10_series(benchmark):
+    """Regenerate the Figure 10 improvement curves."""
+    series = benchmark.pedantic(_improvements, rounds=1, iterations=1)
+    rows = [
+        [nodes] + [f"{series[name][nodes]:.1f}x" for name, _ in DATASETS]
+        for nodes in NODE_SWEEP
+    ]
+    emit(
+        "fig10",
+        format_series(
+            "Figure 10: improvement over non-parallel PINED-RQ++",
+            ["nodes", "nasa", "gowalla"],
+            rows,
+        ),
+    )
+    nasa, gowalla = series["nasa"], series["gowalla"]
+    assert 38 < nasa[12] < 50  # paper: ~43x
+    assert 9 < gowalla[12] < 14  # paper: ~11x
+    assert 6.5 < nasa[2] < 8.5  # paper: 7.61x
+    assert 2.2 < gowalla[2] < 3.8  # paper: 2.69x
+    # NASA always shows a higher improvement (larger records + domain).
+    for nodes in NODE_SWEEP:
+        assert nasa[nodes] > gowalla[nodes]
+
+
+def test_fig10_baseline_anchor(benchmark):
+    """The non-parallel baseline must reproduce the paper's 3,159 rec/s."""
+    measured = benchmark(
+        simulate_throughput, "nonparallel_pp", NASA_COSTS, 0, 1.0
+    )
+    assert abs(measured - 3159) / 3159 < 0.05

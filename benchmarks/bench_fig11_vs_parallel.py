@@ -1,0 +1,68 @@
+"""Figure 11 — FRESQUE vs parallel PINED-RQ++ throughput.
+
+Paper: FRESQUE is always higher; the biggest gap is at 12 computing nodes
+— ~5.6x (NASA) and ~2.2x (Gowalla).
+"""
+
+from benchmarks.common import (
+    DATASETS,
+    NODE_SWEEP,
+    PUBLISH_INTERVAL,
+    emit,
+    format_series,
+    simulate_throughput,
+    thousands,
+)
+from repro.simulation.analytic import pp_effective_throughput
+from repro.simulation.costs import NASA_COSTS
+
+
+def _series():
+    result = {}
+    for name, costs in DATASETS:
+        rows = {}
+        for nodes in NODE_SWEEP:
+            fresque = simulate_throughput("fresque", costs, nodes)
+            # The parallel variant publishes synchronously: its sustained
+            # rate includes the end-of-interval stall.
+            raw = simulate_throughput("parallel_pp", costs, nodes)
+            effective = pp_effective_throughput(
+                costs, raw, interval=PUBLISH_INTERVAL
+            )
+            rows[nodes] = (fresque, effective)
+        result[name] = rows
+    return result
+
+
+def test_fig11_series(benchmark):
+    """Regenerate both curves of Figure 11."""
+    series = benchmark.pedantic(_series, rounds=1, iterations=1)
+    rows = []
+    for nodes in NODE_SWEEP:
+        row = [nodes]
+        for name, _ in DATASETS:
+            fresque, parallel = series[name][nodes]
+            row += [thousands(fresque), thousands(parallel)]
+        rows.append(row)
+    emit(
+        "fig11",
+        format_series(
+            "Figure 11: FRESQUE vs parallel PINED-RQ++ (records/s)",
+            ["nodes", "nasa-fresque", "nasa-pp", "gowalla-fresque", "gowalla-pp"],
+            rows,
+        ),
+    )
+    for name, _ in DATASETS:
+        for nodes in NODE_SWEEP:
+            fresque, parallel = series[name][nodes]
+            assert fresque > parallel  # "always higher"
+    nasa_ratio = series["nasa"][12][0] / series["nasa"][12][1]
+    gowalla_ratio = series["gowalla"][12][0] / series["gowalla"][12][1]
+    assert 4.5 < nasa_ratio < 7.0  # paper: ~5.6x
+    assert 1.8 < gowalla_ratio < 3.2  # paper: ~2.2x
+
+
+def test_fig11_parallel_point(benchmark):
+    """Benchmark one parallel PINED-RQ++ simulation point."""
+    measured = benchmark(simulate_throughput, "parallel_pp", NASA_COSTS, 12, 1.0)
+    assert measured < 30_000  # front-node bound

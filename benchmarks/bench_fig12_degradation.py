@@ -1,0 +1,72 @@
+"""Figure 12 — throughput degradation at the collector.
+
+Paper: degradation = 1 - (max ingest throughput / max incoming throughput
+without any processing).  FRESQUE shows the lowest degradation of the
+three prototypes — at least ~3.9x lower than parallel PINED-RQ++ (NASA)
+and up to ~7.9x lower than non-parallel PINED-RQ++ (Gowalla).
+"""
+
+from benchmarks.common import (
+    DATASETS,
+    PUBLISH_INTERVAL,
+    emit,
+    format_series,
+    simulate_throughput,
+)
+from repro.simulation.analytic import pp_effective_throughput
+
+BEST_NODES = {"nasa": 12, "gowalla": 8}
+
+
+def _degradations():
+    result = {}
+    for name, costs in DATASETS:
+        intake = simulate_throughput("intake", costs)
+        nodes = BEST_NODES[name]
+        fresque = simulate_throughput("fresque", costs, nodes)
+        parallel = pp_effective_throughput(
+            costs,
+            simulate_throughput("parallel_pp", costs, nodes),
+            interval=PUBLISH_INTERVAL,
+        )
+        nonparallel = simulate_throughput("nonparallel_pp", costs)
+        result[name] = {
+            "intake": intake,
+            "fresque": 1 - fresque / intake,
+            "parallel_pp": 1 - parallel / intake,
+            "nonparallel_pp": 1 - nonparallel / intake,
+        }
+    return result
+
+
+def test_fig12_degradation(benchmark):
+    """Regenerate the Figure 12 degradation bars."""
+    series = benchmark.pedantic(_degradations, rounds=1, iterations=1)
+    rows = [
+        [
+            system,
+            *(
+                f"{series[name][system] * 100:.1f}%"
+                for name, _ in DATASETS
+            ),
+        ]
+        for system in ("fresque", "parallel_pp", "nonparallel_pp")
+    ]
+    emit(
+        "fig12",
+        format_series(
+            "Figure 12: throughput degradation at the collector",
+            ["system", "nasa", "gowalla"],
+            rows,
+        ),
+    )
+    for name, _ in DATASETS:
+        data = series[name]
+        # FRESQUE degrades least; the non-parallel prototype degrades most.
+        assert data["fresque"] < data["parallel_pp"] < data["nonparallel_pp"]
+        assert data["nonparallel_pp"] > 0.9  # near-total degradation
+    # The paper's headline gaps (ratios of degradations).
+    nasa = series["nasa"]
+    assert nasa["parallel_pp"] / nasa["fresque"] > 2.5  # paper: ≥3.9x
+    gowalla = series["gowalla"]
+    assert gowalla["nonparallel_pp"] / gowalla["fresque"] > 4.0  # paper: ≤7.9x

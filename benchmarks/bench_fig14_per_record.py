@@ -1,0 +1,86 @@
+"""Figure 14 — per-record publishing time at the collector.
+
+Paper: normalising each component's publishing time by the records in its
+publication, FRESQUE's dispatcher is up to ~62x (NASA) / ~127x (Gowalla)
+cheaper per record than parallel PINED-RQ++'s dispatcher, because the
+latter performs the whole synchronous publishing (removed-record
+encryption, overflow arrays, matching-table shipment) on the ingest path.
+"""
+
+from benchmarks.common import (
+    DATASETS,
+    NODE_SWEEP,
+    PUBLISH_INTERVAL,
+    emit,
+    format_series,
+)
+from repro.simulation.analytic import (
+    fresque_publishing_times,
+    fresque_throughput,
+    parallel_pp_throughput,
+    pp_publish_stall,
+)
+
+
+def _nanoseconds(seconds: float) -> str:
+    return f"{seconds * 1e9:.0f} ns"
+
+
+def _series():
+    result = {}
+    for name, costs in DATASETS:
+        rows = {}
+        for nodes in NODE_SWEEP:
+            times = fresque_publishing_times(costs, nodes)
+            fresque_records = fresque_throughput(costs, nodes) * PUBLISH_INTERVAL
+            pp_rate = parallel_pp_throughput(costs, nodes)
+            pp_records = pp_rate * PUBLISH_INTERVAL
+            pp_dispatcher = pp_publish_stall(costs, pp_records)
+            rows[nodes] = {
+                "fresque_d": times.dispatcher / fresque_records,
+                "fresque_m": times.merger / fresque_records,
+                "fresque_c": times.checking_node / fresque_records,
+                "pp_d": pp_dispatcher / pp_records,
+            }
+        result[name] = rows
+    return result
+
+
+def test_fig14_series(benchmark):
+    """Regenerate the per-record publishing-time comparison."""
+    series = benchmark.pedantic(_series, rounds=1, iterations=1)
+    for name, _ in DATASETS:
+        rows = [
+            [
+                nodes,
+                _nanoseconds(series[name][nodes]["fresque_d"]),
+                _nanoseconds(series[name][nodes]["fresque_m"]),
+                _nanoseconds(series[name][nodes]["fresque_c"]),
+                _nanoseconds(series[name][nodes]["pp_d"]),
+            ]
+            for nodes in NODE_SWEEP
+        ]
+        emit(
+            f"fig14_{name}",
+            format_series(
+                f"Figure 14 ({name}): publishing time per record",
+                ["nodes", "FRESQUE(D)", "FRESQUE(M)", "FRESQUE(C)", "par-PP(D)"],
+                rows,
+            ),
+        )
+    # The paper's claim: parallel PINED-RQ++'s dispatcher is far more
+    # expensive per record than any FRESQUE component.
+    for name, _ in DATASETS:
+        for nodes in NODE_SWEEP:
+            data = series[name][nodes]
+            assert data["pp_d"] > data["fresque_d"]
+    nasa_gap = max(
+        series["nasa"][n]["pp_d"] / series["nasa"][n]["fresque_d"]
+        for n in NODE_SWEEP
+    )
+    gowalla_gap = max(
+        series["gowalla"][n]["pp_d"] / series["gowalla"][n]["fresque_d"]
+        for n in NODE_SWEEP
+    )
+    assert nasa_gap > 30  # paper: up to ~62x
+    assert gowalla_gap > 50  # paper: up to ~127x

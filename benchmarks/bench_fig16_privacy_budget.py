@@ -1,0 +1,61 @@
+"""Figure 16 — publishing time under different privacy budgets ε ∈ [0.1, 2].
+
+Paper: smaller budgets mean larger Laplace noise, hence a bigger randomer
+buffer, more dummies and larger overflow arrays.  The checking node is hit
+hardest — ~7 s (NASA) / ~0.8 s (Gowalla) at ε = 0.1 — while the dispatcher
+and merger grow mildly and the cloud is flat.
+"""
+
+from benchmarks.common import DATASETS, emit, format_series, milliseconds
+from repro.simulation.analytic import fresque_publishing_times
+
+EPSILONS = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0)
+NODES = 10  # the paper's randomer experiments use 10 computing nodes
+
+
+def _series():
+    return {
+        name: {
+            eps: fresque_publishing_times(costs, NODES, epsilon=eps)
+            for eps in EPSILONS
+        }
+        for name, costs in DATASETS
+    }
+
+
+def test_fig16_series(benchmark):
+    """Regenerate the ε sweep for both datasets."""
+    series = benchmark.pedantic(_series, rounds=1, iterations=1)
+    for name, _ in DATASETS:
+        rows = [
+            [
+                eps,
+                milliseconds(series[name][eps].dispatcher),
+                milliseconds(series[name][eps].checking_node),
+                milliseconds(series[name][eps].merger),
+                milliseconds(series[name][eps].cloud),
+            ]
+            for eps in EPSILONS
+        ]
+        emit(
+            f"fig16_{name}",
+            format_series(
+                f"Figure 16 ({name}): publishing time vs privacy budget",
+                ["epsilon", "dispatcher", "checking", "merger", "cloud"],
+                rows,
+            ),
+        )
+    nasa, gowalla = series["nasa"], series["gowalla"]
+    # Checking node dominates at tight budgets (paper: ~7 s / ~0.8 s).
+    assert 3.0 < nasa[0.1].checking_node < 8.0
+    assert 0.4 < gowalla[0.1].checking_node < 1.1
+    # Monotone: smaller ε → longer publishing at every component but cloud.
+    for name, _ in DATASETS:
+        data = series[name]
+        assert data[0.1].checking_node > data[1.0].checking_node > data[
+            2.0
+        ].checking_node
+        assert data[0.1].merger > data[2.0].merger
+        assert data[0.1].dispatcher > data[2.0].dispatcher
+        # Cloud matching only depends on the record count.
+        assert abs(data[0.1].cloud - data[2.0].cloud) < 1e-9

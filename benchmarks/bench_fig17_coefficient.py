@@ -1,0 +1,59 @@
+"""Figure 17 — publishing time under different randomer coefficients α.
+
+Paper: increasing α grows the randomer buffer (S = α·Σ s_i) and therefore
+the checking node's flush time — about ~6 s (NASA) / ~0.8 s (Gowalla) at
+α = 20 — while the dispatcher, merger and cloud barely move.
+"""
+
+from benchmarks.common import DATASETS, emit, format_series, milliseconds
+from repro.simulation.analytic import fresque_publishing_times
+
+ALPHAS = (2, 4, 6, 8, 10, 12, 14, 16, 18, 20)
+NODES = 10
+
+
+def _series():
+    return {
+        name: {
+            alpha: fresque_publishing_times(costs, NODES, alpha=float(alpha))
+            for alpha in ALPHAS
+        }
+        for name, costs in DATASETS
+    }
+
+
+def test_fig17_series(benchmark):
+    """Regenerate the α sweep for both datasets."""
+    series = benchmark.pedantic(_series, rounds=1, iterations=1)
+    for name, _ in DATASETS:
+        rows = [
+            [
+                alpha,
+                milliseconds(series[name][alpha].dispatcher),
+                milliseconds(series[name][alpha].checking_node),
+                milliseconds(series[name][alpha].merger),
+                milliseconds(series[name][alpha].cloud),
+            ]
+            for alpha in ALPHAS
+        ]
+        emit(
+            f"fig17_{name}",
+            format_series(
+                f"Figure 17 ({name}): publishing time vs coefficient",
+                ["alpha", "dispatcher", "checking", "merger", "cloud"],
+                rows,
+            ),
+        )
+    nasa, gowalla = series["nasa"], series["gowalla"]
+    # Checking node at α=20 (paper: ~6 s NASA, ~0.8 s Gowalla).
+    assert 3.0 < nasa[20].checking_node < 8.0
+    assert 0.4 < gowalla[20].checking_node < 1.1
+    # Checking time scales ~linearly with α.
+    ratio = nasa[20].checking_node / nasa[2].checking_node
+    assert 8.0 < ratio < 11.0
+    # Other components unaffected by α.
+    for name, _ in DATASETS:
+        data = series[name]
+        assert abs(data[20].merger - data[2].merger) < 1e-9
+        assert abs(data[20].dispatcher - data[2].dispatcher) < 1e-9
+        assert abs(data[20].cloud - data[2].cloud) < 1e-9

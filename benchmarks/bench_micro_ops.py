@@ -1,0 +1,84 @@
+"""Extension — micro-benchmarks of the real per-record operations.
+
+Measures the actual Python implementations of the operations the cost
+model charges: AES-CBC encryption, leaf-offset computation, O(1) AL/ALN
+checks versus O(log_k n) template updates, randomer inserts, and raw-line
+parsing.  These validate the *relative* cost structure (the absolute
+values are Python-scale, not the paper's Java testbed).
+"""
+
+import random
+
+from repro.core.randomer import Randomer
+from repro.core.messages import Pair
+from repro.crypto.cipher import AesCbcCipher, SimulatedCipher
+from repro.crypto.keys import KeyStore
+from repro.datasets.nasa import NasaLogGenerator
+from repro.index.domain import nasa_domain
+from repro.index.perturb import draw_noise_plan
+from repro.index.template import IndexTemplate, LeafArrays
+from repro.index.tree import IndexTree
+from repro.records.record import EncryptedRecord
+from repro.records.serialize import parse_raw_line, serialize_record
+
+
+def test_micro_aes_encrypt_record(benchmark):
+    """Pure-Python AES-CBC encryption of one NASA-sized record."""
+    cipher = AesCbcCipher(KeyStore(b"micro-benchmark-master-key-32by!"))
+    generator = NasaLogGenerator(seed=1)
+    payload = serialize_record(generator.record(), generator.schema)
+    ciphertext = benchmark(cipher.encrypt, payload)
+    assert len(ciphertext) > len(payload)
+
+
+def test_micro_simulated_encrypt_record(benchmark):
+    """Fast simulated cipher on the same payload (the bulk-run cipher)."""
+    cipher = SimulatedCipher(KeyStore(b"micro-benchmark-master-key-32by!"))
+    generator = NasaLogGenerator(seed=1)
+    payload = serialize_record(generator.record(), generator.schema)
+    ciphertext = benchmark(cipher.encrypt, payload)
+    assert len(ciphertext) > len(payload)
+
+
+def test_micro_leaf_offset(benchmark):
+    """The O(1) leaf-offset formula over the NASA domain."""
+    domain = nasa_domain()
+    offset = benchmark(domain.leaf_offset, 123_456)
+    assert 0 <= offset < domain.num_leaves
+
+
+def test_micro_parse_nasa_line(benchmark):
+    """Raw-line parsing of one NASA log line."""
+    generator = NasaLogGenerator(seed=2)
+    line = generator.raw_line()
+    record = benchmark(parse_raw_line, line, generator.schema)
+    assert record.values
+
+
+def test_micro_array_check_vs_template_update(benchmark):
+    """FRESQUE's O(1) AL/ALN check — compare the mean against
+    ``test_micro_template_update`` to see the paper's O(1) vs O(log_k n)
+    argument on real code."""
+    domain = nasa_domain()
+    tree = IndexTree(domain, fanout=16)
+    plan = draw_noise_plan(tree, 1.0, rng=random.Random(3))
+    arrays = LeafArrays(plan.leaf_noise)
+    benchmark(arrays.check_and_update, 1700)
+
+
+def test_micro_template_update(benchmark):
+    """PINED-RQ++'s O(log_k n) root-to-leaf template update."""
+    domain = nasa_domain()
+    tree = IndexTree(domain, fanout=16)
+    plan = draw_noise_plan(tree, 1.0, rng=random.Random(3))
+    template = IndexTemplate(domain, fanout=16, plan=plan)
+    benchmark(template.update_with_record, 1700)
+
+
+def test_micro_randomer_insert(benchmark):
+    """One randomer insert/evict cycle at paper buffer size (NASA)."""
+    randomer = Randomer(2 * 3421 * 16, rng=random.Random(4))
+    pair = Pair(0, 0, EncryptedRecord(0, bytes(176)))
+    for _ in range(randomer.capacity):
+        randomer.insert(pair)
+    benchmark(randomer.insert, pair)

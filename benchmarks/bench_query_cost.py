@@ -1,0 +1,89 @@
+"""Extension — query-side cost of the secure index.
+
+The PINED-RQ family's pitch (Table 1) is *fast range queries*: a query
+touches O(log n + touched leaves) index nodes instead of scanning the
+publication.  This extension measures, on the real code, how the index
+traversal cost and the result bandwidth scale with query selectivity, and
+compares against the no-index alternative (every unindexed record is
+checked one by one).
+"""
+
+import random
+
+from benchmarks.common import emit, format_series
+from repro.core.config import FresqueConfig
+from repro.core.system import FresqueSystem
+from repro.crypto.cipher import SimulatedCipher
+from repro.crypto.keys import KeyStore
+from repro.datasets.gowalla import GowallaGenerator
+from repro.index.query import RangeQuery, traverse
+
+RECORDS = 20_000
+SELECTIVITIES = (0.01, 0.05, 0.2, 0.5, 1.0)
+
+
+def _build_system():
+    generator = GowallaGenerator(seed=61)
+    config = FresqueConfig(
+        schema=generator.schema,
+        domain=generator.domain,
+        num_computing_nodes=4,
+    )
+    cipher = SimulatedCipher(KeyStore(b"query-cost-bench-master-key-32b!"))
+    system = FresqueSystem(config, cipher, seed=13)
+    system.start()
+    system.run_publication(list(generator.raw_lines(RECORDS)))
+    return system, generator.domain
+
+
+def test_query_cost_vs_selectivity(benchmark):
+    """Index nodes visited and ciphertexts returned per selectivity."""
+    system, domain = _build_system()
+    dataset = system.cloud.engine.published[0]
+    rng = random.Random(5)
+
+    def run_queries():
+        rows = []
+        for selectivity in SELECTIVITIES:
+            width = (domain.dmax - domain.dmin) * selectivity
+            low = domain.dmin + rng.random() * (
+                domain.dmax - domain.dmin - width
+            )
+            traversal = traverse(dataset.tree, RangeQuery(low, low + width))
+            result = system.cloud.query(RangeQuery(low, low + width))
+            rows.append(
+                [
+                    f"{selectivity:.0%}",
+                    traversal.nodes_visited,
+                    dataset.tree.num_nodes,
+                    len(result.indexed),
+                    len(result.overflow),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_queries, rounds=1, iterations=1)
+    emit(
+        "query_cost",
+        format_series(
+            f"Query cost vs selectivity ({RECORDS} Gowalla records)",
+            ["selectivity", "nodes visited", "total nodes", "records", "overflow"],
+            rows,
+        ),
+    )
+    # Narrow queries touch a small fraction of the index.
+    narrow_visited = rows[0][1]
+    total_nodes = rows[0][2]
+    assert narrow_visited < 0.2 * total_nodes
+    # Wider queries return more records.
+    returned = [row[3] for row in rows]
+    assert returned == sorted(returned)
+
+
+def test_query_latency_point(benchmark):
+    """Benchmark one 5%-selectivity query end to end (cloud side)."""
+    system, domain = _build_system()
+    width = (domain.dmax - domain.dmin) * 0.05
+    query = RangeQuery(domain.dmin, domain.dmin + width)
+    result = benchmark(system.cloud.query, query)
+    assert result.nodes_visited > 0

@@ -1,0 +1,89 @@
+"""Extension — honest pure-Python pipeline throughput.
+
+Measures what the *real* implementations sustain on this machine (the
+synchronous driver, the thread-per-node runtime and the TCP cluster), to
+document the gap that justifies running the paper's throughput figures on
+the calibrated simulator instead (see docs/CALIBRATION.md).
+"""
+
+from benchmarks.common import emit, format_series
+from repro.core.config import FresqueConfig
+from repro.core.system import FresqueSystem
+from repro.crypto.cipher import SimulatedCipher
+from repro.crypto.keys import KeyStore
+from repro.datasets.gowalla import GowallaGenerator
+
+RECORDS = 4000
+
+
+def _config():
+    generator = GowallaGenerator(seed=3)
+    return generator, FresqueConfig(
+        schema=generator.schema,
+        domain=generator.domain,
+        num_computing_nodes=4,
+    )
+
+
+def test_real_sync_driver_throughput(benchmark):
+    """Records/s through the synchronous in-process driver."""
+    generator, config = _config()
+    cipher = SimulatedCipher(KeyStore(b"real-pipeline-bench-master-32by!"))
+    lines = list(generator.raw_lines(RECORDS))
+
+    def run():
+        system = FresqueSystem(config, cipher, seed=2)
+        system.start()
+        system.run_publication(lines)
+        return system
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    rate = RECORDS / benchmark.stats["mean"]
+    emit(
+        "real_pipeline_sync",
+        f"synchronous driver: {rate:,.0f} records/s (pure Python; the "
+        f"paper's 165k records/s needs the calibrated simulator)",
+    )
+    assert rate > 3_000  # sanity floor for the functional path
+
+
+def test_real_threaded_throughput(benchmark):
+    """Records/s through the thread-per-node runtime."""
+    from repro.runtime.cluster import ThreadedFresque
+
+    generator, config = _config()
+    cipher = SimulatedCipher(KeyStore(b"real-pipeline-bench-master-32by!"))
+    lines = list(generator.raw_lines(RECORDS))
+
+    def run():
+        with ThreadedFresque(config, cipher, seed=2) as runtime:
+            runtime.run_publication(lines)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    rate = RECORDS / benchmark.stats["mean"]
+    emit(
+        "real_pipeline_threaded",
+        f"threaded runtime: {rate:,.0f} records/s (pure Python)",
+    )
+    assert rate > 1_500
+
+
+def test_real_tcp_throughput(benchmark):
+    """Records/s through the TCP-socket cluster."""
+    from repro.runtime.tcp import TcpFresqueCluster
+
+    generator, config = _config()
+    cipher = SimulatedCipher(KeyStore(b"real-pipeline-bench-master-32by!"))
+    lines = list(generator.raw_lines(RECORDS))
+
+    def run():
+        with TcpFresqueCluster(config, cipher, seed=2) as cluster:
+            cluster.run_publication(lines)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    rate = RECORDS / benchmark.stats["mean"]
+    emit(
+        "real_pipeline_tcp",
+        f"TCP cluster: {rate:,.0f} records/s (pure Python, loopback sockets)",
+    )
+    assert rate > 1_000

@@ -1,0 +1,41 @@
+"""Table 2 — the experimental environment.
+
+Renders the simulated cluster's machine shapes (the paper's Table 2) and
+verifies the pipeline builders actually honour them (server counts on the
+stations).
+"""
+
+from benchmarks.common import TABLE_2, emit, format_series
+from repro.simulation.costs import NASA_COSTS
+from repro.simulation.events import EventLoop
+from repro.simulation.pipelines import build_fresque
+
+
+def test_table2_environment(benchmark):
+    """Render Table 2 and check the simulated station shapes."""
+    def render():
+        rows = [
+            [component, spec["cpus"], spec["memory_gb"], spec["disk_gb"]]
+            for component, spec in TABLE_2.items()
+        ]
+        return rows
+
+    rows = benchmark.pedantic(render, rounds=1, iterations=1)
+    emit(
+        "table2",
+        format_series(
+            "Table 2: experimental environment (simulated cluster)",
+            ["component", "CPUs (2.4 GHz)", "memory (GB)", "disk (GB)"],
+            rows,
+        ),
+    )
+    assert TABLE_2["computing node"]["cpus"] == 2
+    assert TABLE_2["cloud"]["cpus"] == 16
+
+    # The pipeline builders honour the cloud's 16 cores.
+    loop = EventLoop()
+    sim = build_fresque(loop, NASA_COSTS, 12)
+    cloud_station = next(s for s in sim.stations if s.name == "cloud")
+    assert cloud_station.servers == TABLE_2["cloud"]["cpus"]
+    # 12 computing nodes + dispatcher + checking + cloud.
+    assert len(sim.stations) == 15

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Capacity planning with the simulated cluster (paper Section 7 workloads).
+
+Uses the calibrated discrete-event simulation to answer the deployment
+question the paper's Figure 9 answers experimentally: *how many computing
+nodes does the collector need to sustain a given source rate?* — for both
+the NASA HTTP-log and Gowalla check-in workloads, and for all three
+systems (FRESQUE, parallel and non-parallel PINED-RQ++).
+
+Run:  python examples/cluster_capacity_planning.py
+"""
+
+from repro.simulation import (
+    GOWALLA_COSTS,
+    NASA_COSTS,
+    EventLoop,
+    build_fresque,
+    build_nonparallel_pp,
+    parallel_pp_throughput,
+)
+
+TARGET_RATES = (25_000, 50_000, 100_000, 150_000)
+MAX_NODES = 16
+
+
+def nodes_needed(costs, target: float) -> int | None:
+    """Smallest computing-node count whose capacity reaches ``target``."""
+    for nodes in range(1, MAX_NODES + 1):
+        if costs.fresque_capacity(nodes) >= target:
+            return nodes
+    return None
+
+
+def simulate(costs, builder, *args) -> float:
+    loop = EventLoop()
+    sim = builder(loop, costs, *args) if args else builder(loop, costs)
+    return sim.run(rate=200_000, duration=1.5, warmup=0.5, seed=1)
+
+
+def main() -> None:
+    for name, costs in (("NASA", NASA_COSTS), ("Gowalla", GOWALLA_COSTS)):
+        print(f"=== {name} workload ===")
+        print(
+            f"record ~{costs.line_bytes:.0f} B raw / "
+            f"{costs.ciphertext_bytes:.0f} B encrypted; "
+            f"{costs.num_leaves} index leaves"
+        )
+        print("FRESQUE nodes needed per target rate:")
+        for target in TARGET_RATES:
+            nodes = nodes_needed(costs, target)
+            answer = f"{nodes} computing nodes" if nodes else "not reachable"
+            print(f"  {target / 1000:6.0f}k records/s -> {answer}")
+
+        print("simulated sustained throughput at 12 nodes:")
+        fresque = simulate(costs, build_fresque, 12)
+        parallel = parallel_pp_throughput(costs, 12)
+        nonparallel = simulate(costs, build_nonparallel_pp)
+        print(f"  FRESQUE               {fresque / 1000:7.1f}k records/s")
+        print(f"  parallel PINED-RQ++   {parallel / 1000:7.1f}k records/s")
+        print(f"  non-parallel PINED-RQ++ {nonparallel / 1000:5.1f}k records/s")
+        ceiling = 1.0 / costs.t_check_array
+        print(
+            f"  sequential-checker ceiling: {ceiling / 1000:.1f}k records/s "
+            "(add checking nodes beyond this, not computing nodes)"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

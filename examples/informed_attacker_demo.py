@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The informed online attacker versus the randomer (paper Sections 5.2, 6).
+
+Replays one publishing interval where the attacker knows no real record
+arrives in the first 30% of the interval.  Without the randomer, every
+dummy record the dispatcher schedules into that quiet window is exposed;
+with the paper's α·Σs_i buffer the attacker learns nothing.
+
+Run:  python examples/informed_attacker_demo.py
+"""
+
+import random
+
+from repro.analysis import InformedAttacker, simulate_interval
+
+N_REAL = 8000
+N_DUMMIES = 400
+QUIET = 0.3
+
+
+def main() -> None:
+    print(
+        f"interval: {N_REAL} real records (none before t={QUIET:.0%}), "
+        f"{N_DUMMIES} dummies scheduled uniformly\n"
+    )
+    print(f"{'buffer size':>12}  {'identified dummies':>19}  {'precision':>9}")
+    attacker = InformedAttacker(quiet_until=QUIET)
+    for buffer_size in (1, 10, 50, 120, 200, 400, 800, 1600):
+        rates = []
+        precisions = []
+        for trial in range(5):
+            observed = simulate_interval(
+                N_REAL,
+                N_DUMMIES,
+                buffer_size,
+                quiet_fraction=QUIET,
+                rng=random.Random(buffer_size * 100 + trial),
+            )
+            outcome = attacker.attack(observed)
+            rates.append(outcome.identification_rate)
+            precisions.append(outcome.precision)
+        rate = sum(rates) / len(rates)
+        precision = sum(precisions) / len(precisions)
+        note = ""
+        if buffer_size == 1:
+            note = "   <- no randomer"
+        elif buffer_size == 2 * N_DUMMIES:
+            note = "   <- the paper's alpha=2 sizing"
+        print(
+            f"{buffer_size:>12}  {rate:>18.1%}  {precision:>9.2f}{note}"
+        )
+    print(
+        "\nWith the buffer sized above the dummy count (alpha >= 2), no "
+        "record is released during the quiet window, so arrival times "
+        "carry no information about the Laplace noise."
+    )
+
+
+if __name__ == "__main__":
+    main()

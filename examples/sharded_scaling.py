@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Beyond the paper: sharding the checking node.
+
+Figure 9 shows Gowalla's throughput flat past 8 computing nodes — the
+sequential checking node saturates at ~165k records/s.  Because FRESQUE's
+checker state is two flat arrays, it shards cleanly by leaf offset; this
+example runs the sharded deployment functionally and prints the analytic
+scaling it unlocks.
+
+Run:  python examples/sharded_scaling.py
+"""
+
+from repro.core import FresqueConfig
+from repro.core.sharded import ShardedFresqueSystem, sharded_capacity
+from repro.crypto import KeyStore, SimulatedCipher
+from repro.datasets import GowallaGenerator
+from repro.simulation import GOWALLA_COSTS
+
+
+def main() -> None:
+    # Functional demonstration: 3 checking shards, end to end.
+    generator = GowallaGenerator(seed=12)
+    config = FresqueConfig(
+        schema=generator.schema,
+        domain=generator.domain,
+        num_computing_nodes=4,
+    )
+    cipher = SimulatedCipher(KeyStore(b"sharded-scaling-master-key-32by!"))
+    system = ShardedFresqueSystem(
+        config, cipher, num_checking_shards=3, seed=8
+    )
+    system.start()
+    lines = list(generator.raw_lines(5000))
+    matched = system.run_publication(lines)
+    result = system.query(0, 626 * 3600)
+    print(
+        f"3-shard publication: {matched} pairs matched, full-domain query "
+        f"returned {len(result.records)} records"
+    )
+
+    # Analytic scaling: where does each shard count cap out?
+    print("\nGowalla capacity (records/s) by computing nodes x shards:")
+    print(f"{'nodes':>6}" + "".join(f"  {s} shard(s)".rjust(12) for s in (1, 2, 4)))
+    for nodes in (8, 12, 16, 20):
+        cells = "".join(
+            f"{sharded_capacity(GOWALLA_COSTS, nodes, shards) / 1000:11.1f}k"
+            for shards in (1, 2, 4)
+        )
+        print(f"{nodes:>6}{cells}")
+    print(
+        "\n1 shard reproduces the paper's ~165k ceiling; 2 shards move the "
+        "bottleneck to the dispatcher (200k intake)."
+    )
+
+
+if __name__ == "__main__":
+    main()

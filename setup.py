@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .`` with build isolation) fail; this shim lets
+pip fall back to the legacy ``setup.py develop`` path.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Security and quality analysis: attacker simulation, query quality."""
+
+from repro.analysis.attacker import (
+    AttackOutcome,
+    InformedAttacker,
+    ObservedRelease,
+    advantage_vs_buffer,
+    simulate_interval,
+)
+from repro.analysis.leakage import (
+    fresque_observed_histogram,
+    histogram_distance,
+    rank_correlation,
+)
+from repro.analysis.quality import (
+    QueryQuality,
+    StorageOverhead,
+    evaluate_query,
+    storage_overhead,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "InformedAttacker",
+    "ObservedRelease",
+    "QueryQuality",
+    "StorageOverhead",
+    "advantage_vs_buffer",
+    "evaluate_query",
+    "fresque_observed_histogram",
+    "histogram_distance",
+    "rank_correlation",
+    "simulate_interval",
+    "storage_overhead",
+]

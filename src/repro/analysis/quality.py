@@ -1,0 +1,110 @@
+"""Query-quality and storage-overhead metrics.
+
+The differentially private index trades exactness for privacy: leaves whose
+noisy count went negative are pruned (recall loss), leaves kept alive by
+positive noise ship dummies the client must discard (bandwidth overhead).
+These helpers quantify both against ground truth, plus the storage-overhead
+requirement of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.client.query_client import ClientResult
+from repro.records.record import Record
+from repro.records.schema import Schema
+
+
+@dataclass(frozen=True)
+class QueryQuality:
+    """Precision/recall of one range query against ground truth.
+
+    Precision counts *real in-range* results over all decrypted payloads
+    (dummies and bin-granularity over-returns included), i.e. the client's
+    useful fraction of received ciphertexts.
+    """
+
+    true_positives: int
+    expected: int
+    received_ciphertexts: int
+
+    @property
+    def recall(self) -> float:
+        """Fraction of truly matching records the client got back."""
+        if self.expected == 0:
+            return 1.0
+        return self.true_positives / self.expected
+
+    @property
+    def precision(self) -> float:
+        """Useful fraction of the ciphertexts transferred."""
+        if self.received_ciphertexts == 0:
+            return 1.0
+        return self.true_positives / self.received_ciphertexts
+
+
+def evaluate_query(
+    truth: list[Record],
+    schema: Schema,
+    low: float,
+    high: float,
+    result: ClientResult,
+) -> QueryQuality:
+    """Score a client result against the ground-truth record list."""
+    expected = {
+        record.values
+        for record in truth
+        if low <= record.indexed_value(schema) <= high
+    }
+    got = {record.values for record in result.records}
+    unexpected = got - expected
+    if unexpected:
+        raise AssertionError(
+            f"client returned {len(unexpected)} records outside ground "
+            "truth — decryption or filtering is broken"
+        )
+    return QueryQuality(
+        true_positives=len(got & expected),
+        expected=len(expected),
+        received_ciphertexts=result.ciphertexts_received,
+    )
+
+
+@dataclass(frozen=True)
+class StorageOverhead:
+    """Published bytes versus the plaintext dataset (Table 1 metric)."""
+
+    plaintext_bytes: int
+    published_bytes: int
+    index_nodes: int
+    overflow_slots: int
+
+    @property
+    def expansion_factor(self) -> float:
+        """Published size over plaintext size."""
+        if self.plaintext_bytes == 0:
+            return 0.0
+        return self.published_bytes / self.plaintext_bytes
+
+
+def storage_overhead(
+    plaintext_bytes: int,
+    store_bytes: int,
+    index_nodes: int,
+    overflow_slots: int,
+    slot_bytes: int,
+) -> StorageOverhead:
+    """Assemble the storage-overhead summary for one publication.
+
+    The published footprint is the encrypted dataset plus the (small)
+    index — ``index_nodes`` counts at ~16 bytes each — plus the padded
+    overflow arrays.
+    """
+    published = store_bytes + index_nodes * 16 + overflow_slots * slot_bytes
+    return StorageOverhead(
+        plaintext_bytes=plaintext_bytes,
+        published_bytes=published,
+        index_nodes=index_nodes,
+        overflow_slots=overflow_slots,
+    )

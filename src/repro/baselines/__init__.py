@@ -1,0 +1,37 @@
+"""Comparison baselines: ArxRange, OPE, bucketization, and Table 1."""
+
+from repro.baselines.arxrange import GARBLE_SECONDS, ArxRangeIndex
+from repro.baselines.bloom import BloomFilter, optimal_bits, optimal_hashes
+from repro.baselines.bucketization import BucketIndex, BucketStore
+from repro.baselines.demertzis import DemertzisStore, dyadic_labels
+from repro.baselines.hve import (
+    EXPONENTIATION_SECONDS,
+    PAIRING_SECONDS,
+    HveStore,
+)
+from repro.baselines.ope import OpeEncoder, OpeStore
+from repro.baselines.pbtree import PBtree, prefix_family, range_prefix_cover
+from repro.baselines.requirements import TABLE_1, SchemeRating, render_table
+
+__all__ = [
+    "ArxRangeIndex",
+    "BloomFilter",
+    "BucketIndex",
+    "BucketStore",
+    "DemertzisStore",
+    "EXPONENTIATION_SECONDS",
+    "GARBLE_SECONDS",
+    "HveStore",
+    "OpeEncoder",
+    "OpeStore",
+    "PAIRING_SECONDS",
+    "PBtree",
+    "optimal_bits",
+    "optimal_hashes",
+    "dyadic_labels",
+    "prefix_family",
+    "range_prefix_cover",
+    "SchemeRating",
+    "TABLE_1",
+    "render_table",
+]

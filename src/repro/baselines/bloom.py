@@ -1,0 +1,90 @@
+"""Bloom filters (substrate for the PBtree baseline).
+
+Standard k-hash Bloom filter over byte items, with the double-hashing
+construction (Kirsch–Mitzenmacher): ``h_i(x) = h1(x) + i·h2(x) mod m``.
+Sizing helpers compute the bit count and hash count for a target false
+positive rate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+
+def optimal_bits(capacity: int, fp_rate: float) -> int:
+    """Bits needed to hold ``capacity`` items at ``fp_rate``."""
+    if capacity < 1:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    if not 0 < fp_rate < 1:
+        raise ValueError(f"fp rate must be in (0, 1), got {fp_rate}")
+    return max(8, math.ceil(-capacity * math.log(fp_rate) / math.log(2) ** 2))
+
+
+def optimal_hashes(bits: int, capacity: int) -> int:
+    """Hash-function count minimising the false positive rate."""
+    if capacity < 1:
+        return 1
+    return max(1, round(bits / capacity * math.log(2)))
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over byte strings.
+
+    Parameters
+    ----------
+    bits:
+        Filter size in bits.
+    hashes:
+        Number of hash functions.
+    """
+
+    def __init__(self, bits: int, hashes: int):
+        if bits < 8:
+            raise ValueError(f"need at least 8 bits, got {bits}")
+        if hashes < 1:
+            raise ValueError(f"need at least one hash, got {hashes}")
+        self.bits = bits
+        self.hashes = hashes
+        self._array = bytearray((bits + 7) // 8)
+        self.items_added = 0
+
+    @classmethod
+    def for_capacity(cls, capacity: int, fp_rate: float = 0.01) -> "BloomFilter":
+        """Build a filter sized for ``capacity`` items at ``fp_rate``."""
+        bits = optimal_bits(capacity, fp_rate)
+        return cls(bits, optimal_hashes(bits, capacity))
+
+    def _positions(self, item: bytes):
+        digest = hashlib.sha256(item).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:16], "little") | 1
+        for i in range(self.hashes):
+            yield (h1 + i * h2) % self.bits
+
+    def add(self, item: bytes) -> None:
+        """Insert one item."""
+        for position in self._positions(item):
+            self._array[position // 8] |= 1 << (position % 8)
+        self.items_added += 1
+
+    def __contains__(self, item: bytes) -> bool:
+        return all(
+            self._array[position // 8] & (1 << (position % 8))
+            for position in self._positions(item)
+        )
+
+    def size_bytes(self) -> int:
+        """Storage footprint of the filter."""
+        return len(self._array)
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Filter containing both filters' items (same parameters only)."""
+        if (self.bits, self.hashes) != (other.bits, other.hashes):
+            raise ValueError("can only union filters with equal parameters")
+        merged = BloomFilter(self.bits, self.hashes)
+        merged._array = bytearray(
+            a | b for a, b in zip(self._array, other._array)
+        )
+        merged.items_added = self.items_added + other.items_added
+        return merged

@@ -1,0 +1,70 @@
+"""Bucketization baseline (Hacıgümüş et al. style).
+
+The attribute domain is partitioned into a finite number of buckets, each
+assigned a random tag; the client keeps the ``interval -> tag`` index and
+the server only ever sees tags and ciphertexts.  A range query maps to the
+set of tags intersecting the range; the server returns *all* contents of
+those buckets and the client filters after decryption — cheap and
+update-friendly, but with **no formal privacy guarantee** (bucket
+cardinalities leak the histogram) and coarse over-retrieval (Table 1).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.cipher import RecordCipher
+from repro.index.domain import AttributeDomain
+
+
+class BucketIndex:
+    """Client-side secret mapping from domain buckets to random tags."""
+
+    def __init__(self, domain: AttributeDomain, rng: random.Random | None = None):
+        self.domain = domain
+        shuffle_rng = rng if rng is not None else random.Random()
+        tags = list(range(domain.num_leaves))
+        shuffle_rng.shuffle(tags)
+        self._tag_of_bucket = tags
+
+    def tag(self, value: float) -> int:
+        """Tag of the bucket containing ``value``."""
+        return self._tag_of_bucket[self.domain.leaf_offset(value)]
+
+    def tags_for_range(self, low: float, high: float) -> list[int]:
+        """Tags of every bucket intersecting ``[low, high]``."""
+        return [
+            self._tag_of_bucket[offset]
+            for offset in self.domain.leaves_overlapping(low, high)
+        ]
+
+
+class BucketStore:
+    """Server-side tag → ciphertext-list store."""
+
+    def __init__(self, index: BucketIndex, cipher: RecordCipher):
+        self._index = index
+        self._cipher = cipher
+        self._buckets: dict[int, list[bytes]] = {}
+        self.inserts = 0
+
+    def insert(self, indexed_value: float, payload: bytes) -> None:
+        """Encrypt one record into its bucket."""
+        tag = self._index.tag(indexed_value)
+        self._buckets.setdefault(tag, []).append(self._cipher.encrypt(payload))
+        self.inserts += 1
+
+    def fetch(self, tags: list[int]) -> list[bytes]:
+        """Server answer: full contents of every requested bucket."""
+        results: list[bytes] = []
+        for tag in tags:
+            results.extend(self._buckets.get(tag, ()))
+        return results
+
+    def range_query(self, low: float, high: float) -> list[bytes]:
+        """Client-side convenience: translate the range, fetch buckets."""
+        return self.fetch(self._index.tags_for_range(low, high))
+
+    def observed_cardinalities(self) -> dict[int, int]:
+        """What the server sees: per-tag record counts (the leakage)."""
+        return {tag: len(records) for tag, records in self._buckets.items()}

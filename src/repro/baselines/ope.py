@@ -1,0 +1,134 @@
+"""Order-preserving encryption (OPE) baseline.
+
+A mutable order-preserving encoding in the spirit of mOPE (Popa et al.):
+the client maintains the order structure and assigns numeric *codes* to
+ciphertexts so the server can evaluate range predicates directly.  When a
+code gap is exhausted the scheme rebalances — in real mOPE the server's
+stored codes are then updated interactively, which is modelled here by the
+store refreshing its rows from the encoder (``rebalances`` counts how
+often that expensive update happens).
+
+Table 1 lists OPE as low-latency and update-friendly but **without formal
+security guarantees**: at any point in time the server-visible code order
+equals the plaintext order exactly, enabling the statistical attacks the
+paper cites; :meth:`OpeStore.observed_codes` exposes that leakage for the
+analysis tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.crypto.cipher import RecordCipher
+
+_CODE_SPAN = 1 << 62
+
+
+class OpeEncoder:
+    """Stateful order-preserving encoder over numeric values.
+
+    Each distinct plaintext owns a stable *entry id*; the entry's code may
+    change on rebalance, but ids never do — mirroring mOPE, where the tree
+    position is stable and the encoding is recomputed.
+    """
+
+    def __init__(self):
+        self._values: list[float] = []
+        self._ids: list[int] = []
+        self._codes: list[int] = []
+        self._next_id = 0
+        self.rebalances = 0
+        self.encodings = 0
+
+    def encode(self, value: float) -> tuple[int, int]:
+        """Return ``(entry id, current code)`` for ``value``.
+
+        Equal plaintexts share an entry (deterministic — part of the
+        leakage).  Amortised O(log n); a rebalance costs O(n).
+        """
+        self.encodings += 1
+        position = bisect.bisect_left(self._values, value)
+        if position < len(self._values) and self._values[position] == value:
+            return self._ids[position], self._codes[position]
+        lower = self._codes[position - 1] if position > 0 else 0
+        upper = (
+            self._codes[position]
+            if position < len(self._codes)
+            else 2 * _CODE_SPAN
+        )
+        if upper - lower < 2:
+            self._rebalance()
+            self.encodings -= 1  # the retry recounts
+            return self.encode(value)
+        entry_id = self._next_id
+        self._next_id += 1
+        self._values.insert(position, value)
+        self._ids.insert(position, entry_id)
+        self._codes.insert(position, (lower + upper) // 2)
+        return entry_id, self._codes[position]
+
+    def _rebalance(self) -> None:
+        self.rebalances += 1
+        count = len(self._codes)
+        step = (2 * _CODE_SPAN) // (count + 1)
+        self._codes = [step * (i + 1) for i in range(count)]
+
+    def codes_by_id(self) -> dict[int, int]:
+        """Current ``entry id -> code`` mapping (the server-side refresh
+        a rebalance triggers in mOPE)."""
+        return dict(zip(self._ids, self._codes))
+
+    def ids_in_range(self, low: float, high: float) -> list[int]:
+        """Entry ids whose plaintext lies in ``[low, high]``."""
+        lo_pos = bisect.bisect_left(self._values, low)
+        hi_pos = bisect.bisect_right(self._values, high)
+        return self._ids[lo_pos:hi_pos]
+
+
+class OpeStore:
+    """Server-side store of order-encoded ciphertexts.
+
+    Parameters
+    ----------
+    cipher:
+        Cipher for the record payloads (the indexed value additionally
+        leaks through the order-preserving code).
+    """
+
+    def __init__(self, cipher: RecordCipher):
+        self._cipher = cipher
+        self._encoder = OpeEncoder()
+        self._rows: dict[int, list[bytes]] = {}
+        self.inserts = 0
+
+    @property
+    def encoder(self) -> OpeEncoder:
+        """The (client-held) encoder state."""
+        return self._encoder
+
+    def insert(self, indexed_value: float, payload: bytes) -> None:
+        """Encrypt and store one record under its order entry."""
+        entry_id, _ = self._encoder.encode(indexed_value)
+        self._rows.setdefault(entry_id, []).append(
+            self._cipher.encrypt(payload)
+        )
+        self.inserts += 1
+
+    def range_query(self, low: float, high: float) -> list[bytes]:
+        """Ciphertexts whose code falls in the encoded range — the server
+        walks its rows in code order between the two boundary codes."""
+        results: list[bytes] = []
+        for entry_id in self._encoder.ids_in_range(low, high):
+            results.extend(self._rows.get(entry_id, ()))
+        return results
+
+    def observed_codes(self) -> list[int]:
+        """What the honest-but-curious server sees: every stored row's
+        current code, in storage (plaintext) order — a total-order leak."""
+        codes = self._encoder.codes_by_id()
+        observed = []
+        for entry_id, rows in sorted(
+            self._rows.items(), key=lambda item: codes.get(item[0], 0)
+        ):
+            observed.extend([codes[entry_id]] * len(rows))
+        return observed

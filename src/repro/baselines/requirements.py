@@ -1,0 +1,63 @@
+"""The Table 1 requirements matrix.
+
+Table 1 of the paper rates prior schemes against the four target
+requirements: formal security guarantees, update support, low latency, and
+small storage overhead.  This module encodes that qualitative matrix as
+data so the Table 1 benchmark can render it alongside the quantitative
+spot-checks the repository measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SchemeRating:
+    """One row of Table 1."""
+
+    scheme: str
+    formal_security: bool
+    update_support: bool
+    low_latency: bool
+    small_storage: bool
+    references: str = ""
+
+    def cells(self) -> tuple[str, str, str, str]:
+        """Check-mark cells in table order."""
+        mark = lambda ok: "yes" if ok else "no"  # noqa: E731
+        return (
+            mark(self.formal_security),
+            mark(self.update_support),
+            mark(self.low_latency),
+            mark(self.small_storage),
+        )
+
+
+#: The paper's Table 1, row for row.
+TABLE_1: tuple[SchemeRating, ...] = (
+    SchemeRating("HVE", True, True, False, False, "[8, 36]"),
+    SchemeRating("Bucketization", False, True, True, True, "[17, 19, 20]"),
+    SchemeRating("OPE", False, True, True, True, "[5-7, 26, 31]"),
+    SchemeRating("PBtree", True, False, True, False, "[24]"),
+    SchemeRating("IBtree", True, False, True, False, "[23]"),
+    SchemeRating("ArxRange", True, True, True, False, "[30]"),
+    SchemeRating("Demertzis et al.", True, False, True, False, "[10]"),
+    SchemeRating("PINED-RQ family", True, True, True, True, "[33, 34]"),
+)
+
+
+def render_table(rows: tuple[SchemeRating, ...] = TABLE_1) -> str:
+    """Format the matrix the way the paper prints it."""
+    header = (
+        f"{'Scheme':<18} {'Formal security':<16} {'Updates':<8} "
+        f"{'Low latency':<12} {'Small storage':<13}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        security, updates, latency, storage = row.cells()
+        lines.append(
+            f"{row.scheme:<18} {security:<16} {updates:<8} "
+            f"{latency:<12} {storage:<13}"
+        )
+    return "\n".join(lines)

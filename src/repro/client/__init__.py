@@ -1,0 +1,5 @@
+"""Trusted query client."""
+
+from repro.client.query_client import ClientResult, QueryClient
+
+__all__ = ["ClientResult", "QueryClient"]

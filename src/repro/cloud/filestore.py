@@ -1,0 +1,147 @@
+"""File-backed encrypted store.
+
+The in-memory :class:`~repro.cloud.storage.EncryptedStore` models the
+cloud's disk with byte accounting; this variant actually writes each
+publication to a file on disk — one append-only file per publication, the
+record layout being ``length (uint32) | ciphertext`` — so durability,
+re-opening, and real read-back I/O can be exercised.  It implements the
+same interface, making it a drop-in for :class:`FresqueCloud`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import struct
+
+from repro.cloud.storage import PhysicalAddress, StorageError
+from repro.records.record import EncryptedRecord
+
+_LENGTH = struct.Struct("<I")
+
+
+class FileBackedStore:
+    """Encrypted record store persisting to real files.
+
+    Parameters
+    ----------
+    directory:
+        Directory holding one ``publication-<id>.dat`` file per
+        publication; created if missing.
+    """
+
+    def __init__(self, directory: str | pathlib.Path):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._handles: dict[int, object] = {}
+        self._sizes: dict[int, int] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.write_ops = 0
+        self.read_ops = 0
+
+    def _path(self, file_id: int) -> pathlib.Path:
+        return self.directory / f"publication-{file_id}.dat"
+
+    def create_file(self, file_id: int) -> None:
+        """Open a fresh publication file.
+
+        Raises
+        ------
+        StorageError
+            If the publication file already exists.
+        """
+        if file_id in self._handles or self._path(file_id).exists():
+            raise StorageError(f"file {file_id} already exists")
+        self._handles[file_id] = open(self._path(file_id), "w+b")
+        self._sizes[file_id] = 0
+
+    def _handle(self, file_id: int):
+        handle = self._handles.get(file_id)
+        if handle is None:
+            path = self._path(file_id)
+            if not path.exists():
+                raise StorageError(f"no file {file_id}")
+            handle = open(path, "r+b")
+            self._handles[file_id] = handle
+            self._sizes[file_id] = path.stat().st_size
+        return handle
+
+    def write(self, file_id: int, record: EncryptedRecord) -> PhysicalAddress:
+        """Append one record, returning its physical address."""
+        if file_id not in self._handles and not self._path(file_id).exists():
+            self.create_file(file_id)
+        handle = self._handle(file_id)
+        offset = self._sizes[file_id]
+        handle.seek(offset)
+        payload = _LENGTH.pack(len(record.ciphertext)) + record.ciphertext
+        handle.write(payload)
+        self._sizes[file_id] = offset + len(payload)
+        self.bytes_written += len(record.ciphertext)
+        self.write_ops += 1
+        return PhysicalAddress(
+            file_id=file_id, offset=offset, length=len(record.ciphertext)
+        )
+
+    def read(self, address: PhysicalAddress) -> EncryptedRecord:
+        """Read one record back from disk.
+
+        Raises
+        ------
+        StorageError
+            If the address does not point at a valid record header.
+        """
+        handle = self._handle(address.file_id)
+        handle.seek(address.offset)
+        header = handle.read(_LENGTH.size)
+        if len(header) != _LENGTH.size:
+            raise StorageError(f"no record at offset {address.offset}")
+        (length,) = _LENGTH.unpack(header)
+        if length != address.length:
+            raise StorageError(
+                f"length mismatch at {address.offset}: stored {length}, "
+                f"address says {address.length}"
+            )
+        ciphertext = handle.read(length)
+        if len(ciphertext) != length:
+            raise StorageError("truncated record body")
+        self.bytes_read += length
+        self.read_ops += 1
+        return EncryptedRecord(leaf_offset=None, ciphertext=ciphertext)
+
+    def scan(self, file_id: int):
+        """Iterate ``(address, record)`` pairs of one publication file."""
+        handle = self._handle(file_id)
+        offset = 0
+        size = self._sizes[file_id]
+        while offset < size:
+            handle.seek(offset)
+            (length,) = _LENGTH.unpack(handle.read(_LENGTH.size))
+            ciphertext = handle.read(length)
+            yield (
+                PhysicalAddress(file_id, offset, length),
+                EncryptedRecord(leaf_offset=None, ciphertext=ciphertext),
+            )
+            offset += _LENGTH.size + length
+
+    def file_size(self, file_id: int) -> int:
+        """Bytes currently in one publication file."""
+        if file_id not in self._sizes:
+            raise StorageError(f"no file {file_id}")
+        return self._sizes[file_id]
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes across all files."""
+        return self.bytes_written
+
+    def close(self) -> None:
+        """Close every open file handle."""
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "FileBackedStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

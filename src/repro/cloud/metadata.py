@@ -1,0 +1,58 @@
+"""The cloud's in-memory metadata cache.
+
+FRESQUE's cloud avoids re-reading published records from disk at matching
+time: as each ``<leaf offset, e-record>`` pair arrives, the record goes to
+disk and a ``<leaf offset, physical location>`` entry is cached in memory,
+organised as ``leaf offset -> list of physical locations`` (Section 5.3,
+Cloud).  The cache is destroyed after the matching process.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.storage import PhysicalAddress
+
+
+class MetadataCache:
+    """``leaf offset -> [physical locations]`` for one in-flight publication."""
+
+    def __init__(self, publication: int):
+        self.publication = publication
+        self._by_leaf: dict[int, list[PhysicalAddress]] = {}
+        self._entries = 0
+        self._destroyed = False
+
+    @property
+    def entry_count(self) -> int:
+        """Number of cached addresses."""
+        return self._entries
+
+    @property
+    def is_destroyed(self) -> bool:
+        """Whether the cache was dropped after matching."""
+        return self._destroyed
+
+    def add(self, leaf_offset: int, address: PhysicalAddress) -> None:
+        """Cache one arriving record's location under its leaf offset."""
+        if self._destroyed:
+            raise RuntimeError("metadata cache already destroyed")
+        self._by_leaf.setdefault(leaf_offset, []).append(address)
+        self._entries += 1
+
+    def addresses_for(self, leaf_offset: int) -> list[PhysicalAddress]:
+        """Locations cached for ``leaf_offset`` (empty list if none)."""
+        return list(self._by_leaf.get(leaf_offset, ()))
+
+    def items(self):
+        """Iterate ``(leaf_offset, [addresses])`` pairs."""
+        return self._by_leaf.items()
+
+    def size_bytes(self) -> int:
+        """Approximate memory footprint: the paper stresses the metadata is
+        small and independent of e-record size — one (int, address) entry
+        per record, modelled at 24 bytes each."""
+        return 24 * self._entries
+
+    def destroy(self) -> None:
+        """Drop the cache (after the matching process completes)."""
+        self._by_leaf.clear()
+        self._destroyed = True

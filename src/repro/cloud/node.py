@@ -1,0 +1,168 @@
+"""The untrusted cloud node.
+
+Receives publication-number announcements, streams of encrypted records,
+and end-of-interval publications (secure index + overflow arrays), runs the
+matching process, and serves range queries.  Two variants mirror the two
+systems under comparison:
+
+* :class:`FresqueCloud` — pairs are ``<leaf offset, e-record>``; matching
+  walks the in-memory metadata cache (Section 5.3).
+* :class:`MatchingTableCloud` — pairs are ``<random tag, e-record>``
+  (PINED-RQ++); matching reads records back from disk using the published
+  matching table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.matching import (
+    MatchStats,
+    match_with_metadata,
+    match_with_table,
+)
+from repro.cloud.metadata import MetadataCache
+from repro.cloud.query_engine import (
+    CloudQueryEngine,
+    PublishedDataset,
+    QueryResult,
+)
+from repro.cloud.storage import EncryptedStore, PhysicalAddress
+from repro.index.domain import AttributeDomain
+from repro.index.overflow import OverflowArray
+from repro.index.query import RangeQuery
+from repro.index.tree import IndexTree
+from repro.records.record import EncryptedRecord
+
+
+@dataclass(frozen=True)
+class PublicationReceipt:
+    """Returned by the cloud when a publication finishes matching."""
+
+    publication: int
+    records_matched: int
+    stats: MatchStats
+
+
+class CloudError(RuntimeError):
+    """Raised on protocol violations (unknown publication, double publish)."""
+
+
+class _BaseCloud:
+    """State shared by both cloud variants."""
+
+    def __init__(self, domain: AttributeDomain):
+        self.domain = domain
+        self.store = EncryptedStore()
+        self.engine = CloudQueryEngine(domain, self.store)
+        self._active: set[int] = set()
+        self._done: set[int] = set()
+
+    def announce_publication(self, publication: int) -> None:
+        """Handle a new publication number: open a fresh storage file."""
+        if publication in self._active or publication in self._done:
+            raise CloudError(f"publication {publication} already announced")
+        self._active.add(publication)
+        self.store.create_file(publication)
+        self.engine.open_publication(publication)
+
+    def _require_active(self, publication: int) -> None:
+        if publication not in self._active:
+            raise CloudError(f"publication {publication} is not active")
+
+    def _install(
+        self,
+        publication: int,
+        tree: IndexTree,
+        pointers,
+        overflow: dict[int, OverflowArray],
+        stats: MatchStats,
+    ) -> PublicationReceipt:
+        self.engine.publish(
+            PublishedDataset(
+                publication=publication,
+                tree=tree,
+                pointers=pointers,
+                overflow=overflow,
+                file_id=publication,
+            )
+        )
+        self._active.discard(publication)
+        self._done.add(publication)
+        return PublicationReceipt(
+            publication=publication, records_matched=stats.records, stats=stats
+        )
+
+    def query(self, query: RangeQuery) -> QueryResult:
+        """Serve a client range query."""
+        return self.engine.query(query)
+
+
+class FresqueCloud(_BaseCloud):
+    """Cloud in FRESQUE mode: leaf-offset pairs and metadata matching."""
+
+    def __init__(self, domain: AttributeDomain):
+        super().__init__(domain)
+        self._metadata: dict[int, MetadataCache] = {}
+
+    def announce_publication(self, publication: int) -> None:
+        super().announce_publication(publication)
+        self._metadata[publication] = MetadataCache(publication)
+
+    def receive_pair(
+        self, publication: int, leaf_offset: int, record: EncryptedRecord
+    ) -> PhysicalAddress:
+        """Store one arriving pair and cache its metadata."""
+        self._require_active(publication)
+        address = self.store.write(publication, record)
+        self._metadata[publication].add(leaf_offset, address)
+        self.engine.add_unindexed(publication, leaf_offset, record)
+        return address
+
+    def receive_publication(
+        self,
+        publication: int,
+        tree: IndexTree,
+        overflow: dict[int, OverflowArray],
+    ) -> PublicationReceipt:
+        """Match the arriving secure index against the metadata cache."""
+        self._require_active(publication)
+        cache = self._metadata.pop(publication)
+        pointers, stats = match_with_metadata(cache)
+        return self._install(publication, tree, pointers, overflow, stats)
+
+
+class MatchingTableCloud(_BaseCloud):
+    """Cloud in PINED-RQ++ mode: random tags and read-back matching."""
+
+    def __init__(self, domain: AttributeDomain):
+        super().__init__(domain)
+        self._tags: dict[int, dict[int, PhysicalAddress]] = {}
+
+    def announce_publication(self, publication: int) -> None:
+        super().announce_publication(publication)
+        self._tags[publication] = {}
+
+    def receive_tagged(
+        self, publication: int, tag: int, record: EncryptedRecord
+    ) -> PhysicalAddress:
+        """Store one arriving ``<id, e-record>`` pair."""
+        self._require_active(publication)
+        address = self.store.write(publication, record)
+        self._tags[publication][tag] = address
+        return address
+
+    def receive_publication(
+        self,
+        publication: int,
+        tree: IndexTree,
+        overflow: dict[int, OverflowArray],
+        matching_table: dict[int, int],
+    ) -> PublicationReceipt:
+        """Run the read-back matching process with the published table."""
+        self._require_active(publication)
+        tag_addresses = self._tags.pop(publication)
+        pointers, stats = match_with_table(
+            self.store, publication, tag_addresses, matching_table
+        )
+        return self._install(publication, tree, pointers, overflow, stats)

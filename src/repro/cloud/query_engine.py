@@ -1,0 +1,140 @@
+"""Cloud-side range query evaluation.
+
+A query is evaluated over both *indexed* data (published datasets, via the
+secure index traversal of Section 4.1) and *unindexed* data (records of the
+in-flight publication, filtered one by one on their cleartext leaf offset —
+Section 5.3(c)).  The cloud only ever touches ciphertexts and leaf offsets;
+decryption and final filtering happen at the client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.matching import LeafPointers
+from repro.cloud.storage import EncryptedStore
+from repro.index.domain import AttributeDomain
+from repro.index.overflow import OverflowArray
+from repro.index.query import RangeQuery, traverse
+from repro.index.tree import IndexTree
+from repro.records.record import EncryptedRecord
+
+
+@dataclass
+class PublishedDataset:
+    """One fully published publication at the cloud.
+
+    Parameters
+    ----------
+    publication:
+        Monotonic publication number.
+    tree:
+        The secure (noisy) index tree.
+    pointers:
+        Leaf-to-record pointers assembled by the matching process.
+    overflow:
+        Per-leaf sealed overflow arrays.
+    file_id:
+        The storage file holding this publication's records.
+    """
+
+    publication: int
+    tree: IndexTree
+    pointers: LeafPointers
+    overflow: dict[int, OverflowArray]
+    file_id: int
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Encrypted result set returned to the client.
+
+    Parameters
+    ----------
+    indexed:
+        Records reached through published indexes.
+    overflow:
+        Overflow-array entries of every touched leaf (contain the removed
+        records, padded with dummies).
+    unindexed:
+        Records of in-flight publications whose leaf offset overlaps the
+        query.
+    nodes_visited:
+        Total index nodes inspected (query-cost metric).
+    """
+
+    indexed: tuple[EncryptedRecord, ...]
+    overflow: tuple[EncryptedRecord, ...]
+    unindexed: tuple[EncryptedRecord, ...]
+    nodes_visited: int
+
+    def all_records(self) -> tuple[EncryptedRecord, ...]:
+        """Every ciphertext the client must decrypt."""
+        return self.indexed + self.overflow + self.unindexed
+
+
+@dataclass
+class _InFlight:
+    """Unindexed pairs of a publication whose index has not arrived yet."""
+
+    publication: int
+    pairs: list[tuple[int, EncryptedRecord]] = field(default_factory=list)
+
+
+class CloudQueryEngine:
+    """Evaluates range queries over published and in-flight data."""
+
+    def __init__(self, domain: AttributeDomain, store: EncryptedStore):
+        self._domain = domain
+        self._store = store
+        self._published: list[PublishedDataset] = []
+        self._in_flight: dict[int, _InFlight] = {}
+
+    @property
+    def published(self) -> tuple[PublishedDataset, ...]:
+        """Publications whose secure index has been matched."""
+        return tuple(self._published)
+
+    def open_publication(self, publication: int) -> None:
+        """Start tracking unindexed pairs for a new publication."""
+        self._in_flight.setdefault(publication, _InFlight(publication))
+
+    def add_unindexed(
+        self, publication: int, leaf_offset: int, record: EncryptedRecord
+    ) -> None:
+        """Register one arriving pair of an unpublished publication."""
+        self.open_publication(publication)
+        self._in_flight[publication].pairs.append((leaf_offset, record))
+
+    def publish(self, dataset: PublishedDataset) -> None:
+        """Install a matched publication; its pairs stop being unindexed."""
+        self._published.append(dataset)
+        self._in_flight.pop(dataset.publication, None)
+
+    def query(self, query: RangeQuery) -> QueryResult:
+        """Evaluate a range query over everything the cloud holds."""
+        indexed: list[EncryptedRecord] = []
+        overflow: list[EncryptedRecord] = []
+        nodes_visited = 0
+        for dataset in self._published:
+            result = traverse(dataset.tree, query)
+            nodes_visited += result.nodes_visited
+            for leaf_offset in result.leaf_offsets:
+                for address in dataset.pointers.addresses(leaf_offset):
+                    indexed.append(self._store.read(address))
+                array = dataset.overflow.get(leaf_offset)
+                if array is not None:
+                    overflow.extend(array.entries)
+        overlapping = set(self._domain.leaves_overlapping(query.low, query.high))
+        unindexed = [
+            record
+            for in_flight in self._in_flight.values()
+            for leaf_offset, record in in_flight.pairs
+            if leaf_offset in overlapping
+        ]
+        return QueryResult(
+            indexed=tuple(indexed),
+            overflow=tuple(overflow),
+            unindexed=tuple(unindexed),
+            nodes_visited=nodes_visited,
+        )

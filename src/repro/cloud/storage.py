@@ -1,0 +1,141 @@
+"""The cloud's encrypted record store.
+
+Arriving ``<leaf offset, e-record>`` pairs are appended to a per-publication
+*file* and identified by a :class:`PhysicalAddress` (Section 5.3, Cloud).
+The store is in-memory but accounts for bytes written/read so the simulator
+and the matching-time experiments (Figure 15) can charge realistic I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.records.record import EncryptedRecord
+
+
+@dataclass(frozen=True)
+class PhysicalAddress:
+    """Disk location of one encrypted record: (file, byte offset)."""
+
+    file_id: int
+    offset: int
+    length: int
+
+
+class StorageError(KeyError):
+    """Raised for reads of unknown files or addresses."""
+
+
+class PublicationFile:
+    """Append-only storage file holding one publication's records."""
+
+    def __init__(self, file_id: int):
+        self.file_id = file_id
+        self._records: list[EncryptedRecord] = []
+        self._offsets: list[int] = []
+        self._size = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes stored in this file."""
+        return self._size
+
+    @property
+    def record_count(self) -> int:
+        """Number of records in this file."""
+        return len(self._records)
+
+    def append(self, record: EncryptedRecord) -> PhysicalAddress:
+        """Write one record at the end of the file, returning its address."""
+        address = PhysicalAddress(
+            file_id=self.file_id, offset=self._size, length=len(record)
+        )
+        self._offsets.append(self._size)
+        self._records.append(record)
+        self._size += len(record)
+        return address
+
+    def read(self, address: PhysicalAddress) -> EncryptedRecord:
+        """Read the record at ``address``.
+
+        Raises
+        ------
+        StorageError
+            If the address does not identify a stored record.
+        """
+        if address.file_id != self.file_id:
+            raise StorageError(
+                f"address file {address.file_id} != file {self.file_id}"
+            )
+        # Binary search over the sorted offsets.
+        lo, hi = 0, len(self._offsets)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._offsets[mid] < address.offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= len(self._offsets) or self._offsets[lo] != address.offset:
+            raise StorageError(f"no record at offset {address.offset}")
+        return self._records[lo]
+
+    def scan(self):
+        """Iterate ``(address, record)`` pairs in write order."""
+        for offset, record in zip(self._offsets, self._records):
+            yield (
+                PhysicalAddress(self.file_id, offset, len(record)),
+                record,
+            )
+
+
+class EncryptedStore:
+    """All publication files at the cloud, plus I/O accounting."""
+
+    def __init__(self):
+        self._files: dict[int, PublicationFile] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.write_ops = 0
+        self.read_ops = 0
+
+    def create_file(self, file_id: int) -> PublicationFile:
+        """Open a fresh file for a new publication.
+
+        Raises
+        ------
+        StorageError
+            If the file id is already in use.
+        """
+        if file_id in self._files:
+            raise StorageError(f"file {file_id} already exists")
+        handle = PublicationFile(file_id)
+        self._files[file_id] = handle
+        return handle
+
+    def file(self, file_id: int) -> PublicationFile:
+        """Look up an existing file."""
+        if file_id not in self._files:
+            raise StorageError(f"no file {file_id}")
+        return self._files[file_id]
+
+    def write(self, file_id: int, record: EncryptedRecord) -> PhysicalAddress:
+        """Append ``record`` to ``file_id``, creating the file if needed."""
+        handle = self._files.get(file_id)
+        if handle is None:
+            handle = self.create_file(file_id)
+        address = handle.append(record)
+        self.bytes_written += len(record)
+        self.write_ops += 1
+        return address
+
+    def read(self, address: PhysicalAddress) -> EncryptedRecord:
+        """Read one record, charging the I/O counters."""
+        record = self.file(address.file_id).read(address)
+        self.bytes_read += len(record)
+        self.read_ops += 1
+        return record
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes across all files (storage-overhead metric)."""
+        return sum(handle.size_bytes for handle in self._files.values())

@@ -1,0 +1,198 @@
+"""The checking node: randomer + checker + updater (Section 5.3).
+
+Runs sequentially but every per-record task is O(1):
+
+* incoming ``<leaf offset, e-record>`` pairs enter the randomer's fixed-size
+  buffer; evicted pairs pass to the checker;
+* the checker reads the pair's leaf offset ``i``: if ``ALN[i] < 0`` the
+  record is *removed* (both ``ALN[i]`` and ``AL[i]`` incremented, pair sent
+  to the merger), otherwise only ``AL[i]`` is incremented and the pair goes
+  to the cloud;
+* dummy pairs (recognised by the trusted-side flag) skip the arrays
+  entirely and go straight to the cloud.
+
+At a publication boundary — once *publishing* messages from **all**
+computing nodes arrived — the node drains the randomer through the checker,
+ships the final AL to the merger, publishes the shuffled residue to the
+cloud and sends *done* back to the computing nodes.
+
+Because publishing is asynchronous, state is kept per publication: pairs of
+publication ``n + 1`` may arrive while ``n`` is still being finalised.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.config import FresqueConfig
+from repro.core.messages import (
+    AlSnapshot,
+    AnnouncePublication,
+    BufferFlush,
+    CnPublishing,
+    DoneMsg,
+    NewPublication,
+    Pair,
+    RemovedRecord,
+    TemplateMsg,
+    ToCloudPair,
+)
+from repro.core.randomer import Randomer
+from repro.index.template import LeafArrays
+
+
+@dataclass
+class _PublicationState:
+    """Per-publication randomer + arrays + boundary bookkeeping."""
+
+    randomer: Randomer
+    arrays: LeafArrays
+    cn_reported: set[int] = field(default_factory=set)
+    closed: bool = False
+
+
+class CheckingNode:
+    """The sequential trusted node hosting randomer, checker and updater.
+
+    Parameters
+    ----------
+    config:
+        Deployment configuration (buffer size, node count, domain).
+    rng:
+        Seeded randomness for the randomer.
+    """
+
+    def __init__(self, config: FresqueConfig, rng: random.Random | None = None):
+        self.config = config
+        self._rng = rng if rng is not None else random.Random()
+        self._publications: dict[int, _PublicationState] = {}
+        self._early_pairs: dict[int, list[Pair]] = {}
+        self._early_cn: dict[int, list[CnPublishing]] = {}
+        self.pairs_processed = 0
+        self.dummies_passed = 0
+        self.records_removed = 0
+
+    def state_of(self, publication: int) -> _PublicationState:
+        """Internal state of ``publication`` (for tests and metrics)."""
+        return self._publications[publication]
+
+    def buffered_pairs(self) -> list[tuple[int, int, object]]:
+        """Pairs currently resident in the randomer buffers.
+
+        Query processing must cover them (Section 5.3(c): records at the
+        cloud, the randomer and the merger are returned to the client).
+        Returns ``(publication, leaf offset, encrypted record)`` triples;
+        dummies are included — the client filters them after decryption.
+        """
+        resident = []
+        for publication, state in self._publications.items():
+            for pair in state.randomer.residents:
+                resident.append((publication, pair.leaf_offset, pair.encrypted))
+        return resident
+
+    def on_new_publication(
+        self, message: NewPublication
+    ) -> list[tuple[str, object]]:
+        """Initialise AL/ALN, forward the template and announce the PN."""
+        state = _PublicationState(
+            randomer=Randomer(self.config.randomer_buffer_size, rng=self._rng),
+            arrays=LeafArrays(message.plan.leaf_noise),
+        )
+        self._publications[message.publication] = state
+        out: list[tuple[str, object]] = [
+            ("merger", TemplateMsg(message.publication, message.plan)),
+            ("cloud", AnnouncePublication(message.publication)),
+        ]
+        # Replay anything that raced ahead of this announcement (possible
+        # under the threaded runtime, where channels are per-sender).
+        for pair in self._early_pairs.pop(message.publication, ()):
+            out.extend(self.on_pair(pair))
+        for early in self._early_cn.pop(message.publication, ()):
+            out.extend(self.on_cn_publishing(early))
+        return out
+
+    def _check(self, pair: Pair) -> tuple[str, object]:
+        """Checker + updater for one released pair."""
+        self.pairs_processed += 1
+        if pair.dummy:
+            self.dummies_passed += 1
+            return (
+                "cloud",
+                ToCloudPair(pair.publication, pair.leaf_offset, pair.encrypted),
+            )
+        state = self._publications[pair.publication]
+        result = state.arrays.check_and_update(pair.leaf_offset)
+        if result.removed:
+            self.records_removed += 1
+            return (
+                "merger",
+                RemovedRecord(pair.publication, pair.leaf_offset, pair.encrypted),
+            )
+        return (
+            "cloud",
+            ToCloudPair(pair.publication, pair.leaf_offset, pair.encrypted),
+        )
+
+    def on_pair(self, pair: Pair) -> list[tuple[str, object]]:
+        """Buffer an arriving pair; process whatever the randomer evicts."""
+        state = self._publications.get(pair.publication)
+        if state is None:
+            self._early_pairs.setdefault(pair.publication, []).append(pair)
+            return []
+        if state.closed:
+            # A pair arriving after the flush (possible only if a computing
+            # node mis-ordered its publishing message) bypasses the buffer.
+            return [self._check(pair)]
+        evicted = state.randomer.insert(pair)
+        if evicted is None:
+            return []
+        return [self._check(evicted)]
+
+    def on_publishing(self, publication: int) -> list[tuple[str, object]]:
+        """The dispatcher's own *publishing* notice (informational only —
+        finalisation waits for the per-computing-node messages, which is
+        the publication-consistency condition of Section 5.3)."""
+        return []
+
+    def on_cn_publishing(
+        self, message: CnPublishing
+    ) -> list[tuple[str, object]]:
+        """Track per-node *publishing*; finalise when all nodes reported."""
+        state = self._publications.get(message.publication)
+        if state is None:
+            self._early_cn.setdefault(message.publication, []).append(message)
+            return []
+        state.cn_reported.add(message.node_id)
+        if len(state.cn_reported) < self.config.num_computing_nodes:
+            return []
+        return self._finalise(message.publication)
+
+    def _finalise(self, publication: int) -> list[tuple[str, object]]:
+        """Drain the buffer, ship AL, flush to cloud, release the CNs."""
+        state = self._publications[publication]
+        state.closed = True
+        out: list[tuple[str, object]] = []
+        flush_pairs: list[tuple[int, object]] = []
+        for pair in state.randomer.flush():
+            destination, message = self._check(pair)
+            if destination == "merger":
+                out.append((destination, message))
+            else:
+                flush_pairs.append((message.leaf_offset, message.encrypted))
+        # The flush must be enqueued to the cloud *before* the AL reaches
+        # the merger: the cloud's FIFO inbox then guarantees every pair is
+        # stored (and its metadata cached) before the merger's publication
+        # triggers the matching process.  With the opposite order the
+        # merger can race ahead under the threaded runtime and match an
+        # incomplete publication.
+        out.append(("cloud", BufferFlush(publication, tuple(flush_pairs))))
+        out.append(
+            ("merger", AlSnapshot(publication, tuple(state.arrays.snapshot())))
+        )
+        done = DoneMsg(publication)
+        out.extend(
+            (f"cn-{i}", done) for i in range(self.config.num_computing_nodes)
+        )
+        del self._publications[publication]
+        return out

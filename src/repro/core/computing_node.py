@@ -1,0 +1,138 @@
+"""A computing node (Section 5.3).
+
+Performs the heavy per-record work in parallel with its ``k - 1`` siblings:
+parse the raw line, compute the O(1) leaf offset, encrypt, and ship the
+``<leaf offset, e-record>`` pair to the checking node.  While waiting for
+the checking node's *done* message at a publication boundary, freshly
+arriving records of the next publication are still processed but buffered
+locally, so no ingest capacity is lost during publishing.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FresqueConfig
+from repro.core.messages import (
+    CnPublishing,
+    DoneMsg,
+    Pair,
+    RawData,
+)
+from repro.crypto.cipher import RecordCipher
+from repro.index.domain import DomainError
+from repro.records.record import EncryptedRecord, Record, RecordError
+from repro.records.serialize import parse_raw_line, serialize_record
+
+
+class ComputingNode:
+    """One parser/encrypter worker.
+
+    Parameters
+    ----------
+    node_id:
+        Index of this node (0-based; its address is ``cn-<node_id>``).
+    config:
+        Deployment configuration.
+    cipher:
+        Record cipher shared with the client.
+    """
+
+    def __init__(self, node_id: int, config: FresqueConfig, cipher: RecordCipher):
+        self.node_id = node_id
+        self.config = config
+        self.cipher = cipher
+        self.parsed = 0
+        self.encrypted = 0
+        self.bytes_out = 0
+        self.rejected = 0
+        self._waiting_done = False
+        # While waiting for *done*, events are held in arrival order:
+        # ("pair", Pair) entries and ("publishing", publication) markers.
+        # Order matters — a publishing acknowledgement must not overtake
+        # the pairs of its own publication, or the checking node would
+        # finalise before receiving them (the Section 5.3 consistency
+        # condition).
+        self._held: list[tuple[str, object]] = []
+
+    @property
+    def waiting_for_done(self) -> bool:
+        """Whether the node is between *publishing* and *done*."""
+        return self._waiting_done
+
+    @property
+    def held_pairs(self) -> int:
+        """Pairs buffered locally while waiting for *done*."""
+        return sum(1 for kind, _ in self._held if kind == "pair")
+
+    def _process(self, message: RawData) -> Pair:
+        if message.record is not None:
+            record: Record = message.record
+        else:
+            record = parse_raw_line(message.line, self.config.schema)
+            self.parsed += 1
+        leaf_offset = self.config.domain.leaf_offset(
+            record.indexed_value(self.config.schema)
+        )
+        ciphertext = self.cipher.encrypt(
+            serialize_record(record, self.config.schema)
+        )
+        self.encrypted += 1
+        self.bytes_out += len(ciphertext)
+        return Pair(
+            publication=message.publication,
+            leaf_offset=leaf_offset,
+            encrypted=EncryptedRecord(
+                leaf_offset=leaf_offset,
+                ciphertext=ciphertext,
+                publication=message.publication,
+            ),
+            dummy=record.is_dummy,
+        )
+
+    def on_raw(self, message: RawData) -> list[tuple[str, object]]:
+        """Parse + offset + encrypt one record; forward or hold the pair.
+
+        Malformed lines and out-of-domain values are dropped (counted in
+        :attr:`rejected`): one bad data source must not take down a
+        computing node or poison the publication.
+        """
+        try:
+            pair = self._process(message)
+        except (RecordError, DomainError, ValueError):
+            self.rejected += 1
+            return []
+        if self._waiting_done:
+            self._held.append(("pair", pair))
+            return []
+        return [("checking", pair)]
+
+    def on_publishing(self, publication: int) -> list[tuple[str, object]]:
+        """The dispatcher closed ``publication``: tell the checking node.
+
+        If the node is still waiting for a previous publication's *done*,
+        the acknowledgement is queued behind the held pairs so the
+        checking node never finalises a publication whose pairs this node
+        has not yet forwarded.
+        """
+        if self._waiting_done:
+            self._held.append(("publishing", publication))
+            return []
+        self._waiting_done = True
+        return [("checking", CnPublishing(publication, self.node_id))]
+
+    def on_done(self, message: DoneMsg) -> list[tuple[str, object]]:
+        """The checking node finished publishing: replay held events.
+
+        Pairs flush in order; the first queued *publishing* marker re-arms
+        the wait (back-to-back publications pipeline correctly).
+        """
+        self._waiting_done = False
+        out: list[tuple[str, object]] = []
+        while self._held:
+            kind, payload = self._held.pop(0)
+            if kind == "pair":
+                out.append(("checking", payload))
+                continue
+            out.append(("checking", CnPublishing(payload, self.node_id)))
+            self._waiting_done = True
+            break
+        return out

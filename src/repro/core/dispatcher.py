@@ -1,0 +1,127 @@
+"""The dispatcher (Section 5.3).
+
+The only ingestion-path work left on this node is round-robin forwarding —
+every heavy job (parsing, encrypting, checking) moved elsewhere, which is
+what lets FRESQUE's intake scale.  At the start of each publishing time
+interval the dispatcher creates the index template (noise plan), the dummy
+records and the publication number; at the end it broadcasts *publishing*
+and immediately opens the next publication (asynchronous publishing).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import FresqueConfig
+from repro.core.messages import NewPublication, PublishingMsg, RawData
+from repro.index.perturb import draw_noise_plan
+from repro.index.tree import IndexTree
+from repro.records.record import Record, make_dummy
+
+
+class Dispatcher:
+    """Round-robin record distribution plus publication lifecycle.
+
+    Parameters
+    ----------
+    config:
+        The deployment configuration.
+    rng:
+        Seeded randomness (noise plans, dummy values, dummy schedule).
+    """
+
+    def __init__(self, config: FresqueConfig, rng: random.Random | None = None):
+        self.config = config
+        self._rng = rng if rng is not None else random.Random()
+        self._tree_shape = IndexTree(config.domain, fanout=config.fanout)
+        self._publication = -1
+        self._next_cn = 0
+        self._dummy_schedule: list[tuple[float, Record]] = []
+        self.records_dispatched = 0
+        self.dummies_generated = 0
+
+    @property
+    def publication(self) -> int:
+        """Current publication number (-1 before the first interval)."""
+        return self._publication
+
+    @property
+    def num_computing_nodes(self) -> int:
+        """Workers records are spread over."""
+        return self.config.num_computing_nodes
+
+    def _make_dummies(self, plan) -> list[Record]:
+        dummies = []
+        for offset, noise in enumerate(plan.leaf_noise):
+            if noise <= 0:
+                continue
+            low, high = self.config.domain.leaf_range(offset)
+            for _ in range(noise):
+                value = low if high <= low else low + self._rng.random() * (
+                    high - low
+                )
+                dummies.append(make_dummy(self.config.schema, value))
+        return dummies
+
+    def start_publication(self) -> list[tuple[str, object]]:
+        """Open a new publication: draw the template, schedule the dummies.
+
+        Dummy records are assigned release times *uniformly at random* over
+        the interval (Section 5.2) — exposed as fractions in [0, 1) so the
+        driver can map them to wall-clock or record-count positions.
+        """
+        self._publication += 1
+        plan = draw_noise_plan(
+            self._tree_shape, self.config.epsilon, rng=self._rng
+        )
+        dummies = self._make_dummies(plan)
+        self.dummies_generated += len(dummies)
+        self._dummy_schedule = sorted(
+            ((self._rng.random(), dummy) for dummy in dummies),
+            key=lambda item: item[0],
+        )
+        return [("checking", NewPublication(self._publication, plan))]
+
+    def due_dummies(self, fraction: float) -> list[tuple[str, object]]:
+        """Dispatch every dummy scheduled before ``fraction`` of the interval."""
+        out: list[tuple[str, object]] = []
+        while self._dummy_schedule and self._dummy_schedule[0][0] <= fraction:
+            _, dummy = self._dummy_schedule.pop(0)
+            out.append(self._dispatch_record(dummy))
+        return out
+
+    @property
+    def pending_dummies(self) -> int:
+        """Dummies not yet released into the stream."""
+        return len(self._dummy_schedule)
+
+    def _next_node(self) -> str:
+        node = f"cn-{self._next_cn}"
+        self._next_cn = (self._next_cn + 1) % self.config.num_computing_nodes
+        return node
+
+    def _dispatch_record(self, record: Record) -> tuple[str, object]:
+        self.records_dispatched += 1
+        return (
+            self._next_node(),
+            RawData(self._publication, record=record),
+        )
+
+    def on_raw(self, line: str) -> list[tuple[str, object]]:
+        """Forward one raw line to the next computing node (round robin)."""
+        self.records_dispatched += 1
+        return [(self._next_node(), RawData(self._publication, line=line))]
+
+    def end_publication(self) -> list[tuple[str, object]]:
+        """Broadcast *publishing*; the caller immediately starts the next.
+
+        Any dummies still scheduled are dispatched first so the checking
+        node sees the complete publication.
+        """
+        out = self.due_dummies(1.0)
+        message = PublishingMsg(self._publication)
+        out.extend(
+            (f"cn-{i}", message) for i in range(self.config.num_computing_nodes)
+        )
+        out.append(("checking", message))
+        return out

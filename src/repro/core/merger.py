@@ -1,0 +1,173 @@
+"""The merger (Section 5.3).
+
+Runs independently of the ingestion path — this is what makes FRESQUE's
+publication *asynchronous*.  Per publication it receives:
+
+1. the index template (noise plan) at interval start;
+2. removed records from the checker, as negative noise is consumed;
+3. the final AL snapshot at interval end — the trigger for the merging job:
+   combine template noise with AL into the complete secure index, seal the
+   removed records into fixed-size overflow arrays (padded with encrypted
+   dummies, randomly ordered), and ship everything to the cloud under the
+   publication number.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.config import FresqueConfig
+from repro.core.messages import (
+    AlSnapshot,
+    MergedPublication,
+    RemovedRecord,
+    TemplateMsg,
+)
+from repro.crypto.cipher import RecordCipher
+from repro.index.overflow import OverflowArray
+from repro.index.perturb import NoisePlan
+from repro.index.template import IndexTemplate, merge_template_and_counts
+from repro.records.record import EncryptedRecord, make_dummy
+from repro.records.serialize import serialize_record
+
+
+@dataclass
+class _MergeState:
+    """Per-publication material accumulated before the merge job."""
+
+    plan: NoisePlan
+    removed: dict[int, list[EncryptedRecord]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """What one merge job did (inputs to the cost model)."""
+
+    publication: int
+    index_nodes: int
+    removed_records: int
+    overflow_capacity: int
+    padding_encrypts: int
+
+
+class Merger:
+    """Publishing-task worker: index assembly and overflow arrays.
+
+    Parameters
+    ----------
+    config:
+        Deployment configuration.
+    cipher:
+        Record cipher, needed to encrypt overflow-array padding dummies.
+    rng:
+        Seeded randomness for padding values and shuffles.
+    """
+
+    def __init__(
+        self,
+        config: FresqueConfig,
+        cipher: RecordCipher,
+        rng: random.Random | None = None,
+    ):
+        self.config = config
+        self.cipher = cipher
+        self._rng = rng if rng is not None else random.Random()
+        self._states: dict[int, _MergeState] = {}
+        self._early_removed: dict[int, list[RemovedRecord]] = {}
+        self.reports: list[MergeReport] = []
+
+    def pending_removed(self) -> list[tuple[int, int, EncryptedRecord]]:
+        """Removed records held for unfinished publications.
+
+        Query processing must cover them (Section 5.3(c)).  Returns
+        ``(publication, leaf offset, encrypted record)`` triples.
+        """
+        held = []
+        for publication, state in self._states.items():
+            for leaf_offset, records in state.removed.items():
+                for record in records:
+                    held.append((publication, leaf_offset, record))
+        return held
+
+    def on_template(self, message: TemplateMsg) -> list[tuple[str, object]]:
+        """Store the publication's template until the AL arrives."""
+        self._states[message.publication] = _MergeState(plan=message.plan)
+        for early in self._early_removed.pop(message.publication, ()):
+            self.on_removed(early)
+        return []
+
+    def on_removed(self, message: RemovedRecord) -> list[tuple[str, object]]:
+        """Buffer one removed record for its leaf's overflow array."""
+        state = self._states.get(message.publication)
+        if state is None:
+            self._early_removed.setdefault(message.publication, []).append(
+                message
+            )
+            return []
+        state.removed.setdefault(message.leaf_offset, []).append(
+            message.encrypted
+        )
+        return []
+
+    def _encrypted_dummy(self, leaf_offset: int, publication: int):
+        low, high = self.config.domain.leaf_range(leaf_offset)
+        value = low if high <= low else low + self._rng.random() * (high - low)
+        dummy = make_dummy(self.config.schema, value)
+        return EncryptedRecord(
+            leaf_offset=None,
+            ciphertext=self.cipher.encrypt(
+                serialize_record(dummy, self.config.schema)
+            ),
+            publication=publication,
+        )
+
+    def on_al(self, message: AlSnapshot) -> list[tuple[str, object]]:
+        """The merge job: build the secure index and overflow arrays."""
+        state = self._states.pop(message.publication, None)
+        if state is None:
+            raise KeyError(
+                f"AL for unknown publication {message.publication}"
+            )
+        template = IndexTemplate(
+            self.config.domain, fanout=self.config.fanout, plan=state.plan
+        )
+        tree = merge_template_and_counts(template, list(message.al))
+
+        capacity = self.config.overflow_capacity
+        padding_encrypts = 0
+        removed_total = 0
+        overflow: dict[int, OverflowArray] = {}
+        for offset in range(self.config.domain.num_leaves):
+            array = OverflowArray(offset, capacity=capacity)
+            for record in state.removed.get(offset, ())[:capacity]:
+                array.add_removed(record)
+                removed_total += 1
+
+            def padding(offset=offset):
+                nonlocal padding_encrypts
+                padding_encrypts += 1
+                return self._encrypted_dummy(offset, message.publication)
+
+            array.seal(padding, rng=self._rng)
+            overflow[offset] = array
+
+        self.reports.append(
+            MergeReport(
+                publication=message.publication,
+                index_nodes=tree.num_nodes,
+                removed_records=removed_total,
+                overflow_capacity=capacity * self.config.domain.num_leaves,
+                padding_encrypts=padding_encrypts,
+            )
+        )
+        return [
+            (
+                "cloud",
+                MergedPublication(
+                    publication=message.publication,
+                    tree=tree,
+                    overflow=overflow,
+                ),
+            )
+        ]

@@ -1,0 +1,139 @@
+"""Messages exchanged between FRESQUE components.
+
+Every component is transport-agnostic: handlers consume these dataclasses
+and return ``(destination, message)`` pairs.  The same message flow is
+executed by the synchronous driver (``repro.core.system``), the threaded
+runtime (``repro.runtime``) and the discrete-event simulator
+(``repro.simulation``).
+
+Destinations are string names: ``"dispatcher"``, ``"cn-<i>"``,
+``"checking"``, ``"merger"``, ``"cloud"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.index.perturb import NoisePlan
+from repro.records.record import EncryptedRecord, Record
+
+
+@dataclass(frozen=True)
+class NewPublication:
+    """Dispatcher → checking node: a publication starts.
+
+    Carries the publication number and the index template's noise plan
+    (the checking node seeds ALN from the leaf noise and forwards the
+    template to the merger).
+    """
+
+    publication: int
+    plan: NoisePlan
+
+
+@dataclass(frozen=True)
+class TemplateMsg:
+    """Checking node → merger: the (noise-only) index template."""
+
+    publication: int
+    plan: NoisePlan
+
+
+@dataclass(frozen=True)
+class AnnouncePublication:
+    """Checking node → cloud: the new publication number."""
+
+    publication: int
+
+
+@dataclass(frozen=True)
+class RawData:
+    """Dispatcher → computing node: one raw line (or pre-built record).
+
+    ``record`` is set for dummy records the dispatcher generated itself;
+    real arrivals carry the unparsed ``line``.
+    """
+
+    publication: int
+    line: str | None = None
+    record: Record | None = None
+
+
+@dataclass(frozen=True)
+class Pair:
+    """Computing node → checking node: a ``<leaf offset, e-record>`` pair.
+
+    ``dummy`` is trusted-side metadata (the paper's flag hidden inside the
+    ciphertext): the checker uses it to skip AL/ALN updates, and it is
+    stripped before the pair leaves the collector.
+    """
+
+    publication: int
+    leaf_offset: int
+    encrypted: EncryptedRecord
+    dummy: bool = False
+
+
+@dataclass(frozen=True)
+class ToCloudPair:
+    """Checking node → cloud: a released pair (dummy flag stripped)."""
+
+    publication: int
+    leaf_offset: int
+    encrypted: EncryptedRecord
+
+
+@dataclass(frozen=True)
+class RemovedRecord:
+    """Checking node → merger: a record consumed by negative noise."""
+
+    publication: int
+    leaf_offset: int
+    encrypted: EncryptedRecord
+
+
+@dataclass(frozen=True)
+class PublishingMsg:
+    """Dispatcher → computing nodes and checking node: interval over."""
+
+    publication: int
+
+
+@dataclass(frozen=True)
+class CnPublishing:
+    """Computing node → checking node: this node flushed the publication."""
+
+    publication: int
+    node_id: int
+
+
+@dataclass(frozen=True)
+class AlSnapshot:
+    """Checking node → merger: the final AL of the publication."""
+
+    publication: int
+    al: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BufferFlush:
+    """Checking node → cloud: the shuffled randomer buffer contents."""
+
+    publication: int
+    pairs: tuple[tuple[int, EncryptedRecord], ...]
+
+
+@dataclass(frozen=True)
+class DoneMsg:
+    """Checking node → computing nodes: publishing tasks handed off."""
+
+    publication: int
+
+
+@dataclass(frozen=True)
+class MergedPublication:
+    """Merger → cloud: the secure index and sealed overflow arrays."""
+
+    publication: int
+    tree: object  # IndexTree; typed loosely to avoid an import cycle
+    overflow: dict = field(default_factory=dict)

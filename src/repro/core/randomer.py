@@ -1,0 +1,82 @@
+"""The randomer (Section 5.2).
+
+A fixed-size buffer that *mixes* real and dummy records so an informed
+online attacker — who knows the time distribution of real arrivals — cannot
+tell dummy insertions or real-record removals from the stream the cloud
+observes.  Behaviour:
+
+* every arriving pair is buffered;
+* once the buffer exceeds its capacity, one *uniformly random* resident is
+  evicted and released downstream (the trigger function);
+* at publishing time the whole buffer is shuffled and flushed.
+
+The capacity must exceed the publication's dummy count with high
+probability while not depending on the actual draw — it is computed from
+the inverse Laplace CDF in :class:`~repro.core.config.FresqueConfig`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.messages import Pair
+
+
+class Randomer:
+    """Fixed-size mixing buffer with uniform random eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Buffer size ``S`` (``α · Σ s_i`` in the paper).
+    rng:
+        Randomness for evictions and the final shuffle.
+    """
+
+    def __init__(self, capacity: int, rng: random.Random | None = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        self._rng = rng if rng is not None else random.Random()
+        self._buffer: list[Pair] = []
+        self.released = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def residents(self) -> tuple[Pair, ...]:
+        """Pairs currently buffered (trusted-side view, for query serving)."""
+        return tuple(self._buffer)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the next insert will trigger an eviction."""
+        return len(self._buffer) >= self.capacity
+
+    def insert(self, pair: Pair) -> Pair | None:
+        """Buffer ``pair``; return the evicted resident if the buffer was full.
+
+        Eviction is uniform over the buffer (including the new arrival),
+        implemented as an O(1) swap-pop.
+        """
+        self._buffer.append(pair)
+        if len(self._buffer) <= self.capacity:
+            return None
+        victim_index = self._rng.randrange(len(self._buffer))
+        last = len(self._buffer) - 1
+        self._buffer[victim_index], self._buffer[last] = (
+            self._buffer[last],
+            self._buffer[victim_index],
+        )
+        victim = self._buffer.pop()
+        self.released += 1
+        return victim
+
+    def flush(self) -> list[Pair]:
+        """Shuffle and empty the buffer (end-of-interval publication)."""
+        self._rng.shuffle(self._buffer)
+        drained = self._buffer
+        self._buffer = []
+        self.released += len(drained)
+        return drained

@@ -1,0 +1,426 @@
+"""Extension: sharded checking nodes.
+
+The paper's evaluation shows the sequential checking node becoming the
+bottleneck once enough computing nodes are deployed (Gowalla saturates at
+~165k records/s after 8 nodes, Figure 9).  Because FRESQUE's checker state
+is two flat arrays indexed by leaf offset, it shards naturally: partition
+the leaves over ``c`` checking shards (``shard = leaf_offset mod c``), give
+each shard its own randomer (sized from the noise bounds of *its* leaves)
+and its own AL/ALN slices, and let the merger reassemble the full AL from
+the per-shard snapshots.  No cross-shard coordination is needed on the
+ingest path — a record touches exactly one leaf, hence one shard.
+
+This module is a faithful "future work" extension, not part of the paper's
+measured system; the ablation benchmark quantifies the ceiling it removes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cloud.node import FresqueCloud
+from repro.core.computing_node import ComputingNode
+from repro.core.config import FresqueConfig
+from repro.core.dispatcher import Dispatcher
+from repro.core.merger import Merger
+from repro.core.messages import (
+    AlSnapshot,
+    AnnouncePublication,
+    BufferFlush,
+    CnPublishing,
+    DoneMsg,
+    NewPublication,
+    Pair,
+    PublishingMsg,
+    RawData,
+    RemovedRecord,
+    TemplateMsg,
+    ToCloudPair,
+)
+from repro.core.randomer import Randomer
+from repro.core.system import CloudAdapter
+from repro.crypto.cipher import RecordCipher
+from repro.index.template import LeafArrays
+from repro.privacy.laplace import laplace_inverse_cdf
+
+
+def shard_of(leaf_offset: int, num_shards: int) -> int:
+    """The checking shard responsible for ``leaf_offset``."""
+    return leaf_offset % num_shards
+
+
+def shard_buffer_size(config: FresqueConfig, shard: int, num_shards: int) -> int:
+    """Randomer capacity of one shard: ``α · Σ s_i`` over its own leaves.
+
+    The per-leaf bound is uniform, so each shard's buffer is proportional
+    to its leaf count; the total across shards equals the unsharded size.
+    """
+    owned = len(range(shard, config.domain.num_leaves, num_shards))
+    bound = max(
+        0, math.ceil(laplace_inverse_cdf(config.delta_prime, config.noise_scale))
+    )
+    return max(1, math.ceil(config.alpha * bound * owned))
+
+
+@dataclass
+class _ShardState:
+    randomer: Randomer
+    arrays: LeafArrays
+    cn_reported: set[int] = field(default_factory=set)
+    closed: bool = False
+
+
+@dataclass(frozen=True)
+class PartialAl:
+    """Checking shard → merger: this shard's slice of the final AL."""
+
+    publication: int
+    shard: int
+    counts: dict[int, int]  # leaf offset -> true count
+
+
+class CheckingShard:
+    """One of ``c`` checking nodes, owning ``leaf mod c == shard_id``.
+
+    Mirrors :class:`~repro.core.checking.CheckingNode` but emits
+    :class:`PartialAl` instead of the full AL and a shard-tagged *done*.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        num_shards: int,
+        config: FresqueConfig,
+        rng: random.Random | None = None,
+    ):
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.config = config
+        self._rng = rng if rng is not None else random.Random()
+        self._states: dict[int, _ShardState] = {}
+        self.pairs_processed = 0
+        self.dummies_passed = 0
+        self.records_removed = 0
+
+    @property
+    def name(self) -> str:
+        """Routing address of this shard."""
+        return f"checking-{self.shard_id}"
+
+    def owns(self, leaf_offset: int) -> bool:
+        """Whether this shard is responsible for ``leaf_offset``."""
+        return shard_of(leaf_offset, self.num_shards) == self.shard_id
+
+    def on_new_publication(
+        self, message: NewPublication
+    ) -> list[tuple[str, object]]:
+        """Initialise this shard's arrays and randomer."""
+        self._states[message.publication] = _ShardState(
+            randomer=Randomer(
+                shard_buffer_size(self.config, self.shard_id, self.num_shards),
+                rng=self._rng,
+            ),
+            arrays=LeafArrays(message.plan.leaf_noise),
+        )
+        out: list[tuple[str, object]] = []
+        if self.shard_id == 0:
+            # Exactly one shard forwards the template and announces the PN.
+            out.append(("merger", TemplateMsg(message.publication, message.plan)))
+            out.append(("cloud", AnnouncePublication(message.publication)))
+        return out
+
+    def _check(self, pair: Pair) -> tuple[str, object]:
+        self.pairs_processed += 1
+        if pair.dummy:
+            self.dummies_passed += 1
+            return (
+                "cloud",
+                ToCloudPair(pair.publication, pair.leaf_offset, pair.encrypted),
+            )
+        state = self._states[pair.publication]
+        result = state.arrays.check_and_update(pair.leaf_offset)
+        if result.removed:
+            self.records_removed += 1
+            return (
+                "merger",
+                RemovedRecord(pair.publication, pair.leaf_offset, pair.encrypted),
+            )
+        return (
+            "cloud",
+            ToCloudPair(pair.publication, pair.leaf_offset, pair.encrypted),
+        )
+
+    def on_pair(self, pair: Pair) -> list[tuple[str, object]]:
+        """Buffer one owned pair; process whatever the randomer evicts."""
+        if not self.owns(pair.leaf_offset):
+            raise ValueError(
+                f"pair for leaf {pair.leaf_offset} routed to shard "
+                f"{self.shard_id} of {self.num_shards}"
+            )
+        state = self._states[pair.publication]
+        evicted = state.randomer.insert(pair)
+        if evicted is None:
+            return []
+        return [self._check(evicted)]
+
+    def on_cn_publishing(
+        self, message: CnPublishing
+    ) -> list[tuple[str, object]]:
+        """Finalise this shard once every computing node reported."""
+        state = self._states[message.publication]
+        state.cn_reported.add(message.node_id)
+        if len(state.cn_reported) < self.config.num_computing_nodes:
+            return []
+        return self._finalise(message.publication)
+
+    def _finalise(self, publication: int) -> list[tuple[str, object]]:
+        state = self._states[publication]
+        state.closed = True
+        out: list[tuple[str, object]] = []
+        flush_pairs = []
+        for pair in state.randomer.flush():
+            destination, message = self._check(pair)
+            if destination == "merger":
+                out.append((destination, message))
+            else:
+                flush_pairs.append((message.leaf_offset, message.encrypted))
+        counts = {
+            offset: state.arrays.al[offset]
+            for offset in range(
+                self.shard_id, self.config.domain.num_leaves, self.num_shards
+            )
+        }
+        # Flush before the partial AL (see CheckingNode._finalise: the
+        # cloud must hold every pair before the merger can publish).
+        out.append(("cloud", BufferFlush(publication, tuple(flush_pairs))))
+        out.append(("merger", PartialAl(publication, self.shard_id, counts)))
+        done = DoneMsg(publication)
+        out.extend(
+            (f"cn-{i}", done) for i in range(self.config.num_computing_nodes)
+        )
+        del self._states[publication]
+        return out
+
+
+class ShardedMerger(Merger):
+    """Merger variant assembling the AL from per-shard partial snapshots."""
+
+    def __init__(
+        self,
+        config: FresqueConfig,
+        cipher: RecordCipher,
+        num_shards: int,
+        rng: random.Random | None = None,
+    ):
+        super().__init__(config, cipher, rng=rng)
+        self.num_shards = num_shards
+        self._partials: dict[int, dict[int, dict[int, int]]] = {}
+
+    def on_partial_al(self, message: PartialAl) -> list[tuple[str, object]]:
+        """Collect one shard's AL slice; merge once all shards reported."""
+        shards = self._partials.setdefault(message.publication, {})
+        shards[message.shard] = message.counts
+        if len(shards) < self.num_shards:
+            return []
+        counts = [0] * self.config.domain.num_leaves
+        for shard_counts in shards.values():
+            for offset, count in shard_counts.items():
+                counts[offset] = count
+        del self._partials[message.publication]
+        return self.on_al(
+            AlSnapshot(message.publication, tuple(counts))
+        )
+
+
+class _RoutingComputingNode(ComputingNode):
+    """Computing node that routes pairs to the owning checking shard."""
+
+    def __init__(self, node_id, config, cipher, num_shards: int):
+        super().__init__(node_id, config, cipher)
+        self.num_shards = num_shards
+        self._done_counts: dict[int, int] = {}
+
+    def _destination(self, pair: Pair) -> str:
+        return f"checking-{shard_of(pair.leaf_offset, self.num_shards)}"
+
+    def _broadcast_publishing(self, publication: int) -> list[tuple[str, object]]:
+        return [
+            (
+                f"checking-{shard}",
+                CnPublishing(publication, self.node_id),
+            )
+            for shard in range(self.num_shards)
+        ]
+
+    def on_raw(self, message: RawData) -> list[tuple[str, object]]:
+        out = super().on_raw(message)
+        return [(self._destination(pair), pair) for _, pair in out]
+
+    def on_publishing(self, publication: int) -> list[tuple[str, object]]:
+        if self._waiting_done:
+            self._held.append(("publishing", publication))
+            return []
+        self._waiting_done = True
+        return self._broadcast_publishing(publication)
+
+    def on_done(self, message: DoneMsg) -> list[tuple[str, object]]:
+        # Wait for *every* shard's done before replaying held events.
+        count = self._done_counts.get(message.publication, 0) + 1
+        self._done_counts[message.publication] = count
+        if count < self.num_shards:
+            return []
+        del self._done_counts[message.publication]
+        self._waiting_done = False
+        out: list[tuple[str, object]] = []
+        while self._held:
+            kind, payload = self._held.pop(0)
+            if kind == "pair":
+                out.append((self._destination(payload), payload))
+                continue
+            out.extend(self._broadcast_publishing(payload))
+            self._waiting_done = True
+            break
+        return out
+
+
+class ShardedFresqueSystem:
+    """FRESQUE with ``num_checking_shards`` parallel checking nodes.
+
+    Same public surface as :class:`~repro.core.system.FresqueSystem` for
+    the operations the tests and benchmarks use.
+    """
+
+    def __init__(
+        self,
+        config: FresqueConfig,
+        cipher: RecordCipher,
+        num_checking_shards: int = 2,
+        seed: int | None = None,
+    ):
+        if num_checking_shards < 1:
+            raise ValueError("need at least one checking shard")
+        self.config = config
+        self.cipher = cipher
+        self.num_shards = num_checking_shards
+        rng = random.Random(seed)
+        self.dispatcher = Dispatcher(config, rng=random.Random(rng.random()))
+        self.computing_nodes = [
+            _RoutingComputingNode(i, config, cipher, num_checking_shards)
+            for i in range(config.num_computing_nodes)
+        ]
+        self.shards = [
+            CheckingShard(
+                shard, num_checking_shards, config,
+                rng=random.Random(rng.random()),
+            )
+            for shard in range(num_checking_shards)
+        ]
+        self.merger = ShardedMerger(
+            config, cipher, num_checking_shards, rng=random.Random(rng.random())
+        )
+        self.cloud = FresqueCloud(config.domain)
+        self._cloud_adapter = CloudAdapter(self.cloud)
+        self._queue: deque[tuple[str, object]] = deque()
+        self._started = False
+
+    def _deliver(self, destination: str, message) -> list[tuple[str, object]]:
+        if destination.startswith("cn-"):
+            node = self.computing_nodes[int(destination[3:])]
+            if isinstance(message, RawData):
+                return node.on_raw(message)
+            if isinstance(message, PublishingMsg):
+                return node.on_publishing(message.publication)
+            if isinstance(message, DoneMsg):
+                return node.on_done(message)
+        elif destination == "checking":
+            # Dispatcher broadcasts go to every shard.
+            out: list[tuple[str, object]] = []
+            for shard in self.shards:
+                if isinstance(message, NewPublication):
+                    out.extend(shard.on_new_publication(message))
+                elif isinstance(message, PublishingMsg):
+                    pass  # informational; shards wait for CnPublishing
+                else:
+                    raise TypeError(
+                        f"checking broadcast cannot carry "
+                        f"{type(message).__name__}"
+                    )
+            return out
+        elif destination.startswith("checking-"):
+            shard = self.shards[int(destination.split("-", 1)[1])]
+            if isinstance(message, Pair):
+                return shard.on_pair(message)
+            if isinstance(message, CnPublishing):
+                return shard.on_cn_publishing(message)
+        elif destination == "merger":
+            if isinstance(message, TemplateMsg):
+                return self.merger.on_template(message)
+            if isinstance(message, RemovedRecord):
+                return self.merger.on_removed(message)
+            if isinstance(message, PartialAl):
+                return self.merger.on_partial_al(message)
+        elif destination == "cloud":
+            return self._cloud_adapter.handle(message)
+        raise TypeError(
+            f"no handler for {type(message).__name__} at {destination!r}"
+        )
+
+    def _pump(self, outbox) -> None:
+        self._queue.extend(outbox)
+        while self._queue:
+            destination, message = self._queue.popleft()
+            self._queue.extend(self._deliver(destination, message))
+
+    def start(self) -> None:
+        """Open the first publication."""
+        if self._started:
+            raise RuntimeError("system already started")
+        self._started = True
+        self._pump(self.dispatcher.start_publication())
+
+    def run_publication(self, lines: list[str]) -> int:
+        """Ingest ``lines``, close the publication, open the next one.
+
+        Returns the number of pairs matched at the cloud.
+        """
+        if not self._started:
+            self.start()
+        publication = self.dispatcher.publication
+        total = max(1, len(lines))
+        for position, line in enumerate(lines):
+            self._pump(self.dispatcher.due_dummies((position + 1) / (total + 1)))
+            self._pump(self.dispatcher.on_raw(line))
+        self._pump(self.dispatcher.end_publication())
+        self._pump(self.dispatcher.start_publication())
+        receipt = next(
+            r
+            for r in self._cloud_adapter.receipts
+            if r.publication == publication
+        )
+        return receipt.records_matched
+
+    def query(self, low: float, high: float):
+        """End-to-end range query over the published data."""
+        from repro.client.query_client import QueryClient
+
+        return QueryClient(self.config.schema, self.cipher, self.cloud).range_query(
+            low, high
+        )
+
+
+def sharded_capacity(costs, computing_nodes: int, shards: int) -> float:
+    """Analytic throughput with ``shards`` checking nodes.
+
+    The sequential-checker term scales by the shard count; dispatcher and
+    computing nodes are unchanged.
+    """
+    if computing_nodes < 1 or shards < 1:
+        raise ValueError("need at least one computing node and one shard")
+    return min(
+        1.0 / costs.t_dispatch,
+        computing_nodes / costs.t_computing_node,
+        shards / costs.t_check_array,
+    )

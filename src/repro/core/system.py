@@ -1,0 +1,262 @@
+"""Synchronous in-process driver for a FRESQUE deployment.
+
+Wires dispatcher, computing nodes, checking node, merger and cloud together
+and delivers their messages through a FIFO queue until quiescence.  This
+driver is the *functional* reference — it executes exactly the logic the
+threaded runtime and the discrete-event simulator run, without concurrency
+or timing, so tests can assert end-to-end correctness deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from repro.client.query_client import ClientResult, QueryClient
+from repro.cloud.node import FresqueCloud
+from repro.core.checking import CheckingNode
+from repro.core.computing_node import ComputingNode
+from repro.core.config import FresqueConfig
+from repro.core.dispatcher import Dispatcher
+from repro.core.merger import Merger
+from repro.core.messages import (
+    AlSnapshot,
+    AnnouncePublication,
+    BufferFlush,
+    CnPublishing,
+    DoneMsg,
+    MergedPublication,
+    NewPublication,
+    Pair,
+    PublishingMsg,
+    RawData,
+    RemovedRecord,
+    TemplateMsg,
+    ToCloudPair,
+)
+from repro.crypto.cipher import RecordCipher
+from repro.records.record import EncryptedRecord
+
+
+class CloudAdapter:
+    """Adapts the protocol messages onto :class:`FresqueCloud` calls."""
+
+    def __init__(self, cloud: FresqueCloud):
+        self.cloud = cloud
+        self.receipts = []
+
+    def handle(self, message) -> list[tuple[str, object]]:
+        """Apply one protocol message to the cloud."""
+        if isinstance(message, AnnouncePublication):
+            self.cloud.announce_publication(message.publication)
+        elif isinstance(message, ToCloudPair):
+            self.cloud.receive_pair(
+                message.publication, message.leaf_offset, message.encrypted
+            )
+        elif isinstance(message, BufferFlush):
+            for leaf_offset, encrypted in message.pairs:
+                self.cloud.receive_pair(
+                    message.publication, leaf_offset, encrypted
+                )
+        elif isinstance(message, MergedPublication):
+            self.receipts.append(
+                self.cloud.receive_publication(
+                    message.publication, message.tree, message.overflow
+                )
+            )
+        else:
+            raise TypeError(f"cloud cannot handle {type(message).__name__}")
+        return []
+
+
+class CollectorAwareQueryTarget:
+    """Query facade covering the cloud *and* the trusted collector.
+
+    Section 5.3(c): records matching a query that currently sit at the
+    cloud, in the randomer buffer, or at the merger (removed records) are
+    all returned to the client.  This facade extends the cloud's result
+    with the collector-resident ciphertexts.
+    """
+
+    def __init__(self, cloud: FresqueCloud, checking, merger):
+        self._cloud = cloud
+        self._checking = checking
+        self._merger = merger
+
+    def query(self, query):
+        from repro.cloud.query_engine import QueryResult
+
+        base = self._cloud.query(query)
+        domain = self._cloud.domain
+        overlapping = set(domain.leaves_overlapping(query.low, query.high))
+        extra = [
+            encrypted
+            for _, leaf_offset, encrypted in (
+                self._checking.buffered_pairs() + self._merger.pending_removed()
+            )
+            if leaf_offset in overlapping
+        ]
+        return QueryResult(
+            indexed=base.indexed,
+            overflow=base.overflow,
+            unindexed=base.unindexed + tuple(extra),
+            nodes_visited=base.nodes_visited,
+        )
+
+
+@dataclass(frozen=True)
+class PublicationSummary:
+    """Statistics of one completed FRESQUE publication."""
+
+    publication: int
+    real_records: int
+    dummies: int
+    removed: int
+    published_pairs: int
+
+
+class FresqueSystem:
+    """A complete single-process FRESQUE deployment.
+
+    Parameters
+    ----------
+    config:
+        Deployment configuration.
+    cipher:
+        Record cipher shared between collector and client.
+    seed:
+        Seed for all randomness (noise, randomer, dummy values).
+    """
+
+    def __init__(
+        self, config: FresqueConfig, cipher: RecordCipher, seed: int | None = None
+    ):
+        self.config = config
+        self.cipher = cipher
+        rng = random.Random(seed)
+        self.dispatcher = Dispatcher(config, rng=random.Random(rng.random()))
+        self.computing_nodes = [
+            ComputingNode(i, config, cipher)
+            for i in range(config.num_computing_nodes)
+        ]
+        self.checking = CheckingNode(config, rng=random.Random(rng.random()))
+        self.merger = Merger(config, cipher, rng=random.Random(rng.random()))
+        self.cloud = FresqueCloud(config.domain)
+        self._cloud_adapter = CloudAdapter(self.cloud)
+        self._queue: deque[tuple[str, object]] = deque()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Message routing
+    # ------------------------------------------------------------------
+
+    def _deliver(self, destination: str, message) -> list[tuple[str, object]]:
+        if destination.startswith("cn-"):
+            node = self.computing_nodes[int(destination[3:])]
+            if isinstance(message, RawData):
+                return node.on_raw(message)
+            if isinstance(message, PublishingMsg):
+                return node.on_publishing(message.publication)
+            if isinstance(message, DoneMsg):
+                return node.on_done(message)
+        elif destination == "checking":
+            if isinstance(message, NewPublication):
+                return self.checking.on_new_publication(message)
+            if isinstance(message, Pair):
+                return self.checking.on_pair(message)
+            if isinstance(message, PublishingMsg):
+                return self.checking.on_publishing(message.publication)
+            if isinstance(message, CnPublishing):
+                return self.checking.on_cn_publishing(message)
+        elif destination == "merger":
+            if isinstance(message, TemplateMsg):
+                return self.merger.on_template(message)
+            if isinstance(message, RemovedRecord):
+                return self.merger.on_removed(message)
+            if isinstance(message, AlSnapshot):
+                return self.merger.on_al(message)
+        elif destination == "cloud":
+            return self._cloud_adapter.handle(message)
+        raise TypeError(
+            f"no handler for {type(message).__name__} at {destination!r}"
+        )
+
+    def _pump(self, outbox: list[tuple[str, object]]) -> None:
+        self._queue.extend(outbox)
+        while self._queue:
+            destination, message = self._queue.popleft()
+            self._queue.extend(self._deliver(destination, message))
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Open the first publication."""
+        if self._started:
+            raise RuntimeError("system already started")
+        self._started = True
+        self._pump(self.dispatcher.start_publication())
+
+    def ingest(self, line: str) -> None:
+        """Feed one raw line into the current publication."""
+        if not self._started:
+            raise RuntimeError("call start() first")
+        self._pump(self.dispatcher.on_raw(line))
+
+    def run_publication(self, lines: list[str]) -> PublicationSummary:
+        """Ingest ``lines``, interleave the scheduled dummies uniformly,
+        close the publication and open the next one.
+
+        Returns a summary of what was published.
+        """
+        if not self._started:
+            self.start()
+        publication = self.dispatcher.publication
+        dummies_before = self.checking.dummies_passed
+        removed_before = self.checking.records_removed
+        total = max(1, len(lines))
+        for position, line in enumerate(lines):
+            self._pump(
+                self.dispatcher.due_dummies((position + 1) / (total + 1))
+            )
+            self.ingest(line)
+        self._pump(self.dispatcher.end_publication())
+        self._pump(self.dispatcher.start_publication())
+        receipt = next(
+            r
+            for r in self._cloud_adapter.receipts
+            if r.publication == publication
+        )
+        return PublicationSummary(
+            publication=publication,
+            real_records=len(lines),
+            dummies=self.checking.dummies_passed - dummies_before,
+            removed=self.checking.records_removed - removed_before,
+            published_pairs=receipt.records_matched,
+        )
+
+    def make_client(self, schema=None) -> QueryClient:
+        """A query client bound to this deployment.
+
+        Queries cover the cloud plus the collector-resident records (the
+        randomer buffer and the merger's removed records, Section 5.3(c)).
+        """
+        return QueryClient(
+            schema if schema is not None else self.config.schema,
+            self.cipher,
+            CollectorAwareQueryTarget(self.cloud, self.checking, self.merger),
+        )
+
+    def query(self, low: float, high: float) -> ClientResult:
+        """Convenience end-to-end range query."""
+        return self.make_client().range_query(low, high)
+
+    @property
+    def unpublished_pairs(self) -> list[tuple[int, EncryptedRecord]]:
+        """Pairs of the in-flight publication already at the cloud."""
+        pairs = []
+        for in_flight in self.cloud.engine._in_flight.values():
+            pairs.extend(in_flight.pairs)
+        return pairs

@@ -1,0 +1,136 @@
+"""Record cipher API used by every ingestion pipeline.
+
+Two interchangeable implementations:
+
+* :class:`AesCbcCipher` — real AES-CBC over the pure-Python block cipher;
+  used by functional tests, examples and the threaded runtime, where
+  correctness of the round trip matters.
+* :class:`SimulatedCipher` — a fast stand-in that produces ciphertexts of the
+  same length as AES-CBC would (IV + padded blocks) by keyed-stream XOR.  It
+  preserves everything the system cares about structurally (length, dummy
+  indistinguishability, decrypt-ability with the key) while making
+  million-record simulations tractable in pure Python.  The *cost* of real
+  AES is charged explicitly by the discrete-event simulator's cost model, so
+  using the fast cipher does not distort performance results.
+
+Both hide the record's dummy flag inside the ciphertext, as the paper
+requires (an observer of ``<leaf offset, e-record>`` pairs cannot tell
+dummies from real records).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+
+from repro.crypto.aes import BLOCK_SIZE, AesBlockCipher
+from repro.crypto.keys import KeyStore
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt
+from repro.crypto.padding import PaddingError, pad, unpad
+
+
+class DecryptionError(ValueError):
+    """Raised when a ciphertext cannot be decrypted (wrong key / corrupt)."""
+
+
+class RecordCipher(ABC):
+    """Encrypts and decrypts serialized record payloads."""
+
+    @abstractmethod
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt ``plaintext``; the result embeds the IV."""
+
+    @abstractmethod
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Invert :meth:`encrypt`.
+
+        Raises
+        ------
+        DecryptionError
+            If the ciphertext is malformed or the padding check fails.
+        """
+
+    def ciphertext_length(self, plaintext_length: int) -> int:
+        """Length in bytes of the ciphertext for a given plaintext length.
+
+        CBC with PKCS#7: one IV block plus the padded plaintext.
+        """
+        padded = plaintext_length + (BLOCK_SIZE - plaintext_length % BLOCK_SIZE)
+        return BLOCK_SIZE + padded
+
+
+class AesCbcCipher(RecordCipher):
+    """AES-CBC with per-message random IV, the paper's encryption scheme.
+
+    Parameters
+    ----------
+    keys:
+        Key store shared between collector and client.
+    """
+
+    def __init__(self, keys: KeyStore):
+        self._keys = keys
+        self._block = AesBlockCipher(keys.record_key())
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        iv = self._keys.fresh_iv()
+        return iv + cbc_encrypt(self._block, plaintext, iv)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) < 2 * BLOCK_SIZE:
+            raise DecryptionError("ciphertext shorter than IV + one block")
+        iv, body = ciphertext[:BLOCK_SIZE], ciphertext[BLOCK_SIZE:]
+        try:
+            return cbc_decrypt(self._block, body, iv)
+        except (PaddingError, ValueError) as exc:
+            raise DecryptionError(str(exc)) from exc
+
+
+class SimulatedCipher(RecordCipher):
+    """Length-preserving fast cipher for high-rate simulations.
+
+    Encrypts by XOR with a keystream derived from SHA-256(key || IV || ctr)
+    over the PKCS#7-padded plaintext, prefixed by the IV — so ciphertext
+    lengths match :class:`AesCbcCipher` exactly.  This is *not* offered as a
+    secure construction; it exists so structural experiments don't pay the
+    pure-Python AES cost (which the simulator models separately).
+    """
+
+    def __init__(self, keys: KeyStore):
+        self._key = keys.record_key()
+        self._keys = keys
+        self._counter = 0
+
+    def _keystream(self, iv: bytes, length: int) -> bytes:
+        stream = bytearray()
+        counter = 0
+        while len(stream) < length:
+            stream += hashlib.sha256(
+                self._key + iv + counter.to_bytes(4, "little")
+            ).digest()
+            counter += 1
+        return bytes(stream[:length])
+
+    def _next_iv(self) -> bytes:
+        # A cheap deterministic nonce is enough here; uniqueness per message
+        # is what keeps decryption well-defined.
+        self._counter += 1
+        return hashlib.sha256(
+            self._key + b"iv" + self._counter.to_bytes(8, "little")
+        ).digest()[:BLOCK_SIZE]
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        iv = self._next_iv()
+        padded = pad(plaintext, BLOCK_SIZE)
+        body = bytes(p ^ k for p, k in zip(padded, self._keystream(iv, len(padded))))
+        return iv + body
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) < 2 * BLOCK_SIZE:
+            raise DecryptionError("ciphertext shorter than IV + one block")
+        iv, body = ciphertext[:BLOCK_SIZE], ciphertext[BLOCK_SIZE:]
+        padded = bytes(c ^ k for c, k in zip(body, self._keystream(iv, len(body))))
+        try:
+            return unpad(padded, BLOCK_SIZE)
+        except PaddingError as exc:
+            raise DecryptionError(str(exc)) from exc

@@ -1,0 +1,63 @@
+"""Block cipher modes of operation.
+
+Only CBC is provided: the paper's unified privacy model (Definition 3)
+explicitly assumes AES in CBC mode as the semantically secure encryption
+scheme.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import BLOCK_SIZE, AesBlockCipher
+from repro.crypto.padding import pad, unpad
+
+
+def _xor_block(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def cbc_encrypt(cipher: AesBlockCipher, plaintext: bytes, iv: bytes) -> bytes:
+    """Encrypt ``plaintext`` under CBC with PKCS#7 padding.
+
+    Parameters
+    ----------
+    cipher:
+        The underlying block cipher.
+    plaintext:
+        Arbitrary-length message.
+    iv:
+        16-byte initialisation vector; must be fresh and uniformly random
+        per message for semantic security.
+    """
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    padded = pad(plaintext, BLOCK_SIZE)
+    blocks = []
+    previous = iv
+    for offset in range(0, len(padded), BLOCK_SIZE):
+        block = _xor_block(padded[offset : offset + BLOCK_SIZE], previous)
+        previous = cipher.encrypt_block(block)
+        blocks.append(previous)
+    return b"".join(blocks)
+
+
+def cbc_decrypt(cipher: AesBlockCipher, ciphertext: bytes, iv: bytes) -> bytes:
+    """Decrypt a CBC ciphertext and strip PKCS#7 padding.
+
+    Raises
+    ------
+    ValueError
+        If the ciphertext is not a positive multiple of the block size.
+    repro.crypto.padding.PaddingError
+        If the recovered padding is invalid (wrong key or corrupt data).
+    """
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    if not ciphertext or len(ciphertext) % BLOCK_SIZE != 0:
+        raise ValueError("ciphertext must be a non-empty block multiple")
+    plaintext = bytearray()
+    previous = iv
+    for offset in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[offset : offset + BLOCK_SIZE]
+        plaintext += _xor_block(cipher.decrypt_block(block), previous)
+        previous = block
+    return unpad(bytes(plaintext), BLOCK_SIZE)

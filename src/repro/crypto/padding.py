@@ -1,0 +1,37 @@
+"""PKCS#7 padding for CBC-mode encryption."""
+
+from __future__ import annotations
+
+
+class PaddingError(ValueError):
+    """Raised when unpadding encounters invalid padding bytes."""
+
+
+def pad(data: bytes, block_size: int = 16) -> bytes:
+    """Append PKCS#7 padding so ``len(result)`` is a multiple of block_size.
+
+    Always appends at least one byte (a full padding block for already
+    aligned inputs), so padding is unambiguous.
+    """
+    if not 1 <= block_size <= 255:
+        raise ValueError(f"block size must be in [1, 255], got {block_size}")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def unpad(data: bytes, block_size: int = 16) -> bytes:
+    """Strip PKCS#7 padding.
+
+    Raises
+    ------
+    PaddingError
+        If the input is empty, misaligned, or the padding bytes are invalid.
+    """
+    if not data or len(data) % block_size != 0:
+        raise PaddingError("padded data must be a non-empty block multiple")
+    pad_len = data[-1]
+    if pad_len < 1 or pad_len > block_size:
+        raise PaddingError(f"invalid padding length {pad_len}")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise PaddingError("corrupt padding bytes")
+    return data[:-pad_len]

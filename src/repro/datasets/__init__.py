@@ -1,0 +1,24 @@
+"""Synthetic workload generators emulating the paper's datasets."""
+
+from repro.datasets.base import DatasetGenerator
+from repro.datasets.flu import FluSurveyGenerator, flu_domain
+from repro.datasets.gowalla import GowallaGenerator
+from repro.datasets.loaders import (
+    GowallaLoader,
+    LoaderStats,
+    NasaLogLoader,
+    load_file,
+)
+from repro.datasets.nasa import NasaLogGenerator
+
+__all__ = [
+    "DatasetGenerator",
+    "FluSurveyGenerator",
+    "GowallaGenerator",
+    "GowallaLoader",
+    "LoaderStats",
+    "NasaLogGenerator",
+    "NasaLogLoader",
+    "load_file",
+    "flu_domain",
+]

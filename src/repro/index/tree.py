@@ -1,0 +1,183 @@
+"""The B+Tree-shaped PINED-RQ index skeleton.
+
+The set of all nodes is a histogram covering the indexed attribute's domain
+(Section 4.1): leaves are the bins, and each internal node combines the
+intervals and counts of up to ``fanout`` children.  The *shape* of the tree
+is fully determined by ``(num_leaves, fanout)`` — the "strongly constrained
+shape" that makes O(1) leaf offsets possible — so the skeleton is built once
+per domain and reused by the clear index, the perturbed index and the index
+template.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.index.domain import AttributeDomain
+
+
+@dataclass
+class IndexNode:
+    """One node of a PINED-RQ index.
+
+    Parameters
+    ----------
+    low, high:
+        The node's interval (``[low, high)``; the rightmost node at each
+        level is closed on the right).
+    count:
+        Record count — true counts in a clear index, noisy counts in a
+        perturbed index, noise-only counts in an index template.
+    children:
+        Child nodes (empty for leaves).
+    leaf_offset:
+        The leaf's offset within the domain, or ``None`` for non-leaves.
+    """
+
+    low: float
+    high: float
+    count: float = 0.0
+    children: list["IndexNode"] = field(default_factory=list)
+    leaf_offset: int | None = None
+    closed_right: bool = False
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node is a histogram bin."""
+        return not self.children
+
+    def overlaps(self, low: float, high: float) -> bool:
+        """Whether the node's interval intersects the closed query range.
+
+        Node intervals are half-open ``[low, high)`` except the rightmost
+        node of each level, which absorbs the domain maximum.
+        """
+        if self.closed_right:
+            return self.low <= high and low <= self.high
+        return self.low <= high and low < self.high
+
+
+class IndexTree:
+    """The index skeleton for a domain: leaves plus the internal levels.
+
+    Parameters
+    ----------
+    domain:
+        Binned attribute domain supplying the leaves.
+    fanout:
+        Branching factor ``k`` (the paper's evaluation uses 16).
+    """
+
+    def __init__(self, domain: AttributeDomain, fanout: int = 16):
+        if fanout < 2:
+            raise ValueError(f"fanout must be at least 2, got {fanout}")
+        self.domain = domain
+        self.fanout = fanout
+        self.leaves: list[IndexNode] = []
+        for offset in range(domain.num_leaves):
+            low, high = domain.leaf_range(offset)
+            self.leaves.append(
+                IndexNode(
+                    low=low,
+                    high=high,
+                    leaf_offset=offset,
+                    closed_right=offset == domain.num_leaves - 1,
+                )
+            )
+        self.levels: list[list[IndexNode]] = [self.leaves]
+        current = self.leaves
+        while len(current) > 1:
+            parents: list[IndexNode] = []
+            for start in range(0, len(current), fanout):
+                group = current[start : start + fanout]
+                parents.append(
+                    IndexNode(
+                        low=group[0].low,
+                        high=group[-1].high,
+                        children=group,
+                        closed_right=group[-1].closed_right,
+                    )
+                )
+            self.levels.append(parents)
+            current = parents
+        self.root = current[0]
+
+    @property
+    def height(self) -> int:
+        """Number of levels, leaves included.
+
+        This is the number of counts a single record contributes to, hence
+        the divisor when splitting a publication's ε across levels.
+        """
+        return len(self.levels)
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of histogram bins."""
+        return len(self.leaves)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count across all levels."""
+        return sum(len(level) for level in self.levels)
+
+    def all_nodes(self):
+        """Iterate every node, leaves first, root last."""
+        for level in self.levels:
+            yield from level
+
+    def reset_counts(self, value: float = 0.0) -> None:
+        """Set every node count to ``value``."""
+        for node in self.all_nodes():
+            node.count = value
+
+    def set_leaf_counts(self, counts: list[float] | list[int]) -> None:
+        """Install per-leaf counts and aggregate them up the tree."""
+        if len(counts) != self.num_leaves:
+            raise ValueError(
+                f"got {len(counts)} counts for {self.num_leaves} leaves"
+            )
+        for leaf, count in zip(self.leaves, counts):
+            leaf.count = count
+        for level in self.levels[1:]:
+            for node in level:
+                node.count = sum(child.count for child in node.children)
+
+    def add_record_path(self, leaf_offset: int, amount: float = 1.0) -> None:
+        """Increment the counts on the root-to-leaf path of one record.
+
+        This is the O(log_k n) update PINED-RQ++ performs per record on its
+        index template, which FRESQUE replaces with O(1) AL/ALN updates.
+        """
+        index = leaf_offset
+        for level in self.levels:
+            level[index].count += amount
+            index //= self.fanout
+
+    def leaf_counts(self) -> list[float]:
+        """Current per-leaf counts, in offset order."""
+        return [leaf.count for leaf in self.leaves]
+
+    def path_to_leaf(self, leaf_offset: int) -> list[IndexNode]:
+        """Nodes on the leaf-to-root path for ``leaf_offset``."""
+        path = []
+        index = leaf_offset
+        for level in self.levels:
+            path.append(level[index])
+            index //= self.fanout
+        return path
+
+
+def expected_height(num_leaves: int, fanout: int) -> int:
+    """Height (levels, leaves included) of the tree over ``num_leaves`` bins."""
+    if num_leaves <= 0:
+        raise ValueError(f"num_leaves must be positive, got {num_leaves}")
+    if fanout < 2:
+        raise ValueError(f"fanout must be at least 2, got {fanout}")
+    height = 1
+    width = num_leaves
+    while width > 1:
+        width = math.ceil(width / fanout)
+        height += 1
+    return height

@@ -1,0 +1,5 @@
+"""PINED-RQ: the original batch publisher (Sahin et al.)."""
+
+from repro.pinedrq.collector import BatchPublicationReport, PinedRqCollector
+
+__all__ = ["BatchPublicationReport", "PinedRqCollector"]

@@ -1,0 +1,28 @@
+"""PINED-RQ++: index-template streaming ingestion (Tran et al.)."""
+
+from repro.pinedrqpp.collector import PinedRqPPCollector, StreamPublicationReport
+from repro.pinedrqpp.components import (
+    Checker,
+    Encrypter,
+    Enricher,
+    Parser,
+    Updater,
+)
+from repro.pinedrqpp.parallel import (
+    FrontNode,
+    ParallelPinedRqPPSystem,
+    WorkerNode,
+)
+
+__all__ = [
+    "Checker",
+    "Encrypter",
+    "Enricher",
+    "FrontNode",
+    "ParallelPinedRqPPSystem",
+    "Parser",
+    "PinedRqPPCollector",
+    "StreamPublicationReport",
+    "Updater",
+    "WorkerNode",
+]

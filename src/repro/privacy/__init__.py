@@ -1,0 +1,22 @@
+"""Differential-privacy substrate: Laplace mechanism and budget accounting."""
+
+from repro.privacy.accountant import PublicationAccountant, PublicationGrant
+from repro.privacy.budget import BudgetExhausted, PrivacyBudget, per_level_epsilon
+from repro.privacy.laplace import (
+    LaplaceMechanism,
+    laplace_cdf,
+    laplace_inverse_cdf,
+    laplace_pdf,
+)
+
+__all__ = [
+    "BudgetExhausted",
+    "LaplaceMechanism",
+    "PrivacyBudget",
+    "PublicationAccountant",
+    "PublicationGrant",
+    "laplace_cdf",
+    "laplace_inverse_cdf",
+    "laplace_pdf",
+    "per_level_epsilon",
+]

@@ -1,0 +1,95 @@
+"""Multi-publication privacy accountant.
+
+The paper's Section 8 discusses budget management across periodic
+publications (one publication per week in the FluTracking use case, at most
+one record per individual per publication).  :class:`PublicationAccountant`
+implements that policy: a total budget, a planned horizon of publications,
+and per-publication shares released one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.privacy.budget import BudgetExhausted, PrivacyBudget
+
+
+@dataclass(frozen=True)
+class PublicationGrant:
+    """The budget share granted to one publication.
+
+    Parameters
+    ----------
+    publication:
+        The monotonic publication number the grant is bound to.
+    epsilon:
+        The ε the publication's index may consume.
+    """
+
+    publication: int
+    epsilon: float
+
+
+class PublicationAccountant:
+    """Grants equal per-publication ε shares over a fixed horizon.
+
+    Parameters
+    ----------
+    total_epsilon:
+        The overall budget ε_total for the data subject population.
+    horizon:
+        Number of publications the budget must last for (e.g. 52 weeks).
+
+    Notes
+    -----
+    Under the paper's assumption of at most one record per individual per
+    publication, each individual's records appear in disjoint datasets, so
+    each publication's index is an independent ε_pub-DP release and the
+    per-individual total over the horizon is ε_total by sequential
+    composition.
+    """
+
+    def __init__(self, total_epsilon: float, horizon: int):
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self._budget = PrivacyBudget(total_epsilon)
+        self._horizon = horizon
+        self._share = total_epsilon / horizon
+        self._granted = 0
+
+    @property
+    def per_publication_epsilon(self) -> float:
+        """The equal share each publication receives."""
+        return self._share
+
+    @property
+    def publications_granted(self) -> int:
+        """Number of grants issued so far."""
+        return self._granted
+
+    @property
+    def publications_remaining(self) -> int:
+        """Grants still available within the horizon."""
+        return self._horizon - self._granted
+
+    @property
+    def remaining_epsilon(self) -> float:
+        """Unspent portion of the total budget."""
+        return self._budget.remaining
+
+    def grant(self) -> PublicationGrant:
+        """Issue the next publication's budget share.
+
+        Raises
+        ------
+        BudgetExhausted
+            Once the horizon has been fully consumed.
+        """
+        if self._granted >= self._horizon:
+            raise BudgetExhausted(
+                f"all {self._horizon} publication grants already issued"
+            )
+        publication = self._granted
+        self._budget.spend(self._share, label=f"publication-{publication}")
+        self._granted += 1
+        return PublicationGrant(publication=publication, epsilon=self._share)

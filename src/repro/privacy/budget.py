@@ -1,0 +1,105 @@
+"""Privacy budget accounting.
+
+Implements sequential composition (Theorem 1): the total budget ε_total of a
+dataset is split across releases, and an exhausted budget refuses further
+spending.  The PINED-RQ index spends its per-publication budget uniformly
+across index *levels*, since one record touches exactly one node per level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when a spend request exceeds the remaining privacy budget."""
+
+
+@dataclass
+class PrivacyBudget:
+    """A mutable ε budget with sequential-composition accounting.
+
+    Parameters
+    ----------
+    total_epsilon:
+        The total budget ε_total available over the lifetime of the data.
+    """
+
+    total_epsilon: float
+    _spent: float = field(default=0.0, init=False)
+    _history: list[tuple[str, float]] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.total_epsilon <= 0:
+            raise ValueError(
+                f"total epsilon must be positive, got {self.total_epsilon}"
+            )
+
+    @property
+    def spent(self) -> float:
+        """Budget consumed so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available."""
+        return self.total_epsilon - self._spent
+
+    @property
+    def history(self) -> tuple[tuple[str, float], ...]:
+        """(label, epsilon) pairs of every successful spend, in order."""
+        return tuple(self._history)
+
+    def can_spend(self, epsilon: float) -> bool:
+        """Whether ``epsilon`` more budget is available."""
+        return epsilon > 0 and self._spent + epsilon <= self.total_epsilon + 1e-12
+
+    def spend(self, epsilon: float, label: str = "") -> float:
+        """Consume ``epsilon`` of the budget.
+
+        Returns the amount spent, for chaining into mechanism constructors.
+
+        Raises
+        ------
+        BudgetExhausted
+            If the request exceeds the remaining budget.
+        ValueError
+            If ``epsilon`` is not positive.
+        """
+        if epsilon <= 0:
+            raise ValueError(f"spend must be positive, got {epsilon}")
+        if not self.can_spend(epsilon):
+            raise BudgetExhausted(
+                f"cannot spend {epsilon}: only {self.remaining:.6g} of "
+                f"{self.total_epsilon} remains"
+            )
+        self._spent += epsilon
+        self._history.append((label, epsilon))
+        return epsilon
+
+    def split_evenly(self, parts: int) -> float:
+        """Per-part ε when the *remaining* budget is split into ``parts``.
+
+        Used by the FluTracking-style deployment (Section 8): an admin who
+        must keep indices for 52 weeks divides ε_total into 52 equal weekly
+        shares.
+        """
+        if parts <= 0:
+            raise ValueError(f"parts must be positive, got {parts}")
+        return self.remaining / parts
+
+
+def per_level_epsilon(publication_epsilon: float, height: int) -> float:
+    """ε available to each level of an index of the given height.
+
+    One record contributes to exactly one count per level, so by sequential
+    composition across levels a publication budget ε yields ε / height per
+    level.
+    """
+    if height <= 0:
+        raise ValueError(f"height must be positive, got {height}")
+    if publication_epsilon <= 0:
+        raise ValueError(
+            f"publication epsilon must be positive, got {publication_epsilon}"
+        )
+    return publication_epsilon / height

@@ -1,0 +1,109 @@
+"""The Laplace mechanism and Laplace distribution utilities.
+
+PINED-RQ perturbs every index-node count with Laplace noise (Section 4.1,
+step 2) and FRESQUE sizes the randomer buffer from the *inverse CDF* of the
+Laplace distribution (Section 5.2), so both the sampler and the quantile
+function live here.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+def laplace_pdf(x: float, scale: float) -> float:
+    """Probability density of Laplace(0, ``scale``) at ``x``."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return math.exp(-abs(x) / scale) / (2.0 * scale)
+
+
+def laplace_cdf(x: float, scale: float) -> float:
+    """Cumulative distribution of Laplace(0, ``scale``) at ``x``."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if x < 0:
+        return 0.5 * math.exp(x / scale)
+    return 1.0 - 0.5 * math.exp(-x / scale)
+
+
+def laplace_inverse_cdf(probability: float, scale: float) -> float:
+    """Quantile function of Laplace(0, ``scale``).
+
+    FRESQUE uses this with a high probability δ' to bound the number of dummy
+    records a leaf can receive: ``s_i = inverse_cdf(δ', b)`` is exceeded by
+    the leaf's positive noise only with probability 1 - δ'.
+    """
+    if not 0.0 < probability < 1.0:
+        raise ValueError(f"probability must be in (0, 1), got {probability}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if probability < 0.5:
+        return scale * math.log(2.0 * probability)
+    return -scale * math.log(2.0 * (1.0 - probability))
+
+
+class LaplaceMechanism:
+    """Draws Laplace noise calibrated to a query sensitivity.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget ε of the releases this mechanism serves.
+    sensitivity:
+        L1 sensitivity of the released function.  Each count in a PINED-RQ
+        index changes by at most 1 when one record is added or removed, but a
+        record affects one node per *level*, so the per-level sensitivity is
+        1 and the per-level budget is ε / height (handled by the caller via
+        :class:`~repro.privacy.budget.PrivacyBudget`).
+    rng:
+        Source of randomness; pass a seeded :class:`random.Random` for
+        reproducible experiments.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        sensitivity: float = 1.0,
+        rng: random.Random | None = None,
+    ):
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        self.epsilon = epsilon
+        self.sensitivity = sensitivity
+        self._rng = rng if rng is not None else random.Random()
+
+    @property
+    def scale(self) -> float:
+        """Scale b = sensitivity / ε of the Laplace noise."""
+        return self.sensitivity / self.epsilon
+
+    def sample(self) -> float:
+        """Draw one Laplace(0, b) noise value by inverse-CDF sampling."""
+        u = self._rng.random() - 0.5
+        # Guard the log against u == -0.5 (probability-zero edge of random()).
+        magnitude = -self.scale * math.log(max(1.0 - 2.0 * abs(u), 1e-300))
+        return math.copysign(magnitude, u)
+
+    def sample_integer(self) -> int:
+        """Draw noise rounded to the nearest integer (counts are integral)."""
+        return round(self.sample())
+
+    def perturb(self, true_value: float) -> float:
+        """Release ``true_value + Laplace(0, b)``."""
+        return true_value + self.sample()
+
+    def perturb_count(self, count: int) -> int:
+        """Release an integral noisy count (may be negative)."""
+        return count + self.sample_integer()
+
+    def positive_noise_bound(self, probability: float) -> int:
+        """Upper bound on the noise, exceeded with probability 1 - ``probability``.
+
+        This is the per-leaf ``s_i`` of Section 5.2: the number of dummy
+        records a leaf needs is at most ``s_i`` with probability δ'.
+        """
+        return max(0, math.ceil(laplace_inverse_cdf(probability, self.scale)))

@@ -1,0 +1,47 @@
+"""Record model: schemas, records, and (de)serialization."""
+
+from repro.records.record import (
+    DUMMY_FLAG,
+    REAL_FLAG,
+    EncryptedRecord,
+    Record,
+    RecordError,
+    make_dummy,
+)
+from repro.records.schema import (
+    Attribute,
+    AttributeType,
+    Schema,
+    SchemaError,
+    flu_survey_schema,
+    gowalla_schema,
+    nasa_log_schema,
+)
+from repro.records.serialize import (
+    RAW_SEPARATOR,
+    deserialize_record,
+    parse_raw_line,
+    render_raw_line,
+    serialize_record,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "DUMMY_FLAG",
+    "EncryptedRecord",
+    "RAW_SEPARATOR",
+    "REAL_FLAG",
+    "Record",
+    "RecordError",
+    "Schema",
+    "SchemaError",
+    "deserialize_record",
+    "flu_survey_schema",
+    "gowalla_schema",
+    "make_dummy",
+    "nasa_log_schema",
+    "parse_raw_line",
+    "render_raw_line",
+    "serialize_record",
+]

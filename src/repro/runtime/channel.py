@@ -1,0 +1,73 @@
+"""Inter-node channels for the threaded runtime.
+
+Each node owns one inbox; senders put ``(destination, message)`` routed
+envelopes.  A shared :class:`InFlightTracker` counts envelopes that have
+been enqueued but whose handling (including any messages it produced) has
+not finished — when it reaches zero the system is quiescent, which is how
+the driver knows a publication fully drained without sleeping/polling.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+
+class InFlightTracker:
+    """Counts messages that are queued or being handled."""
+
+    def __init__(self):
+        self._count = 0
+        self._lock = threading.Lock()
+        self._zero = threading.Event()
+        self._zero.set()
+
+    def increment(self, amount: int = 1) -> None:
+        """Register ``amount`` new in-flight messages."""
+        with self._lock:
+            self._count += amount
+            if self._count > 0:
+                self._zero.clear()
+
+    def decrement(self) -> None:
+        """Mark one message fully handled."""
+        with self._lock:
+            self._count -= 1
+            if self._count == 0:
+                self._zero.set()
+            elif self._count < 0:
+                raise RuntimeError("in-flight count went negative")
+
+    def wait_quiescent(self, timeout: float | None = None) -> bool:
+        """Block until no message is in flight."""
+        return self._zero.wait(timeout)
+
+    @property
+    def count(self) -> int:
+        """Current in-flight total."""
+        with self._lock:
+            return self._count
+
+
+#: Sentinel shutting a node thread down.
+POISON = object()
+
+
+class Inbox:
+    """One node's message queue."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._queue: queue.Queue = queue.Queue()
+
+    def put(self, message) -> None:
+        """Enqueue a message (or the POISON sentinel)."""
+        self._queue.put(message)
+
+    def get(self):
+        """Dequeue the next message, blocking."""
+        return self._queue.get()
+
+    def qsize(self) -> int:
+        """Approximate queue length."""
+        return self._queue.qsize()

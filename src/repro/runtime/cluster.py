@@ -1,0 +1,233 @@
+"""Threaded FRESQUE runtime.
+
+Runs the exact component logic of ``repro.core`` on real threads — one per
+node, actor style: every component is confined to its own thread and
+communicates only through inboxes, mirroring the shared-nothing cluster of
+the paper.  Used by the integration tests and examples to demonstrate that
+the protocol is executable concurrently (out-of-order arrivals across
+senders included), and to measure real — if Python-scale — ingest rates.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro.client.query_client import QueryClient
+from repro.cloud.node import FresqueCloud
+from repro.core.checking import CheckingNode
+from repro.core.computing_node import ComputingNode
+from repro.core.config import FresqueConfig
+from repro.core.dispatcher import Dispatcher
+from repro.core.merger import Merger
+from repro.core.messages import (
+    AlSnapshot,
+    CnPublishing,
+    DoneMsg,
+    NewPublication,
+    Pair,
+    PublishingMsg,
+    RawData,
+    RemovedRecord,
+    TemplateMsg,
+)
+from repro.core.system import CloudAdapter
+from repro.crypto.cipher import RecordCipher
+from repro.runtime.channel import POISON, Inbox, InFlightTracker
+
+
+class ThreadedFresque:
+    """A FRESQUE deployment where every node is a thread.
+
+    Parameters
+    ----------
+    config:
+        Deployment configuration (``num_computing_nodes`` threads plus
+        dispatcher, checking node, merger and cloud).
+    cipher:
+        Record cipher shared with the client.
+    seed:
+        Seed for all randomness.
+    """
+
+    def __init__(
+        self, config: FresqueConfig, cipher: RecordCipher, seed: int | None = None
+    ):
+        self.config = config
+        self.cipher = cipher
+        rng = random.Random(seed)
+        self.dispatcher = Dispatcher(config, rng=random.Random(rng.random()))
+        self.computing_nodes = [
+            ComputingNode(i, config, cipher)
+            for i in range(config.num_computing_nodes)
+        ]
+        self.checking = CheckingNode(config, rng=random.Random(rng.random()))
+        self.merger = Merger(config, cipher, rng=random.Random(rng.random()))
+        self.cloud = FresqueCloud(config.domain)
+        self.cloud_adapter = CloudAdapter(self.cloud)
+        self._tracker = InFlightTracker()
+        self._inboxes: dict[str, Inbox] = {}
+        self._threads: list[threading.Thread] = []
+        self._handlers = {"checking": self._handle_checking}
+        self._errors: list[BaseException] = []
+        self._started = False
+        self.wall_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Node handlers (each runs on its own thread)
+    # ------------------------------------------------------------------
+
+    def _handle_cn(self, node: ComputingNode, message):
+        if isinstance(message, RawData):
+            return node.on_raw(message)
+        if isinstance(message, PublishingMsg):
+            return node.on_publishing(message.publication)
+        if isinstance(message, DoneMsg):
+            return node.on_done(message)
+        raise TypeError(f"cn cannot handle {type(message).__name__}")
+
+    def _handle_checking(self, message):
+        if isinstance(message, NewPublication):
+            return self.checking.on_new_publication(message)
+        if isinstance(message, Pair):
+            return self.checking.on_pair(message)
+        if isinstance(message, PublishingMsg):
+            return self.checking.on_publishing(message.publication)
+        if isinstance(message, CnPublishing):
+            return self.checking.on_cn_publishing(message)
+        raise TypeError(f"checking cannot handle {type(message).__name__}")
+
+    def _handle_merger(self, message):
+        if isinstance(message, TemplateMsg):
+            return self.merger.on_template(message)
+        if isinstance(message, RemovedRecord):
+            return self.merger.on_removed(message)
+        if isinstance(message, AlSnapshot):
+            return self.merger.on_al(message)
+        raise TypeError(f"merger cannot handle {type(message).__name__}")
+
+    # ------------------------------------------------------------------
+    # Threading plumbing
+    # ------------------------------------------------------------------
+
+    def _send(self, destination: str, message) -> None:
+        self._tracker.increment()
+        self._inboxes[destination].put(message)
+
+    def _pump_outbox(self, outbox) -> None:
+        for destination, message in outbox:
+            self._send(destination, message)
+
+    def _node_loop(self, name: str, handler) -> None:
+        inbox = self._inboxes[name]
+        while True:
+            message = inbox.get()
+            if message is POISON:
+                return
+            try:
+                self._pump_outbox(handler(message))
+            except BaseException as exc:  # surfaced by the driver
+                self._errors.append(exc)
+            finally:
+                self._tracker.decrement()
+
+    def start(self) -> None:
+        """Spawn all node threads and open the first publication."""
+        if self._started:
+            raise RuntimeError("runtime already started")
+        self._started = True
+        handlers = {
+            "checking": self._handle_checking,
+            "merger": self._handle_merger,
+            "cloud": self.cloud_adapter.handle,
+        }
+        for node in self.computing_nodes:
+            handlers[f"cn-{node.node_id}"] = (
+                lambda message, node=node: self._handle_cn(node, message)
+            )
+        for name, handler in handlers.items():
+            self._inboxes[name] = Inbox(name)
+            thread = threading.Thread(
+                target=self._node_loop,
+                args=(name, handler),
+                name=f"fresque-{name}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+        for thread in self._threads:
+            thread.start()
+        self._pump_outbox(self.dispatcher.start_publication())
+
+    def _feed_publication(self, lines: list[str]) -> None:
+        total = max(1, len(lines))
+        for position, line in enumerate(lines):
+            self._pump_outbox(
+                self.dispatcher.due_dummies((position + 1) / (total + 1))
+            )
+            self._pump_outbox(self.dispatcher.on_raw(line))
+        self._pump_outbox(self.dispatcher.end_publication())
+        self._pump_outbox(self.dispatcher.start_publication())
+
+    def run_publication(self, lines: list[str]) -> None:
+        """Ingest ``lines``, close the publication, wait until it drains."""
+        if not self._started:
+            self.start()
+        started = time.perf_counter()
+        self._feed_publication(lines)
+        if not self._tracker.wait_quiescent(timeout=120.0):
+            raise TimeoutError(
+                f"publication did not drain ({self._tracker.count} in flight)"
+            )
+        self.wall_seconds += time.perf_counter() - started
+        self._raise_errors()
+
+    def run_publications_pipelined(self, batches: list[list[str]]) -> None:
+        """Feed several publications back to back *without* waiting for
+        each to drain — the asynchronous-publishing mode: publication
+        ``n + 1``'s ingestion overlaps publication ``n``'s merging and
+        matching.  Blocks only once, after the last batch.
+        """
+        if not self._started:
+            self.start()
+        started = time.perf_counter()
+        for lines in batches:
+            self._feed_publication(lines)
+        if not self._tracker.wait_quiescent(timeout=240.0):
+            raise TimeoutError(
+                f"publications did not drain ({self._tracker.count} in flight)"
+            )
+        self.wall_seconds += time.perf_counter() - started
+        self._raise_errors()
+
+    def _raise_errors(self) -> None:
+        if self._errors:
+            error = self._errors[0]
+            self._errors = []
+            raise RuntimeError("node thread failed") from error
+
+    def shutdown(self) -> None:
+        """Stop every node thread."""
+        for inbox in self._inboxes.values():
+            inbox.put(POISON)
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        self._threads = []
+
+    def make_client(self) -> QueryClient:
+        """A query client covering the cloud plus collector-resident
+        records (only call between publications, once quiescent)."""
+        from repro.core.system import CollectorAwareQueryTarget
+
+        return QueryClient(
+            self.config.schema,
+            self.cipher,
+            CollectorAwareQueryTarget(self.cloud, self.checking, self.merger),
+        )
+
+    def __enter__(self) -> "ThreadedFresque":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

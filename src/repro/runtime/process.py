@@ -1,0 +1,352 @@
+"""Multi-process FRESQUE deployment.
+
+Runs each collector node as a separate **operating-system process** (via
+``python -m repro node ...``), connected only by the TCP wire protocol —
+the closest this repository gets to the paper's physical 17-node cluster.
+A :class:`ProcessCluster` writes the address book, spawns the node
+processes, drives the dispatcher from the parent, and queries the cloud
+process over a small control channel.
+
+The node-side entry point is :func:`run_node`, reachable from the CLI::
+
+    python -m repro node --role checking --config cluster.json
+
+Roles: ``cn-<i>``, ``checking``, ``merger``, ``cloud``.  The cloud role
+additionally answers ``query``/``stats`` requests on a control port so the
+parent can retrieve results without sharing memory.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import socket
+import subprocess
+import sys
+import time
+
+from repro.core.config import FresqueConfig
+from repro.core.dispatcher import Dispatcher
+from repro.crypto.cipher import SimulatedCipher
+from repro.crypto.keys import KeyStore
+from repro.datasets.flu import flu_domain
+from repro.index.domain import AttributeDomain, gowalla_domain, nasa_domain
+from repro.records.schema import (
+    Schema,
+    flu_survey_schema,
+    gowalla_schema,
+    nasa_log_schema,
+)
+from repro.runtime.tcp import Router, TcpNode
+
+_SCHEMAS = {
+    "flu_survey": (flu_survey_schema, flu_domain),
+    "gowalla": (gowalla_schema, gowalla_domain),
+    "nasa_log": (nasa_log_schema, nasa_domain),
+}
+
+
+def _config_from_spec(spec: dict) -> tuple[FresqueConfig, SimulatedCipher]:
+    schema_name = spec["schema"]
+    if schema_name in _SCHEMAS:
+        schema_factory, domain_factory = _SCHEMAS[schema_name]
+        schema: Schema = schema_factory()
+        domain = domain_factory()
+    else:
+        raise ValueError(f"unknown schema {schema_name!r}")
+    if "domain" in spec:
+        d = spec["domain"]
+        domain = AttributeDomain(d["dmin"], d["dmax"], d["bin"])
+    config = FresqueConfig(
+        schema=schema,
+        domain=domain,
+        num_computing_nodes=spec["computing_nodes"],
+        epsilon=spec.get("epsilon", 1.0),
+        alpha=spec.get("alpha", 2.0),
+    )
+    cipher = SimulatedCipher(KeyStore(bytes.fromhex(spec["key_hex"])))
+    return config, cipher
+
+
+def _build_handler(role: str, config, cipher, seeds: dict):
+    """Instantiate the component for ``role`` and return (handler, extra)."""
+    if role.startswith("cn-"):
+        from repro.core.computing_node import ComputingNode
+        from repro.core.messages import DoneMsg, PublishingMsg, RawData
+
+        node = ComputingNode(int(role[3:]), config, cipher)
+
+        def handle(message):
+            if isinstance(message, RawData):
+                return node.on_raw(message)
+            if isinstance(message, PublishingMsg):
+                return node.on_publishing(message.publication)
+            if isinstance(message, DoneMsg):
+                return node.on_done(message)
+            raise TypeError(type(message).__name__)
+
+        return handle, node
+    if role == "checking":
+        from repro.core.checking import CheckingNode
+        from repro.core.messages import (
+            CnPublishing,
+            NewPublication,
+            Pair,
+            PublishingMsg,
+        )
+
+        node = CheckingNode(config, rng=random.Random(seeds.get(role)))
+
+        def handle(message):
+            if isinstance(message, NewPublication):
+                return node.on_new_publication(message)
+            if isinstance(message, Pair):
+                return node.on_pair(message)
+            if isinstance(message, PublishingMsg):
+                return node.on_publishing(message.publication)
+            if isinstance(message, CnPublishing):
+                return node.on_cn_publishing(message)
+            raise TypeError(type(message).__name__)
+
+        return handle, node
+    if role == "merger":
+        from repro.core.merger import Merger
+        from repro.core.messages import AlSnapshot, RemovedRecord, TemplateMsg
+
+        node = Merger(config, cipher, rng=random.Random(seeds.get(role)))
+
+        def handle(message):
+            if isinstance(message, TemplateMsg):
+                return node.on_template(message)
+            if isinstance(message, RemovedRecord):
+                return node.on_removed(message)
+            if isinstance(message, AlSnapshot):
+                return node.on_al(message)
+            raise TypeError(type(message).__name__)
+
+        return handle, node
+    if role == "cloud":
+        from repro.cloud.node import FresqueCloud
+        from repro.core.system import CloudAdapter
+
+        cloud = FresqueCloud(config.domain)
+        adapter = CloudAdapter(cloud)
+        return adapter.handle, (cloud, adapter)
+    raise ValueError(f"unknown role {role!r}")
+
+
+def _serve_control(cloud, adapter, cipher, schema, port_file: pathlib.Path):
+    """Cloud-process control channel: queries and status over JSON lines."""
+    from repro.client.query_client import QueryClient
+
+    server = socket.socket()
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    server.bind(("127.0.0.1", 0))
+    server.listen(4)
+    port_file.write_text(str(server.getsockname()[1]))
+    client = QueryClient(schema, cipher, cloud)
+    while True:
+        connection, _ = server.accept()
+        with connection:
+            request = json.loads(connection.makefile("r").readline())
+            if request["op"] == "status":
+                response = {
+                    "publications": [
+                        r.publication for r in adapter.receipts
+                    ],
+                    "records": [r.records_matched for r in adapter.receipts],
+                }
+            elif request["op"] == "query":
+                result = client.range_query(request["low"], request["high"])
+                response = {
+                    "count": len(result.records),
+                    "values": [list(r.values) for r in result.records[:100]],
+                }
+            elif request["op"] == "shutdown":
+                connection.sendall(b'{"ok": true}\n')
+                return
+            else:
+                response = {"error": f"unknown op {request['op']}"}
+            connection.sendall((json.dumps(response) + "\n").encode())
+
+
+def run_node(role: str, config_path: str) -> int:
+    """Node-process entry point: serve ``role`` until killed.
+
+    Reads the cluster spec (ports, schema, key) from ``config_path``,
+    binds this role's pre-assigned port, and processes frames forever.
+    """
+    spec = json.loads(pathlib.Path(config_path).read_text())
+    config, cipher = _config_from_spec(spec)
+    handler, extra = _build_handler(role, config, cipher, spec.get("seeds", {}))
+    router = Router(dict(spec["ports"]))
+    node = TcpNode(role, handler, router)
+    # Rebind onto the pre-assigned port from the address book.
+    node._server.close()
+    node._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    node._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    node._server.bind(("127.0.0.1", spec["ports"][role]))
+    node._server.listen(32)
+    node.port = spec["ports"][role]
+    node.start()
+    if role == "cloud":
+        cloud, adapter = extra
+        control_file = pathlib.Path(spec["workdir"]) / "cloud-control-port"
+        _serve_control(cloud, adapter, cipher, config.schema, control_file)
+        node.stop()
+        return 0
+    # Non-cloud roles serve until the parent kills them.
+    while True:
+        time.sleep(3600)
+
+
+class ProcessCluster:
+    """Spawns one OS process per node and drives the dispatcher locally.
+
+    Parameters
+    ----------
+    config:
+        Deployment configuration (its schema must be one of the built-in
+        named schemas so node processes can reconstruct it).
+    key:
+        Shared master key (bytes).
+    workdir:
+        Directory for the cluster spec and control files.
+    """
+
+    def __init__(
+        self,
+        config: FresqueConfig,
+        key: bytes,
+        workdir: str | pathlib.Path,
+        seed: int | None = None,
+    ):
+        self.config = config
+        self.workdir = pathlib.Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self._key = key
+        rng = random.Random(seed)
+        self.dispatcher = Dispatcher(config, rng=random.Random(rng.random()))
+        self._roles = [
+            f"cn-{i}" for i in range(config.num_computing_nodes)
+        ] + ["checking", "merger", "cloud"]
+        ports = {}
+        for role in self._roles:
+            probe = socket.socket()
+            probe.bind(("127.0.0.1", 0))
+            ports[role] = probe.getsockname()[1]
+            probe.close()
+        self._spec = {
+            "schema": config.schema.name,
+            "domain": {
+                "dmin": config.domain.dmin,
+                "dmax": config.domain.dmax,
+                "bin": config.domain.bin_interval,
+            },
+            "computing_nodes": config.num_computing_nodes,
+            "epsilon": config.epsilon,
+            "alpha": config.alpha,
+            "key_hex": key.hex(),
+            "ports": ports,
+            "workdir": str(self.workdir),
+            "seeds": {"checking": rng.randrange(2**31),
+                      "merger": rng.randrange(2**31)},
+        }
+        self._spec_path = self.workdir / "cluster.json"
+        self._spec_path.write_text(json.dumps(self._spec))
+        self.router = Router(ports)
+        self._processes: list[subprocess.Popen] = []
+
+    def start(self, timeout: float = 30.0) -> None:
+        """Spawn every node process and wait until all ports answer."""
+        for role in self._roles:
+            self._processes.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "node",
+                        "--role",
+                        role,
+                        "--config",
+                        str(self._spec_path),
+                    ],
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+            )
+        deadline = time.monotonic() + timeout
+        for role, port in self._spec["ports"].items():
+            while True:
+                try:
+                    socket.create_connection(("127.0.0.1", port), 0.2).close()
+                    break
+                except OSError:
+                    if time.monotonic() > deadline:
+                        raise TimeoutError(f"node {role} never came up")
+                    time.sleep(0.05)
+        self._send(self.dispatcher.start_publication())
+
+    def _send(self, outbox) -> None:
+        for destination, message in outbox:
+            self.router.send(destination, message)
+
+    def run_publication(self, lines: list[str], timeout: float = 60.0) -> int:
+        """Ingest, close the publication, wait for the cloud to match it."""
+        publication = self.dispatcher.publication
+        total = max(1, len(lines))
+        for position, line in enumerate(lines):
+            self._send(self.dispatcher.due_dummies((position + 1) / (total + 1)))
+            self._send(self.dispatcher.on_raw(line))
+        self._send(self.dispatcher.end_publication())
+        self._send(self.dispatcher.start_publication())
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status = self._control({"op": "status"})
+            if status is not None and publication in status["publications"]:
+                index = status["publications"].index(publication)
+                return status["records"][index]
+            time.sleep(0.05)
+        raise TimeoutError(f"publication {publication} never matched")
+
+    def _control(self, request: dict) -> dict | None:
+        port_file = self.workdir / "cloud-control-port"
+        if not port_file.exists():
+            return None
+        try:
+            port = int(port_file.read_text())
+            connection = socket.create_connection(("127.0.0.1", port), 5)
+        except (OSError, ValueError):
+            return None
+        with connection:
+            connection.sendall((json.dumps(request) + "\n").encode())
+            return json.loads(connection.makefile("r").readline())
+
+    def query(self, low: float, high: float) -> dict:
+        """Range query answered by the cloud *process*."""
+        response = self._control({"op": "query", "low": low, "high": high})
+        if response is None:
+            raise RuntimeError("cloud control channel unavailable")
+        return response
+
+    def shutdown(self) -> None:
+        """Terminate every node process."""
+        self._control({"op": "shutdown"})
+        self.router.close()
+        for process in self._processes:
+            process.terminate()
+        for process in self._processes:
+            try:
+                process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                process.kill()
+        self._processes.clear()
+
+    def __enter__(self) -> "ProcessCluster":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

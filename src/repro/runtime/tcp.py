@@ -1,0 +1,332 @@
+"""FRESQUE over real TCP sockets.
+
+Each collector node gets its own listening socket on the loopback
+interface and exchanges the wire-encoded protocol frames of
+:mod:`repro.runtime.wire` — the transport of the paper's deployment, where
+"the TCP socket was used for exchanging data among the components"
+(Section 7.1).  Every node runs its handler on a dedicated worker thread
+(actor-style, like :class:`~repro.runtime.cluster.ThreadedFresque`), but
+nothing is shared between nodes except bytes on sockets, so the same code
+splits across processes or machines by changing the address book.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import socket
+import threading
+import time
+
+from repro.client.query_client import QueryClient
+from repro.cloud.node import FresqueCloud
+from repro.core.checking import CheckingNode
+from repro.core.computing_node import ComputingNode
+from repro.core.config import FresqueConfig
+from repro.core.dispatcher import Dispatcher
+from repro.core.merger import Merger
+from repro.core.messages import (
+    AlSnapshot,
+    CnPublishing,
+    DoneMsg,
+    NewPublication,
+    Pair,
+    PublishingMsg,
+    RawData,
+    RemovedRecord,
+    TemplateMsg,
+)
+from repro.core.system import CloudAdapter
+from repro.crypto.cipher import RecordCipher
+from repro.runtime.wire import decode_message, encode_message, read_frames
+
+_STOP = object()
+
+
+class Router:
+    """Outbound connections to every peer, by node name."""
+
+    def __init__(self, address_book: dict[str, int]):
+        self._addresses = address_book
+        self._connections: dict[str, socket.socket] = {}
+        self._locks: dict[str, threading.Lock] = {}
+        self._guard = threading.Lock()
+
+    def send(self, destination: str, message) -> None:
+        """Frame and transmit one message to ``destination``."""
+        frame = encode_message(destination, message)
+        with self._guard:
+            connection = self._connections.get(destination)
+            if connection is None:
+                connection = socket.create_connection(
+                    ("127.0.0.1", self._addresses[destination]), timeout=10
+                )
+                self._connections[destination] = connection
+                self._locks[destination] = threading.Lock()
+            lock = self._locks[destination]
+        with lock:
+            connection.sendall(frame)
+
+    def close(self) -> None:
+        """Tear down every outbound connection."""
+        with self._guard:
+            for connection in self._connections.values():
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+            self._connections.clear()
+
+
+class TcpNode:
+    """One listening node: socket server + actor worker thread.
+
+    Parameters
+    ----------
+    name:
+        The node's protocol address.
+    handler:
+        Callable handling one message and returning routed outbox pairs.
+    router:
+        Shared router for outbound messages.
+    """
+
+    def __init__(self, name: str, handler, router: Router):
+        self.name = name
+        self.handler = handler
+        self.router = router
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind(("127.0.0.1", 0))
+        self._server.listen(32)
+        self.port = self._server.getsockname()[1]
+        self._inbox: queue.Queue = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._running = False
+        self.errors: list[BaseException] = []
+        self.handled = 0
+
+    def start(self) -> None:
+        """Spawn the acceptor and worker threads."""
+        self._running = True
+        acceptor = threading.Thread(
+            target=self._accept_loop, name=f"tcp-accept-{self.name}",
+            daemon=True,
+        )
+        worker = threading.Thread(
+            target=self._worker_loop, name=f"tcp-worker-{self.name}",
+            daemon=True,
+        )
+        self._threads = [acceptor, worker]
+        acceptor.start()
+        worker.start()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                connection, _ = self._server.accept()
+            except OSError:
+                return
+            reader = threading.Thread(
+                target=self._read_loop,
+                args=(connection,),
+                name=f"tcp-read-{self.name}",
+                daemon=True,
+            )
+            self._threads.append(reader)
+            reader.start()
+
+    def _read_loop(self, connection: socket.socket) -> None:
+        buffer = bytearray()
+        while True:
+            try:
+                chunk = connection.recv(65536)
+            except OSError:
+                return
+            if not chunk:
+                return
+            buffer.extend(chunk)
+            for frame in read_frames(buffer):
+                self._inbox.put(frame)
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._inbox.get()
+            if item is _STOP:
+                return
+            try:
+                destination, message = decode_message(item)
+                if destination != self.name:
+                    raise ValueError(
+                        f"frame for {destination!r} delivered to {self.name!r}"
+                    )
+                for out_destination, out_message in self.handler(message):
+                    self.router.send(out_destination, out_message)
+                self.handled += 1
+            except BaseException as exc:  # surfaced by the driver
+                self.errors.append(exc)
+
+    @property
+    def pending(self) -> int:
+        """Frames queued but not yet handled."""
+        return self._inbox.qsize()
+
+    def stop(self) -> None:
+        """Shut the node down."""
+        self._running = False
+        try:
+            # shutdown() wakes a thread blocked in accept(); close() alone
+            # can leave it hanging until a connection arrives.
+            self._server.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        self._inbox.put(_STOP)
+        for thread in self._threads[:2]:
+            thread.join(timeout=2)
+
+
+class TcpFresqueCluster:
+    """A FRESQUE deployment where every hop crosses a real TCP socket.
+
+    The dispatcher runs on the driver thread (it is the cluster's entry
+    point); computing nodes, the checking node, the merger and the cloud
+    are :class:`TcpNode` servers reachable only through their sockets.
+    """
+
+    def __init__(
+        self, config: FresqueConfig, cipher: RecordCipher, seed: int | None = None
+    ):
+        self.config = config
+        self.cipher = cipher
+        rng = random.Random(seed)
+        self.dispatcher = Dispatcher(config, rng=random.Random(rng.random()))
+        self.computing_nodes = [
+            ComputingNode(i, config, cipher)
+            for i in range(config.num_computing_nodes)
+        ]
+        self.checking = CheckingNode(config, rng=random.Random(rng.random()))
+        self.merger = Merger(config, cipher, rng=random.Random(rng.random()))
+        self.cloud = FresqueCloud(config.domain)
+        self.cloud_adapter = CloudAdapter(self.cloud)
+        self._address_book: dict[str, int] = {}
+        self.router = Router(self._address_book)
+        self._nodes: list[TcpNode] = []
+        self._started = False
+
+    def _make_nodes(self) -> None:
+        def cn_handler(node):
+            def handle(message):
+                if isinstance(message, RawData):
+                    return node.on_raw(message)
+                if isinstance(message, PublishingMsg):
+                    return node.on_publishing(message.publication)
+                if isinstance(message, DoneMsg):
+                    return node.on_done(message)
+                raise TypeError(type(message).__name__)
+
+            return handle
+
+        def checking_handler(message):
+            if isinstance(message, NewPublication):
+                return self.checking.on_new_publication(message)
+            if isinstance(message, Pair):
+                return self.checking.on_pair(message)
+            if isinstance(message, PublishingMsg):
+                return self.checking.on_publishing(message.publication)
+            if isinstance(message, CnPublishing):
+                return self.checking.on_cn_publishing(message)
+            raise TypeError(type(message).__name__)
+
+        def merger_handler(message):
+            if isinstance(message, TemplateMsg):
+                return self.merger.on_template(message)
+            if isinstance(message, RemovedRecord):
+                return self.merger.on_removed(message)
+            if isinstance(message, AlSnapshot):
+                return self.merger.on_al(message)
+            raise TypeError(type(message).__name__)
+
+        for node in self.computing_nodes:
+            self._nodes.append(
+                TcpNode(f"cn-{node.node_id}", cn_handler(node), self.router)
+            )
+        self._nodes.append(TcpNode("checking", checking_handler, self.router))
+        self._nodes.append(TcpNode("merger", merger_handler, self.router))
+        self._nodes.append(
+            TcpNode("cloud", self.cloud_adapter.handle, self.router)
+        )
+        for node in self._nodes:
+            self._address_book[node.name] = node.port
+
+    def start(self) -> None:
+        """Boot every node server and open the first publication."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._started = True
+        self._make_nodes()
+        for node in self._nodes:
+            node.start()
+        self._send_outbox(self.dispatcher.start_publication())
+
+    def _send_outbox(self, outbox) -> None:
+        for destination, message in outbox:
+            self.router.send(destination, message)
+
+    def run_publication(self, lines: list[str], timeout: float = 60.0) -> int:
+        """Ingest ``lines``, close the publication, wait for the cloud to
+        match it.  Returns the matched pair count."""
+        if not self._started:
+            self.start()
+        publication = self.dispatcher.publication
+        total = max(1, len(lines))
+        for position, line in enumerate(lines):
+            self._send_outbox(
+                self.dispatcher.due_dummies((position + 1) / (total + 1))
+            )
+            self._send_outbox(self.dispatcher.on_raw(line))
+        self._send_outbox(self.dispatcher.end_publication())
+        self._send_outbox(self.dispatcher.start_publication())
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            receipt = next(
+                (
+                    r
+                    for r in self.cloud_adapter.receipts
+                    if r.publication == publication
+                ),
+                None,
+            )
+            if receipt is not None:
+                self._raise_errors()
+                return receipt.records_matched
+            self._raise_errors()
+            time.sleep(0.005)
+        raise TimeoutError(f"publication {publication} never matched")
+
+    def _raise_errors(self) -> None:
+        for node in self._nodes:
+            if node.errors:
+                error = node.errors[0]
+                node.errors = []
+                raise RuntimeError(f"node {node.name} failed") from error
+
+    def make_client(self) -> QueryClient:
+        """Query client over the cluster's cloud (call between runs)."""
+        return QueryClient(self.config.schema, self.cipher, self.cloud)
+
+    def shutdown(self) -> None:
+        """Stop every node and close all connections."""
+        for node in self._nodes:
+            node.stop()
+        self.router.close()
+
+    def __enter__(self) -> "TcpFresqueCluster":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

@@ -1,0 +1,277 @@
+"""Wire encoding of the FRESQUE protocol messages.
+
+Serialises every message of :mod:`repro.core.messages` to length-prefixed
+JSON frames (ciphertexts base64-encoded, index trees as level-count
+arrays) so components can run in separate processes connected by real TCP
+sockets — the transport of the paper's 17-node cluster.
+
+Frame layout: ``length (uint32, little endian) | utf-8 JSON``.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+
+from repro.core.messages import (
+    AlSnapshot,
+    AnnouncePublication,
+    BufferFlush,
+    CnPublishing,
+    DoneMsg,
+    MergedPublication,
+    NewPublication,
+    Pair,
+    PublishingMsg,
+    RawData,
+    RemovedRecord,
+    TemplateMsg,
+    ToCloudPair,
+)
+from repro.index.domain import AttributeDomain
+from repro.index.overflow import OverflowArray
+from repro.index.perturb import NoisePlan
+from repro.index.tree import IndexTree
+from repro.records.record import EncryptedRecord, Record
+
+_FRAME_HEADER = struct.Struct("<I")
+
+#: Upper bound on one frame, to stop a malicious peer exhausting memory.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class WireError(ValueError):
+    """Raised for malformed frames or unknown message types."""
+
+
+# ---------------------------------------------------------------------------
+# Payload helpers
+# ---------------------------------------------------------------------------
+
+
+def _b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+def _encode_encrypted(record: EncryptedRecord) -> dict:
+    return {
+        "leaf": record.leaf_offset,
+        "ct": _b64(record.ciphertext),
+        "tag": record.tag,
+        "pub": record.publication,
+    }
+
+
+def _decode_encrypted(payload: dict) -> EncryptedRecord:
+    return EncryptedRecord(
+        leaf_offset=payload["leaf"],
+        ciphertext=_unb64(payload["ct"]),
+        tag=payload["tag"],
+        publication=payload["pub"],
+    )
+
+
+def _encode_plan(plan: NoisePlan) -> dict:
+    return {
+        "noise": [list(level) for level in plan.node_noise],
+        "epsilon": plan.epsilon,
+        "scale": plan.per_level_scale,
+    }
+
+
+def _decode_plan(payload: dict) -> NoisePlan:
+    return NoisePlan(
+        node_noise=tuple(tuple(level) for level in payload["noise"]),
+        epsilon=payload["epsilon"],
+        per_level_scale=payload["scale"],
+    )
+
+
+def _encode_record(record: Record) -> dict:
+    return {"values": list(record.values), "flag": record.flag}
+
+
+def _decode_record(payload: dict) -> Record:
+    return Record(tuple(payload["values"]), flag=payload["flag"])
+
+
+def encode_tree(tree: IndexTree) -> dict:
+    """Serialise an index tree as domain parameters plus level counts."""
+    return {
+        "dmin": tree.domain.dmin,
+        "dmax": tree.domain.dmax,
+        "bin": tree.domain.bin_interval,
+        "fanout": tree.fanout,
+        "levels": [[node.count for node in level] for level in tree.levels],
+    }
+
+
+def decode_tree(payload: dict) -> IndexTree:
+    """Rebuild an index tree from :func:`encode_tree` output."""
+    domain = AttributeDomain(payload["dmin"], payload["dmax"], payload["bin"])
+    tree = IndexTree(domain, fanout=payload["fanout"])
+    if [len(level) for level in tree.levels] != [
+        len(level) for level in payload["levels"]
+    ]:
+        raise WireError("level shape does not match the encoded domain")
+    for level_nodes, level_counts in zip(tree.levels, payload["levels"]):
+        for node, count in zip(level_nodes, level_counts):
+            node.count = count
+    return tree
+
+
+def _encode_overflow(overflow: dict[int, OverflowArray]) -> list:
+    return [
+        {
+            "leaf": array.leaf_offset,
+            "capacity": array.capacity,
+            "entries": [_encode_encrypted(entry) for entry in array.entries],
+        }
+        for array in overflow.values()
+    ]
+
+
+def _decode_overflow(payload: list) -> dict[int, OverflowArray]:
+    overflow = {}
+    for item in payload:
+        array = OverflowArray(item["leaf"], capacity=item["capacity"])
+        # Reconstruct the sealed array verbatim (contents already padded
+        # and shuffled by the sender).
+        array._entries = [_decode_encrypted(e) for e in item["entries"]]
+        array._sealed = True
+        overflow[item["leaf"]] = array
+    return overflow
+
+
+# ---------------------------------------------------------------------------
+# Message table
+# ---------------------------------------------------------------------------
+
+_ENCODERS = {
+    NewPublication: lambda m: {"pub": m.publication, "plan": _encode_plan(m.plan)},
+    TemplateMsg: lambda m: {"pub": m.publication, "plan": _encode_plan(m.plan)},
+    AnnouncePublication: lambda m: {"pub": m.publication},
+    RawData: lambda m: {
+        "pub": m.publication,
+        "line": m.line,
+        "record": None if m.record is None else _encode_record(m.record),
+    },
+    Pair: lambda m: {
+        "pub": m.publication,
+        "leaf": m.leaf_offset,
+        "enc": _encode_encrypted(m.encrypted),
+        "dummy": m.dummy,
+    },
+    ToCloudPair: lambda m: {
+        "pub": m.publication,
+        "leaf": m.leaf_offset,
+        "enc": _encode_encrypted(m.encrypted),
+    },
+    RemovedRecord: lambda m: {
+        "pub": m.publication,
+        "leaf": m.leaf_offset,
+        "enc": _encode_encrypted(m.encrypted),
+    },
+    PublishingMsg: lambda m: {"pub": m.publication},
+    CnPublishing: lambda m: {"pub": m.publication, "node": m.node_id},
+    AlSnapshot: lambda m: {"pub": m.publication, "al": list(m.al)},
+    BufferFlush: lambda m: {
+        "pub": m.publication,
+        "pairs": [
+            {"leaf": leaf, "enc": _encode_encrypted(enc)}
+            for leaf, enc in m.pairs
+        ],
+    },
+    DoneMsg: lambda m: {"pub": m.publication},
+    MergedPublication: lambda m: {
+        "pub": m.publication,
+        "tree": encode_tree(m.tree),
+        "overflow": _encode_overflow(m.overflow),
+    },
+}
+
+_DECODERS = {
+    "NewPublication": lambda p: NewPublication(p["pub"], _decode_plan(p["plan"])),
+    "TemplateMsg": lambda p: TemplateMsg(p["pub"], _decode_plan(p["plan"])),
+    "AnnouncePublication": lambda p: AnnouncePublication(p["pub"]),
+    "RawData": lambda p: RawData(
+        p["pub"],
+        line=p["line"],
+        record=None if p["record"] is None else _decode_record(p["record"]),
+    ),
+    "Pair": lambda p: Pair(
+        p["pub"], p["leaf"], _decode_encrypted(p["enc"]), dummy=p["dummy"]
+    ),
+    "ToCloudPair": lambda p: ToCloudPair(
+        p["pub"], p["leaf"], _decode_encrypted(p["enc"])
+    ),
+    "RemovedRecord": lambda p: RemovedRecord(
+        p["pub"], p["leaf"], _decode_encrypted(p["enc"])
+    ),
+    "PublishingMsg": lambda p: PublishingMsg(p["pub"]),
+    "CnPublishing": lambda p: CnPublishing(p["pub"], p["node"]),
+    "AlSnapshot": lambda p: AlSnapshot(p["pub"], tuple(p["al"])),
+    "BufferFlush": lambda p: BufferFlush(
+        p["pub"],
+        tuple(
+            (item["leaf"], _decode_encrypted(item["enc"]))
+            for item in p["pairs"]
+        ),
+    ),
+    "DoneMsg": lambda p: DoneMsg(p["pub"]),
+    "MergedPublication": lambda p: MergedPublication(
+        p["pub"], decode_tree(p["tree"]), _decode_overflow(p["overflow"])
+    ),
+}
+
+
+def encode_message(destination: str, message) -> bytes:
+    """Serialise one routed message into a framed byte string."""
+    encoder = _ENCODERS.get(type(message))
+    if encoder is None:
+        raise WireError(f"cannot encode {type(message).__name__}")
+    body = json.dumps(
+        {
+            "to": destination,
+            "type": type(message).__name__,
+            "payload": encoder(message),
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds the maximum")
+    return _FRAME_HEADER.pack(len(body)) + body
+
+
+def decode_message(frame: bytes) -> tuple[str, object]:
+    """Inverse of :func:`encode_message` for one complete frame body."""
+    try:
+        envelope = json.loads(frame.decode("utf-8"))
+        decoder = _DECODERS[envelope["type"]]
+        return envelope["to"], decoder(envelope["payload"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise WireError(f"malformed frame: {exc}") from exc
+
+
+def read_frames(buffer: bytearray):
+    """Yield complete frame bodies from ``buffer``, consuming them.
+
+    Raises
+    ------
+    WireError
+        If a frame announces more than :data:`MAX_FRAME_BYTES`.
+    """
+    while len(buffer) >= _FRAME_HEADER.size:
+        (length,) = _FRAME_HEADER.unpack_from(buffer, 0)
+        if length > MAX_FRAME_BYTES:
+            raise WireError(f"frame of {length} bytes exceeds the maximum")
+        if len(buffer) < _FRAME_HEADER.size + length:
+            return
+        body = bytes(buffer[_FRAME_HEADER.size : _FRAME_HEADER.size + length])
+        del buffer[: _FRAME_HEADER.size + length]
+        yield body

@@ -1,0 +1,78 @@
+"""Discrete-event cluster simulation and the calibrated cost model."""
+
+from repro.simulation.analytic import (
+    PrivacyDerived,
+    PublishingTimes,
+    derive_privacy_sizes,
+    fresque_matching_time,
+    fresque_publishing_times,
+    fresque_throughput,
+    nonparallel_pp_throughput,
+    parallel_pp_matching_time,
+    parallel_pp_throughput,
+    pinedrq_batch_throughput,
+    pinedrq_congestion_factor,
+    pp_effective_throughput,
+    pp_publish_stall,
+)
+from repro.simulation.costs import (
+    GOWALLA_COSTS,
+    NASA_COSTS,
+    CostModel,
+    cost_model_for,
+)
+from repro.simulation.events import EventLoop
+from repro.simulation.metrics import LatencyTracker
+from repro.simulation.network import (
+    GIGABIT_BYTES_PER_SECOND,
+    Link,
+    link_is_bottleneck,
+)
+from repro.simulation.pipelines import (
+    PipelineSim,
+    build_fresque,
+    build_intake_only,
+    build_nonparallel_pp,
+    build_parallel_pp,
+)
+from repro.simulation.stations import Counter, Job, RoundRobinSplitter, Station
+from repro.simulation.trace import QueueTrace, QueueTracer, TraceSample
+from repro.simulation.workload import ArrivalSource
+
+__all__ = [
+    "ArrivalSource",
+    "CostModel",
+    "Counter",
+    "EventLoop",
+    "GIGABIT_BYTES_PER_SECOND",
+    "GOWALLA_COSTS",
+    "Job",
+    "LatencyTracker",
+    "Link",
+    "link_is_bottleneck",
+    "NASA_COSTS",
+    "PipelineSim",
+    "PrivacyDerived",
+    "PublishingTimes",
+    "QueueTrace",
+    "QueueTracer",
+    "TraceSample",
+    "RoundRobinSplitter",
+    "Station",
+    "build_fresque",
+    "build_intake_only",
+    "build_nonparallel_pp",
+    "build_parallel_pp",
+    "cost_model_for",
+    "derive_privacy_sizes",
+    "fresque_matching_time",
+    "fresque_publishing_times",
+    "fresque_throughput",
+    "nonparallel_pp_throughput",
+    "parallel_pp_matching_time",
+    "parallel_pp_throughput",
+    "pinedrq_batch_throughput",
+    "pinedrq_congestion_factor",
+    "pp_effective_throughput",
+    "pp_publish_stall",
+]

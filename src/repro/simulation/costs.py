@@ -1,0 +1,234 @@
+"""Calibrated per-operation cost model.
+
+Pure Python cannot execute 160k record/s ingestion (repro band: throughput
+benchmarks unrealistic in pure Python), so the performance experiments run
+on a discrete-event simulation whose service times come from this model.
+
+Calibration strategy (DESIGN.md §6): the model is *anchored* on the paper's
+measured **non-parallel PINED-RQ++** throughputs — 3,159 records/s (NASA)
+and 13,223 records/s (Gowalla) — and on the per-stage decomposition implied
+by the parallel variants; every other number the benchmarks print is then a
+prediction of the model, compared against the paper in EXPERIMENTS.md.
+
+Key anchors and the constants they pin down:
+
+========================  =======================================  =========
+paper observation          constant                                 value
+========================  =======================================  =========
+source rate 200k rec/s     dispatcher forward cost ``t_dispatch``   5.0 µs
+FRESQUE Gowalla peak       checking-node O(1) pair cost             5.7 µs
+  ~165k rec/s @ 8 CN         (+0.007 µs/ciphertext byte)
+FRESQUE NASA ~142k @ 12    computing-node chain ``t_cn``            84.3 µs
+  and 7.61x @ 2 CN            (parse 34 + offset 0.3 + encrypt 50)
+parallel PP NASA ~25k      sequential front: recv 2 + parse +       40.2 µs
+  (5.6x below FRESQUE)       template check 4.2
+non-parallel PP anchors    single-node residual (GC/alloc/socket    222.4 µs
+  3,159 / 13,223 rec/s       contention, calibrated exactly)        /17.1 µs
+========================  =======================================  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MICROSECOND = 1e-6
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Service times (seconds) for every operation of the three systems.
+
+    One instance per dataset — parsing and encryption scale with record
+    size, and the residual single-thread overhead is calibrated per anchor.
+    """
+
+    name: str
+    #: Average raw-line size of the dataset's records.
+    line_bytes: float
+    #: Average ciphertext size (IV + PKCS#7-padded serialized record).
+    ciphertext_bytes: float
+    #: Index leaves (bins) of the dataset's domain.
+    num_leaves: int
+    #: Index height at fanout 16.
+    index_height: int
+
+    # -- per-record ingestion-path costs ------------------------------
+    #: Dispatcher: receive + round-robin forward.
+    t_dispatch: float = 5.0 * MICROSECOND
+    #: Raw-line parsing (record-size dependent; set per dataset).
+    t_parse: float = 0.0
+    #: O(1) leaf-offset computation (Section 5.1(b)).
+    t_offset: float = 0.3 * MICROSECOND
+    #: AES-CBC encryption of one record (set per dataset).
+    t_encrypt: float = 0.0
+    #: Checking node fixed cost: randomer insert/evict + AL/ALN update.
+    t_check_array_base: float = 5.7 * MICROSECOND
+    #: Checking node per-ciphertext-byte receive cost.
+    t_check_array_per_byte: float = 0.007 * MICROSECOND
+    #: PINED-RQ++ checker: O(log_k n) template traversal.
+    t_check_template: float = 4.2 * MICROSECOND
+    #: PINED-RQ++ updater: template path update + matching-table insert.
+    t_update_template: float = 6.5 * MICROSECOND
+    #: PINED-RQ++ enricher: random-tag generation.
+    t_enrich: float = 1.5 * MICROSECOND
+    #: Parallel PINED-RQ++ front node: bare socket receive.
+    t_front_recv: float = 3.0 * MICROSECOND
+    #: Residual single-node overhead of non-parallel PINED-RQ++
+    #: (calibrated so the full chain hits the paper's measured anchor).
+    t_nonparallel_residual: float = 0.0
+    #: Cloud: write one record + cache its metadata entry (16 cores).
+    t_cloud_write: float = 1.2 * MICROSECOND
+
+    # -- publishing-task costs (Figs 13-17) ---------------------------
+    #: Dispatcher: drawing one noise sample / template node.
+    t_plan_node: float = 1.0 * MICROSECOND
+    #: Dispatcher: generating one dummy record.
+    t_dummy_gen: float = 2.0 * MICROSECOND
+    #: Checking node: flushing one randomer-buffer slot to the cloud.
+    t_flush_pair: float = 4.0 * MICROSECOND
+    #: Merger: combining one index node (template noise + AL prefix sums).
+    t_merge_node: float = 1.0 * MICROSECOND
+    #: Merger: filling/sealing one overflow-array slot (incl. padding
+    #: encryption for free slots).
+    t_oa_slot: float = 2.7 * MICROSECOND
+    #: Cloud (FRESQUE): associating one metadata entry during matching.
+    t_match_entry: float = 0.105 * MICROSECOND
+    #: Cloud (FRESQUE, Fig 15 path): per-leaf pointer-list linking.
+    t_match_leaf: float = 2.0 * MICROSECOND
+    #: Cloud (FRESQUE, Fig 15 path): light per-entry touch.
+    t_match_entry_light: float = 0.009 * MICROSECOND
+    #: Cloud (PINED-RQ++): full read-back + lookup + write-back per record.
+    t_pp_match_record: float = 15.5 * MICROSECOND
+    #: PINED-RQ++ collector: shipping one matching-table entry at publish.
+    t_table_entry: float = 1.0 * MICROSECOND
+
+    # ------------------------------------------------------------------
+    # Derived per-stage chain times
+    # ------------------------------------------------------------------
+
+    @property
+    def t_computing_node(self) -> float:
+        """FRESQUE computing node: parse + leaf offset + encrypt."""
+        return self.t_parse + self.t_offset + self.t_encrypt
+
+    @property
+    def t_check_array(self) -> float:
+        """FRESQUE checking node per pair (O(1) + size-dependent recv)."""
+        return (
+            self.t_check_array_base
+            + self.t_check_array_per_byte * self.ciphertext_bytes
+        )
+
+    @property
+    def t_pp_front(self) -> float:
+        """Parallel PINED-RQ++ sequential front: recv + parse + check."""
+        return self.t_front_recv + self.t_parse + self.t_check_template
+
+    @property
+    def t_pp_worker(self) -> float:
+        """Parallel PINED-RQ++ worker: enrich + update + encrypt."""
+        return self.t_enrich + self.t_update_template + self.t_encrypt
+
+    @property
+    def t_nonparallel_chain(self) -> float:
+        """Non-parallel PINED-RQ++: the whole workflow on one node."""
+        return (
+            self.t_parse
+            + self.t_check_template
+            + self.t_enrich
+            + self.t_update_template
+            + self.t_encrypt
+            + self.t_nonparallel_residual
+        )
+
+    # ------------------------------------------------------------------
+    # Closed-form capacities (validated against the DES in the tests)
+    # ------------------------------------------------------------------
+
+    def fresque_capacity(self, computing_nodes: int) -> float:
+        """Records/s FRESQUE sustains with ``computing_nodes`` workers."""
+        if computing_nodes < 1:
+            raise ValueError("need at least one computing node")
+        return min(
+            1.0 / self.t_dispatch,
+            computing_nodes / self.t_computing_node,
+            1.0 / self.t_check_array,
+        )
+
+    def parallel_pp_capacity(self, computing_nodes: int) -> float:
+        """Records/s parallel PINED-RQ++ sustains."""
+        if computing_nodes < 1:
+            raise ValueError("need at least one computing node")
+        return min(
+            1.0 / self.t_pp_front, computing_nodes / self.t_pp_worker
+        )
+
+    def nonparallel_pp_capacity(self) -> float:
+        """Records/s non-parallel PINED-RQ++ sustains (the anchor)."""
+        return 1.0 / self.t_nonparallel_chain
+
+
+def _nasa_costs() -> CostModel:
+    parse = 34.0 * MICROSECOND
+    encrypt = 50.0 * MICROSECOND
+    anchor = 1.0 / 3159.0  # paper: 3,159 records/s
+    residual = anchor - (
+        parse
+        + 4.2 * MICROSECOND  # template check
+        + 1.5 * MICROSECOND  # enrich
+        + 6.5 * MICROSECOND  # template update
+        + encrypt
+    )
+    return CostModel(
+        name="nasa",
+        line_bytes=90.0,
+        ciphertext_bytes=176.0,
+        num_leaves=3421,
+        index_height=4,
+        t_parse=parse,
+        t_encrypt=encrypt,
+        t_nonparallel_residual=residual,
+    )
+
+
+def _gowalla_costs() -> CostModel:
+    parse = 8.9 * MICROSECOND
+    encrypt = 39.4 * MICROSECOND
+    anchor = 1.0 / 13223.0  # paper: 13,223 records/s
+    residual = anchor - (
+        parse
+        + 4.2 * MICROSECOND
+        + 1.5 * MICROSECOND
+        + 6.5 * MICROSECOND
+        + encrypt
+    )
+    return CostModel(
+        name="gowalla",
+        line_bytes=20.0,
+        ciphertext_bytes=64.0,
+        num_leaves=626,
+        index_height=4,
+        t_parse=parse,
+        t_encrypt=encrypt,
+        t_nonparallel_residual=residual,
+        # Gowalla metadata entries are lighter (smaller addresses per the
+        # paper's 837 ms @ 9.8M records → ~0.085 µs/entry).
+        t_match_entry=0.0854 * MICROSECOND,
+    )
+
+
+#: Cost model calibrated for the NASA HTTP-log workload.
+NASA_COSTS = _nasa_costs()
+
+#: Cost model calibrated for the Gowalla check-in workload.
+GOWALLA_COSTS = _gowalla_costs()
+
+
+def cost_model_for(dataset: str) -> CostModel:
+    """Look a cost model up by dataset name (``"nasa"`` / ``"gowalla"``)."""
+    models = {"nasa": NASA_COSTS, "gowalla": GOWALLA_COSTS}
+    if dataset not in models:
+        raise KeyError(
+            f"no cost model for {dataset!r}; choose from {sorted(models)}"
+        )
+    return models[dataset]

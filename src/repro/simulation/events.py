@@ -1,0 +1,65 @@
+"""Discrete-event simulation core.
+
+A minimal, fast event loop: a heap of ``(time, sequence, callback)``
+entries.  Sequence numbers make ordering deterministic for simultaneous
+events, which keeps every simulation reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+
+class EventLoop:
+    """Priority-queue driven simulated clock."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._now = 0.0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` simulated seconds.
+
+        Raises
+        ------
+        ValueError
+            For negative delays (scheduling into the past).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        self.schedule(when - self._now, callback)
+
+    def run_until(self, end_time: float) -> None:
+        """Process events up to (and including) ``end_time``."""
+        while self._heap and self._heap[0][0] <= end_time:
+            when, _, callback = heapq.heappop(self._heap)
+            self._now = when
+            self.events_processed += 1
+            callback()
+        self._now = max(self._now, end_time)
+
+    def run(self) -> None:
+        """Process every scheduled event (terminates when the heap drains)."""
+        while self._heap:
+            when, _, callback = heapq.heappop(self._heap)
+            self._now = when
+            self.events_processed += 1
+            callback()
+
+    @property
+    def pending(self) -> int:
+        """Events still scheduled."""
+        return len(self._heap)

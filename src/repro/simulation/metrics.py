@@ -1,0 +1,48 @@
+"""Measurement sinks for the simulated pipelines.
+
+Beyond raw throughput (the :class:`~repro.simulation.stations.Counter`),
+:class:`LatencyTracker` records each batch's ingest-to-delivery latency so
+experiments can report averages and tail percentiles.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.stations import Job
+
+
+class LatencyTracker:
+    """Terminal sink recording per-batch end-to-end latency."""
+
+    def __init__(self, loop):
+        self._loop = loop
+        self._latencies: list[float] = []
+        self.records = 0
+
+    def __call__(self, job: Job) -> None:
+        self._latencies.append(self._loop.now - job.created_at)
+        self.records += job.records
+
+    @property
+    def count(self) -> int:
+        """Batches observed."""
+        return len(self._latencies)
+
+    def mean(self) -> float:
+        """Average batch latency in seconds."""
+        if not self._latencies:
+            return 0.0
+        return sum(self._latencies) / len(self._latencies)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile latency (q in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def max(self) -> float:
+        """Worst observed latency."""
+        return max(self._latencies, default=0.0)

@@ -1,0 +1,89 @@
+"""Network links for the simulated cluster.
+
+The paper's collector components exchange records over TCP (Table 2's
+cluster).  A :class:`Link` models one such connection as an FCFS byte pipe:
+transmission time is ``bytes / bandwidth`` (serialised per link) plus a
+fixed propagation latency.  The calibrated per-stage service times already
+include the send/receive CPU cost, so links matter only when bandwidth or
+propagation becomes binding — which :func:`link_is_bottleneck` lets a
+deployment check analytically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.simulation.events import EventLoop
+from repro.simulation.stations import Job
+
+#: 1 Gbps in bytes/second — the typical cluster NIC of the paper's era.
+GIGABIT_BYTES_PER_SECOND = 125_000_000.0
+
+
+class Link:
+    """A point-to-point connection with bandwidth and latency.
+
+    Parameters
+    ----------
+    loop:
+        Simulation event loop.
+    name:
+        Link name for metrics.
+    bandwidth:
+        Bytes per second the link can carry (serialised FCFS).
+    latency:
+        One-way propagation delay in seconds, added after transmission.
+    bytes_per_record:
+        Payload size of one record on this link.
+    sink:
+        Receiver of delivered jobs.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str,
+        bandwidth: float,
+        latency: float,
+        bytes_per_record: float,
+        sink: Callable[[Job], None],
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency cannot be negative")
+        self.loop = loop
+        self.name = name
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.bytes_per_record = bytes_per_record
+        self.sink = sink
+        self._free_at = 0.0
+        self.bytes_sent = 0.0
+        self.records_sent = 0
+
+    def send(self, job: Job) -> None:
+        """Transmit a batch; delivery after queueing + transmission + latency."""
+        payload = job.records * self.bytes_per_record
+        start = max(self.loop.now, self._free_at)
+        transmission = payload / self.bandwidth
+        self._free_at = start + transmission
+        self.bytes_sent += payload
+        self.records_sent += job.records
+        delivery = self._free_at + self.latency
+        self.loop.schedule(delivery - self.loop.now, lambda: self.sink(job))
+
+    def capacity_records_per_second(self) -> float:
+        """Records/s this link can carry at full utilisation."""
+        if self.bytes_per_record == 0:
+            return float("inf")
+        return self.bandwidth / self.bytes_per_record
+
+
+def link_is_bottleneck(
+    bandwidth: float, bytes_per_record: float, target_rate: float
+) -> bool:
+    """Whether a link of ``bandwidth`` limits ``target_rate`` records/s."""
+    if bytes_per_record <= 0:
+        return False
+    return bandwidth / bytes_per_record < target_rate

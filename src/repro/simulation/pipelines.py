@@ -1,0 +1,197 @@
+"""Simulated cluster pipelines for the three systems under comparison.
+
+Each builder assembles the queueing network matching one collector
+architecture (Figures 4–6 of the paper) out of :class:`Station` objects and
+returns a :class:`PipelineSim` that can be driven at a given arrival rate
+and measured for sustained throughput.
+
+Pipelines model the *ingestion path* — the steady-state flow that
+determines throughput.  End-of-interval publishing tasks are modelled
+analytically in :mod:`repro.simulation.analytic` (they run asynchronously
+in FRESQUE and as an explicit stall in PINED-RQ++).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.simulation.costs import CostModel
+from repro.simulation.events import EventLoop
+from repro.simulation.stations import Counter, RoundRobinSplitter, Station
+from repro.simulation.workload import ArrivalSource
+
+
+@dataclass
+class PipelineSim:
+    """A wired pipeline plus its measurement hooks.
+
+    Parameters
+    ----------
+    loop:
+        The simulation event loop.
+    entry:
+        Callable receiving arriving jobs (the first station's submit).
+    stations:
+        Every station in the pipeline, for utilisation inspection.
+    delivered:
+        Terminal counter of records that completed the whole path.
+    """
+
+    loop: EventLoop
+    entry: object
+    stations: list[Station]
+    delivered: Counter
+    source: ArrivalSource | None = field(default=None)
+
+    def run(
+        self,
+        rate: float,
+        duration: float,
+        warmup: float = 0.5,
+        batch_size: int = 100,
+        poisson: bool = False,
+        seed: int | None = None,
+    ) -> float:
+        """Drive the pipeline and return sustained records/s.
+
+        The measurement window starts after ``warmup`` seconds so queue
+        fill-up does not inflate the figure; the loop then drains
+        everything still in flight, and throughput is completions inside
+        the window divided by the window length (capped at the observed
+        completion horizon for drained runs).
+        """
+        if duration <= warmup:
+            raise ValueError("duration must exceed the warmup")
+        self.source = ArrivalSource(
+            self.loop,
+            rate,
+            self.entry,
+            batch_size=batch_size,
+            poisson=poisson,
+            rng=random.Random(seed),
+        )
+        start = self.loop.now
+        self.source.start(until=start + duration)
+        self.loop.run_until(start + warmup)
+        window_start_records = self.delivered.records
+        self.loop.run_until(start + duration)
+        window_records = self.delivered.records - window_start_records
+        return window_records / (duration - warmup)
+
+    def bottleneck(self) -> Station:
+        """The most utilised station (call after :meth:`run`).
+
+        Utilisation, not raw capacity, identifies the bottleneck: twelve
+        slow computing nodes in parallel can outpace one fast sequential
+        checker.
+        """
+        elapsed = max(self.loop.now, 1e-12)
+        return max(
+            self.stations,
+            key=lambda s: (
+                round(s.utilisation(elapsed), 3),
+                s.backlog_records,
+            ),
+        )
+
+
+def build_fresque(
+    loop: EventLoop, costs: CostModel, computing_nodes: int
+) -> PipelineSim:
+    """FRESQUE: dispatcher → k computing nodes → checking node → cloud."""
+    if computing_nodes < 1:
+        raise ValueError("need at least one computing node")
+    delivered = Counter()
+    cloud = Station(
+        loop, "cloud", costs.t_cloud_write, servers=16, sink=delivered
+    )
+    checking = Station(
+        loop, "checking", costs.t_check_array, servers=1, sink=cloud.submit
+    )
+    workers = [
+        Station(
+            loop,
+            f"cn-{i}",
+            costs.t_computing_node,
+            servers=1,
+            sink=checking.submit,
+        )
+        for i in range(computing_nodes)
+    ]
+    splitter = RoundRobinSplitter(workers)
+    dispatcher = Station(
+        loop, "dispatcher", costs.t_dispatch, servers=1, sink=splitter
+    )
+    return PipelineSim(
+        loop=loop,
+        entry=dispatcher.submit,
+        stations=[dispatcher, *workers, checking, cloud],
+        delivered=delivered,
+    )
+
+
+def build_parallel_pp(
+    loop: EventLoop, costs: CostModel, computing_nodes: int
+) -> PipelineSim:
+    """Parallel PINED-RQ++: sequential (recv+parse+check) front, then k
+    updater/encrypter workers, then the cloud (Figure 5)."""
+    if computing_nodes < 1:
+        raise ValueError("need at least one computing node")
+    delivered = Counter()
+    cloud = Station(
+        loop, "cloud", costs.t_cloud_write, servers=16, sink=delivered
+    )
+    workers = [
+        Station(
+            loop, f"worker-{i}", costs.t_pp_worker, servers=1, sink=cloud.submit
+        )
+        for i in range(computing_nodes)
+    ]
+    splitter = RoundRobinSplitter(workers)
+    front = Station(loop, "front", costs.t_pp_front, servers=1, sink=splitter)
+    return PipelineSim(
+        loop=loop,
+        entry=front.submit,
+        stations=[front, *workers, cloud],
+        delivered=delivered,
+    )
+
+
+def build_nonparallel_pp(loop: EventLoop, costs: CostModel) -> PipelineSim:
+    """Non-parallel PINED-RQ++: the entire workflow on one machine."""
+    delivered = Counter()
+    cloud = Station(
+        loop, "cloud", costs.t_cloud_write, servers=16, sink=delivered
+    )
+    collector = Station(
+        loop,
+        "collector",
+        costs.t_nonparallel_chain,
+        servers=1,
+        sink=cloud.submit,
+    )
+    return PipelineSim(
+        loop=loop,
+        entry=collector.submit,
+        stations=[collector, cloud],
+        delivered=delivered,
+    )
+
+
+def build_intake_only(loop: EventLoop, costs: CostModel) -> PipelineSim:
+    """Bare intake: the dispatcher without any processing downstream.
+
+    This is the Figure 12 reference — 'maximum incoming throughput
+    (without any processing) at the collector'.
+    """
+    delivered = Counter()
+    dispatcher = Station(
+        loop, "dispatcher", costs.t_dispatch, servers=1, sink=delivered
+    )
+    return PipelineSim(
+        loop=loop,
+        entry=dispatcher.submit,
+        stations=[dispatcher],
+        delivered=delivered,
+    )

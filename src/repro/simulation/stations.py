@@ -1,0 +1,135 @@
+"""Queueing stations: the machines of the simulated cluster.
+
+A :class:`Station` is an FCFS service centre with ``servers`` identical
+cores.  Jobs are *batches* of records (so a 200k records/s workload does
+not need 200k events per simulated second); service time scales with batch
+size.  Completions are handed to a sink callback, which is how stations are
+chained into pipelines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.simulation.events import EventLoop
+
+
+@dataclass(frozen=True)
+class Job:
+    """A batch of records flowing through the pipeline.
+
+    Parameters
+    ----------
+    records:
+        Number of records in the batch.
+    created_at:
+        Simulated time the batch entered the pipeline (latency metric).
+    """
+
+    records: int
+    created_at: float
+
+
+class Station:
+    """An FCFS multi-server service centre.
+
+    Parameters
+    ----------
+    loop:
+        The simulation's event loop.
+    name:
+        Station name for metrics/debugging.
+    service_per_record:
+        Seconds of work per record at this station.
+    servers:
+        Number of parallel cores (Table 2: computing nodes have 2, the
+        others 4 or 16 — we model each *component* as the cores it may use).
+    sink:
+        Called with each completed :class:`Job`; ``None`` discards.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str,
+        service_per_record: float,
+        servers: int = 1,
+        sink: Callable[[Job], None] | None = None,
+    ):
+        if service_per_record < 0:
+            raise ValueError("service time cannot be negative")
+        if servers < 1:
+            raise ValueError("a station needs at least one server")
+        self.loop = loop
+        self.name = name
+        self.service_per_record = service_per_record
+        self.servers = servers
+        self.sink = sink
+        self._next_free = [0.0] * servers
+        heapq.heapify(self._next_free)
+        self.records_in = 0
+        self.records_out = 0
+        self.busy_seconds = 0.0
+        self.last_completion = 0.0
+
+    def submit(self, job: Job) -> None:
+        """Queue a batch; it completes after waiting + service."""
+        self.records_in += job.records
+        service = self.service_per_record * job.records
+        earliest = heapq.heappop(self._next_free)
+        start = max(self.loop.now, earliest)
+        end = start + service
+        heapq.heappush(self._next_free, end)
+        self.busy_seconds += service
+        self.loop.schedule(end - self.loop.now, lambda: self._complete(job))
+
+    def _complete(self, job: Job) -> None:
+        self.records_out += job.records
+        self.last_completion = self.loop.now
+        if self.sink is not None:
+            self.sink(job)
+
+    @property
+    def backlog_records(self) -> int:
+        """Records admitted but not yet completed."""
+        return self.records_in - self.records_out
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of capacity used over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (elapsed * self.servers))
+
+    def capacity_per_second(self) -> float:
+        """Records/s this station can sustain."""
+        if self.service_per_record == 0:
+            return float("inf")
+        return self.servers / self.service_per_record
+
+
+class RoundRobinSplitter:
+    """Distributes jobs over several downstream stations, dispatcher-style."""
+
+    def __init__(self, targets: list[Station]):
+        if not targets:
+            raise ValueError("need at least one target station")
+        self._targets = targets
+        self._next = 0
+
+    def __call__(self, job: Job) -> None:
+        self._targets[self._next].submit(job)
+        self._next = (self._next + 1) % len(self._targets)
+
+
+class Counter:
+    """Terminal sink counting delivered records (throughput measurement)."""
+
+    def __init__(self):
+        self.records = 0
+        self.jobs = 0
+
+    def __call__(self, job: Job) -> None:
+        self.records += job.records
+        self.jobs += 1

@@ -1,0 +1,112 @@
+"""Time-series tracing for simulated pipelines.
+
+A :class:`QueueTracer` samples every station's backlog at a fixed cadence,
+producing the queue-dynamics view behind throughput numbers: a saturated
+station's backlog grows linearly, an underloaded one hovers near zero.
+Used by the saturation example and the queue-dynamics tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.events import EventLoop
+from repro.simulation.stations import Station
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One sampling instant: simulated time plus per-station backlogs."""
+
+    time: float
+    backlogs: dict[str, int]
+
+
+@dataclass
+class QueueTrace:
+    """The collected samples of one run."""
+
+    samples: list[TraceSample] = field(default_factory=list)
+
+    def series(self, station: str) -> list[tuple[float, int]]:
+        """``(time, backlog)`` points for one station."""
+        return [
+            (sample.time, sample.backlogs.get(station, 0))
+            for sample in self.samples
+        ]
+
+    def peak(self, station: str) -> int:
+        """Largest observed backlog at ``station``."""
+        return max(
+            (sample.backlogs.get(station, 0) for sample in self.samples),
+            default=0,
+        )
+
+    def growth_rate(self, station: str) -> float:
+        """Least-squares backlog growth (records/second) at ``station``.
+
+        Positive growth over a long window means the station is saturated
+        and the system is falling behind.
+        """
+        points = self.series(station)
+        if len(points) < 2:
+            return 0.0
+        n = len(points)
+        mean_t = sum(t for t, _ in points) / n
+        mean_b = sum(b for _, b in points) / n
+        num = sum((t - mean_t) * (b - mean_b) for t, b in points)
+        den = sum((t - mean_t) ** 2 for t, _ in points)
+        if den == 0:
+            return 0.0
+        return num / den
+
+
+class QueueTracer:
+    """Samples station backlogs on a fixed simulated-time cadence.
+
+    Parameters
+    ----------
+    loop:
+        The simulation event loop.
+    stations:
+        Stations to watch.
+    period:
+        Sampling period in simulated seconds.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        stations: list[Station],
+        period: float = 0.05,
+    ):
+        if period <= 0:
+            raise ValueError("sampling period must be positive")
+        self.loop = loop
+        self.stations = stations
+        self.period = period
+        self.trace = QueueTrace()
+        self._stopped = False
+
+    def start(self, until: float) -> None:
+        """Begin sampling until simulated time ``until``."""
+        self._deadline = until
+        self._sample()
+
+    def _sample(self) -> None:
+        if self._stopped or self.loop.now > self._deadline:
+            return
+        self.trace.samples.append(
+            TraceSample(
+                time=self.loop.now,
+                backlogs={
+                    station.name: station.backlog_records
+                    for station in self.stations
+                },
+            )
+        )
+        self.loop.schedule(self.period, self._sample)
+
+    def stop(self) -> None:
+        """Cease sampling."""
+        self._stopped = True

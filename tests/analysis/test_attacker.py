@@ -1,0 +1,83 @@
+"""Informed-online-attacker simulation tests (the Section 6 claims)."""
+
+import random
+
+import pytest
+
+from repro.analysis.attacker import (
+    InformedAttacker,
+    advantage_vs_buffer,
+    simulate_interval,
+)
+
+
+class TestSimulateInterval:
+    def test_conservation(self):
+        observed = simulate_interval(
+            n_real=500, n_dummies=50, buffer_size=100, rng=random.Random(1)
+        )
+        assert len(observed) == 550
+        assert sum(1 for o in observed if o.is_dummy) == 50
+
+    def test_large_buffer_releases_only_at_flush(self):
+        observed = simulate_interval(
+            n_real=100, n_dummies=20, buffer_size=500, rng=random.Random(2)
+        )
+        assert all(o.from_flush for o in observed)
+
+    def test_tiny_buffer_releases_early(self):
+        observed = simulate_interval(
+            n_real=100, n_dummies=20, buffer_size=1, rng=random.Random(3)
+        )
+        assert any(not o.from_flush for o in observed)
+
+    def test_bad_quiet_fraction(self):
+        with pytest.raises(ValueError):
+            simulate_interval(10, 5, 10, quiet_fraction=1.0)
+
+
+class TestInformedAttacker:
+    def test_no_randomer_identifies_quiet_dummies(self):
+        """Buffer size 1 ≡ no randomer: every dummy scheduled during the
+        quiet period is released immediately and identified with perfect
+        precision (the Figure 7 leak)."""
+        rng = random.Random(4)
+        observed = simulate_interval(
+            n_real=2000, n_dummies=200, buffer_size=1, rng=rng
+        )
+        outcome = InformedAttacker(0.3).attack(observed)
+        # ~30% of dummies fall in the quiet period.
+        assert outcome.identification_rate == pytest.approx(0.3, abs=0.1)
+        assert outcome.precision == 1.0
+        assert outcome.reals_misflagged == 0
+
+    def test_paper_sized_buffer_eliminates_leak(self):
+        """With the α≥2-sized buffer the attacker identifies nothing."""
+        rng = random.Random(5)
+        observed = simulate_interval(
+            n_real=2000, n_dummies=200, buffer_size=2 * 200, rng=rng
+        )
+        outcome = InformedAttacker(0.3).attack(observed)
+        assert outcome.identification_rate == 0.0
+
+    def test_flush_releases_never_flagged(self):
+        rng = random.Random(6)
+        observed = simulate_interval(
+            n_real=0, n_dummies=50, buffer_size=500, rng=rng
+        )
+        outcome = InformedAttacker(0.3).attack(observed)
+        assert outcome.identification_rate == 0.0
+
+
+class TestAdvantageCurve:
+    def test_monotone_decrease_to_zero(self):
+        curve = advantage_vs_buffer(
+            n_real=1000,
+            n_dummies=100,
+            buffer_sizes=[1, 10, 50, 200],
+            trials=3,
+            seed=7,
+        )
+        assert curve[1] > 0.15
+        assert curve[200] == 0.0
+        assert curve[1] >= curve[10] >= curve[50] >= curve[200]

@@ -1,0 +1,70 @@
+"""Query-quality and storage-overhead metric tests."""
+
+import pytest
+
+from repro.analysis.quality import (
+    QueryQuality,
+    evaluate_query,
+    storage_overhead,
+)
+from repro.client.query_client import ClientResult
+from repro.records.record import Record
+from repro.records.schema import flu_survey_schema
+
+
+def _result(records, ciphertexts):
+    return ClientResult(
+        records=tuple(records),
+        ciphertexts_received=ciphertexts,
+        dummies_discarded=0,
+        out_of_range_discarded=0,
+    )
+
+
+class TestEvaluateQuery:
+    def test_perfect_recall(self):
+        schema = flu_survey_schema()
+        truth = [Record(("a", 1, 375, "none")), Record(("b", 1, 395, "none"))]
+        quality = evaluate_query(
+            truth, schema, 370, 400, _result(truth, ciphertexts=4)
+        )
+        assert quality.recall == 1.0
+        assert quality.precision == 0.5
+
+    def test_partial_recall(self):
+        schema = flu_survey_schema()
+        truth = [Record(("a", 1, 375, "none")), Record(("b", 1, 395, "none"))]
+        quality = evaluate_query(
+            truth, schema, 370, 400, _result(truth[:1], ciphertexts=1)
+        )
+        assert quality.recall == 0.5
+
+    def test_hallucinated_record_raises(self):
+        schema = flu_survey_schema()
+        fake = Record(("ghost", 1, 380, "none"))
+        with pytest.raises(AssertionError):
+            evaluate_query([], schema, 370, 400, _result([fake], 1))
+
+    def test_empty_query(self):
+        quality = QueryQuality(
+            true_positives=0, expected=0, received_ciphertexts=0
+        )
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
+
+
+class TestStorageOverhead:
+    def test_expansion_factor(self):
+        overhead = storage_overhead(
+            plaintext_bytes=10_000,
+            store_bytes=12_000,
+            index_nodes=100,
+            overflow_slots=50,
+            slot_bytes=64,
+        )
+        expected = (12_000 + 100 * 16 + 50 * 64) / 10_000
+        assert overhead.expansion_factor == pytest.approx(expected)
+
+    def test_zero_plaintext(self):
+        overhead = storage_overhead(0, 0, 0, 0, 0)
+        assert overhead.expansion_factor == 0.0

@@ -1,0 +1,157 @@
+"""Baseline scheme tests: ArxRange, OPE, bucketization, Table 1 matrix."""
+
+import random
+
+import pytest
+
+from repro.baselines.arxrange import GARBLE_SECONDS, ArxRangeIndex
+from repro.baselines.bucketization import BucketIndex, BucketStore
+from repro.baselines.ope import OpeEncoder, OpeStore
+from repro.baselines.requirements import TABLE_1, render_table
+from repro.index.domain import AttributeDomain
+
+
+class TestArxRange:
+    def test_insert_and_range_query(self, fast_cipher, rng):
+        index = ArxRangeIndex(fast_cipher)
+        values = [rng.random() * 100 for _ in range(300)]
+        for value in values:
+            index.insert(value, f"{value}".encode())
+        got = index.range_query(25, 75)
+        expected = [v for v in values if 25 <= v <= 75]
+        assert len(got) == len(expected)
+
+    def test_garbling_cost_grows_logarithmically(self, fast_cipher, rng):
+        index = ArxRangeIndex(fast_cipher)
+        values = [rng.random() for _ in range(2000)]
+        for value in values:
+            index.insert(value, b"x")
+        # Random insertions → expected O(log n) garblings per insert.
+        per_insert = index.garblings / index.inserts
+        assert 5 < per_insert < 40
+
+    def test_modelled_throughput_matches_paper(self, fast_cipher, rng):
+        """The paper cites ~450 writes/s for ArxRange with caching; the
+        garbling cost model must land in that regime."""
+        index = ArxRangeIndex(fast_cipher)
+        for _ in range(3000):
+            index.insert(rng.random() * 1000, b"payload")
+        assert 200 < index.modelled_insert_throughput() < 900
+
+    def test_duplicate_values_share_node(self, fast_cipher):
+        index = ArxRangeIndex(fast_cipher)
+        index.insert(5.0, b"a")
+        index.insert(5.0, b"b")
+        assert len(index.range_query(5, 5)) == 2
+
+    def test_garble_constant_positive(self):
+        assert GARBLE_SECONDS > 0
+
+
+class TestOpe:
+    def test_codes_preserve_order_at_snapshot(self, rng):
+        encoder = OpeEncoder()
+        values = [rng.random() * 1000 for _ in range(500)]
+        ids = {v: encoder.encode(v)[0] for v in values}
+        codes = encoder.codes_by_id()
+        ordered = sorted(set(values))
+        snapshot = [codes[ids[v]] for v in ordered]
+        assert snapshot == sorted(snapshot)
+
+    def test_equal_values_equal_codes(self):
+        encoder = OpeEncoder()
+        assert encoder.encode(42.0) == encoder.encode(42.0)
+
+    def test_rebalance_keeps_order(self):
+        encoder = OpeEncoder()
+        # Adversarial insertion order forces gap exhaustion eventually.
+        values = []
+        low, high = 0.0, 1.0
+        for _ in range(200):
+            mid = (low + high) / 2
+            values.append(mid)
+            high = mid
+        ids = {v: encoder.encode(v)[0] for v in values}
+        assert encoder.rebalances > 0  # the adversarial order triggered it
+        codes = encoder.codes_by_id()
+        ordered = sorted(values)
+        snapshot = [codes[ids[v]] for v in ordered]
+        assert snapshot == sorted(snapshot)
+
+    def test_store_range_query_exact(self, fast_cipher, rng):
+        store = OpeStore(fast_cipher)
+        values = [rng.random() * 1000 for _ in range(400)]
+        for value in values:
+            store.insert(value, str(value).encode())
+        got = store.range_query(200, 600)
+        expected = [v for v in values if 200 <= v <= 600]
+        assert len(got) == len(expected)
+
+    def test_leakage_order_visible_to_server(self, fast_cipher, rng):
+        """The Table 1 'no formal security' row: the server-visible code
+        sequence reveals the plaintext order exactly."""
+        store = OpeStore(fast_cipher)
+        values = [rng.random() for _ in range(100)]
+        for value in values:
+            store.insert(value, b"x")
+        codes = store.observed_codes()
+        assert codes == sorted(codes)  # total order leaked
+
+
+class TestBucketization:
+    @pytest.fixture
+    def domain(self):
+        return AttributeDomain(0, 100, 10)
+
+    def test_range_query_superset(self, domain, fast_cipher, rng):
+        index = BucketIndex(domain, rng=random.Random(3))
+        store = BucketStore(index, fast_cipher)
+        values = [rng.random() * 100 for _ in range(300)]
+        for value in values:
+            store.insert(value, str(value).encode())
+        got = store.range_query(25, 44)
+        expected_min = sum(1 for v in values if 25 <= v <= 44)
+        bucket_superset = sum(1 for v in values if 20 <= v < 50)
+        assert len(got) == bucket_superset
+        assert len(got) >= expected_min
+
+    def test_tags_are_shuffled(self, domain):
+        index = BucketIndex(domain, rng=random.Random(5))
+        tags = [index.tag(offset * 10 + 5) for offset in range(10)]
+        assert sorted(tags) == list(range(10))
+        assert tags != list(range(10))  # permuted with high probability
+
+    def test_cardinality_leakage_visible(self, domain, fast_cipher):
+        index = BucketIndex(domain, rng=random.Random(5))
+        store = BucketStore(index, fast_cipher)
+        for _ in range(50):
+            store.insert(5, b"x")  # all in one bucket
+        cardinalities = store.observed_cardinalities()
+        assert max(cardinalities.values()) == 50  # histogram leaked
+
+
+class TestTable1:
+    def test_pined_rq_family_satisfies_all(self):
+        row = next(r for r in TABLE_1 if "PINED-RQ" in r.scheme)
+        assert row.formal_security
+        assert row.update_support
+        assert row.low_latency
+        assert row.small_storage
+
+    def test_no_other_scheme_satisfies_all(self):
+        for row in TABLE_1:
+            if "PINED-RQ" in row.scheme:
+                continue
+            assert not all(
+                (
+                    row.formal_security,
+                    row.update_support,
+                    row.low_latency,
+                    row.small_storage,
+                )
+            )
+
+    def test_render_has_all_rows(self):
+        rendered = render_table()
+        for row in TABLE_1:
+            assert row.scheme in rendered

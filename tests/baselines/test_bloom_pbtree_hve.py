@@ -1,0 +1,171 @@
+"""Tests for the Bloom substrate, PBtree and the HVE simulation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bloom import BloomFilter, optimal_bits, optimal_hashes
+from repro.baselines.hve import HveStore
+from repro.baselines.pbtree import (
+    PBtree,
+    prefix_family,
+    range_prefix_cover,
+)
+
+
+class TestBloomFilter:
+    def test_added_items_always_found(self):
+        bloom = BloomFilter.for_capacity(100)
+        items = [f"item-{i}".encode() for i in range(100)]
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)  # no false negatives
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter.for_capacity(500, fp_rate=0.01)
+        for i in range(500):
+            bloom.add(f"member-{i}".encode())
+        false_hits = sum(
+            1 for i in range(10_000) if f"absent-{i}".encode() in bloom
+        )
+        assert false_hits / 10_000 < 0.03
+
+    def test_union(self):
+        a = BloomFilter(256, 4)
+        b = BloomFilter(256, 4)
+        a.add(b"x")
+        b.add(b"y")
+        merged = a.union(b)
+        assert b"x" in merged and b"y" in merged
+        assert merged.items_added == 2
+
+    def test_union_requires_equal_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(256, 4).union(BloomFilter(128, 4))
+
+    def test_sizing_helpers(self):
+        bits = optimal_bits(1000, 0.01)
+        assert bits > 9000  # ~9.6 bits per item at 1%
+        assert 5 <= optimal_hashes(bits, 1000) <= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(4, 1)
+        with pytest.raises(ValueError):
+            BloomFilter(256, 0)
+        with pytest.raises(ValueError):
+            optimal_bits(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_bits(10, 1.5)
+
+
+class TestPrefixEncoding:
+    def test_prefix_family_shape(self):
+        family = prefix_family(0b0101, bits=4)
+        assert family == ["0101", "010*", "01**", "0***", "****"]
+
+    def test_out_of_domain(self):
+        with pytest.raises(ValueError):
+            prefix_family(16, bits=4)
+        with pytest.raises(ValueError):
+            prefix_family(-1, bits=4)
+
+    def test_cover_whole_domain_is_one_prefix(self):
+        assert range_prefix_cover(0, 15, bits=4) == ["****"]
+
+    def test_cover_single_value(self):
+        assert range_prefix_cover(5, 5, bits=4) == ["0101"]
+
+    def test_cover_is_minimal_for_aligned_block(self):
+        assert range_prefix_cover(8, 11, bits=4) == ["10**"]
+
+    @given(
+        low=st.integers(min_value=0, max_value=255),
+        width=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=60)
+    def test_membership_equivalence_property(self, low, width):
+        """v in [low, high]  <=>  F(v) intersects the range cover."""
+        high = min(255, low + width)
+        cover = set(range_prefix_cover(low, high, bits=8))
+        for value in range(256):
+            member = bool(set(prefix_family(value, bits=8)) & cover)
+            assert member == (low <= value <= high)
+
+
+class TestPBtree:
+    @pytest.fixture
+    def dataset(self, rng):
+        return [(rng.randrange(10_000), f"rec-{i}".encode()) for i in range(300)]
+
+    def test_range_query_superset_of_truth(self, dataset, fast_cipher):
+        tree = PBtree(dataset, fast_cipher, key=b"pbtree-key")
+        got = tree.range_query(2000, 6000)
+        expected = sum(1 for value, _ in dataset if 2000 <= value <= 6000)
+        # No false negatives; Bloom false positives allowed.
+        assert len(got) >= expected
+        assert len(got) <= expected + 0.1 * len(dataset)
+
+    def test_results_decrypt(self, dataset, fast_cipher):
+        tree = PBtree(dataset, fast_cipher, key=b"pbtree-key")
+        for ciphertext in tree.range_query(0, 9999)[:10]:
+            assert fast_cipher.decrypt(ciphertext).startswith(b"rec-")
+
+    def test_storage_overhead_is_heavy(self, dataset, fast_cipher):
+        """Table 1's 'no small storage' cell: the filters dwarf the data."""
+        tree = PBtree(dataset, fast_cipher, key=b"pbtree-key")
+        data_bytes = sum(len(payload) + 32 for _, payload in dataset)
+        assert tree.storage_bytes() > 20 * data_bytes
+
+    def test_static_no_insert_api(self, dataset, fast_cipher):
+        tree = PBtree(dataset, fast_cipher, key=b"pbtree-key")
+        assert not hasattr(tree, "insert")  # built once, never updated
+
+    def test_empty_dataset(self, fast_cipher):
+        tree = PBtree([], fast_cipher, key=b"pbtree-key")
+        assert tree.range_query(0, 100) == []
+
+    def test_wrong_key_trapdoors_miss(self, dataset, fast_cipher):
+        """Without the HMAC key, trapdoors don't match (server learns
+        nothing from the filters alone)."""
+        tree = PBtree(dataset, fast_cipher, key=b"pbtree-key")
+        stranger = PBtree(dataset[:1], fast_cipher, key=b"other-key")
+        foreign = stranger._trapdoors.trapdoor("0" * 32)
+        hits = foreign in tree._root.bloom
+        assert hits in (False, True)  # at most a Bloom false positive
+        # Statistically: many foreign trapdoors almost never all hit.
+        misses = sum(
+            1
+            for i in range(50)
+            if stranger._trapdoors.trapdoor(f"probe-{i}") not in tree._root.bloom
+        )
+        assert misses > 40
+
+
+class TestHveSimulation:
+    def test_range_query_exact_candidates(self, fast_cipher, rng):
+        store = HveStore(fast_cipher)
+        values = [rng.randrange(100_000) for _ in range(200)]
+        for value in values:
+            store.insert(value, str(value).encode())
+        got = store.range_query(10_000, 60_000)
+        expected = sum(1 for v in values if 10_000 <= v <= 60_000)
+        assert len(got) == expected  # ideal functionality: no FPs
+
+    def test_no_index_every_row_paired(self, fast_cipher, rng):
+        store = HveStore(fast_cipher)
+        for _ in range(100):
+            store.insert(rng.randrange(1000), b"x")
+        store.range_query(0, 10)
+        assert store.pairings == 100 * 33  # every row, every element
+
+    def test_modelled_throughput_is_prohibitive(self, fast_cipher, rng):
+        """Table 1's 'not low latency': single-digit inserts per second."""
+        store = HveStore(fast_cipher)
+        for _ in range(50):
+            store.insert(rng.randrange(1000), b"x")
+        assert store.modelled_insert_throughput() < 50
+        store.range_query(0, 999)
+        assert store.modelled_query_seconds() > 1.0

@@ -1,0 +1,83 @@
+"""Demertzis et al. (dyadic-range SSE) baseline tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.demertzis import (
+    DYADIC_BITS,
+    DemertzisStore,
+    dyadic_labels,
+)
+
+
+class TestDyadicLabels:
+    def test_one_label_per_level(self):
+        assert len(dyadic_labels(5)) == DYADIC_BITS + 1
+
+    def test_out_of_domain(self):
+        with pytest.raises(ValueError):
+            dyadic_labels(-1)
+        with pytest.raises(ValueError):
+            dyadic_labels(1 << DYADIC_BITS)
+
+
+class TestDemertzisStore:
+    @pytest.fixture
+    def dataset(self, rng):
+        return [
+            (rng.randrange(50_000), f"rec-{i}".encode()) for i in range(250)
+        ]
+
+    def test_range_query_exact(self, dataset, fast_cipher):
+        store = DemertzisStore(dataset, fast_cipher, key=b"sse-key")
+        got = store.range_query(10_000, 30_000)
+        expected = sum(1 for v, _ in dataset if 10_000 <= v <= 30_000)
+        assert len(got) == expected  # dyadic cover partitions: no FPs
+
+    def test_logarithmic_lookups(self, dataset, fast_cipher):
+        store = DemertzisStore(dataset, fast_cipher, key=b"sse-key")
+        store.range_query(12_345, 45_678)
+        # A dyadic cover of any range needs at most 2·bits intervals.
+        assert store.lookups <= 2 * DYADIC_BITS
+
+    def test_replication_factor_is_log_domain(self, dataset, fast_cipher):
+        store = DemertzisStore(dataset, fast_cipher, key=b"sse-key")
+        assert store.replication_factor() == DYADIC_BITS + 1
+        assert store.storage_bytes() > 30 * len(dataset)  # heavy
+
+    def test_results_decrypt(self, dataset, fast_cipher):
+        store = DemertzisStore(dataset, fast_cipher, key=b"sse-key")
+        for ciphertext in store.range_query(0, 49_999)[:5]:
+            assert fast_cipher.decrypt(ciphertext).startswith(b"rec-")
+
+    def test_static_no_insert_api(self, dataset, fast_cipher):
+        store = DemertzisStore(dataset, fast_cipher, key=b"sse-key")
+        assert not hasattr(store, "insert")
+
+    def test_wrong_key_finds_nothing(self, dataset, fast_cipher):
+        store = DemertzisStore(dataset, fast_cipher, key=b"sse-key")
+        stranger = DemertzisStore([], fast_cipher, key=b"wrong-key")
+        stranger._multimap = store._multimap  # same server state
+        assert stranger.range_query(0, 49_999) == []
+
+    @settings(max_examples=25)
+    @given(
+        low=st.integers(min_value=0, max_value=1000),
+        width=st.integers(min_value=0, max_value=1000),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    def test_exactness_property(self, low, width, seed):
+        import random
+
+        from repro.crypto.cipher import SimulatedCipher
+        from repro.crypto.keys import KeyStore
+
+        cipher = SimulatedCipher(KeyStore(b"demertzis-property-test-key-32b!"))
+        rng = random.Random(seed)
+        dataset = [(rng.randrange(1024), b"x") for _ in range(60)]
+        store = DemertzisStore(dataset, cipher, key=b"sse-key")
+        high = min(1023, low + width)
+        got = store.range_query(low, high)
+        expected = sum(1 for v, _ in dataset if low <= v <= high)
+        assert len(got) == expected

@@ -1,0 +1,87 @@
+"""Trusted-client tests: decryption, dummy filtering, exact-range filter."""
+
+import pytest
+
+from repro.client.query_client import QueryClient
+from repro.cloud.node import FresqueCloud
+from repro.crypto.cipher import DecryptionError
+from repro.crypto.keys import KeyStore
+from repro.crypto.cipher import SimulatedCipher
+from repro.index.domain import AttributeDomain
+from repro.index.tree import IndexTree
+from repro.records.record import EncryptedRecord, Record, make_dummy
+from repro.records.schema import flu_survey_schema
+from repro.records.serialize import serialize_record
+
+
+@pytest.fixture
+def domain():
+    return AttributeDomain(340, 420, 10)
+
+
+@pytest.fixture
+def schema():
+    return flu_survey_schema()
+
+
+def _publish(cloud, domain, cipher, schema, records):
+    cloud.announce_publication(0)
+    counts = [0] * domain.num_leaves
+    for record in records:
+        offset = domain.leaf_offset(record.indexed_value(schema))
+        counts[offset] += 1
+        cloud.receive_pair(
+            0,
+            offset,
+            EncryptedRecord(
+                leaf_offset=offset,
+                ciphertext=cipher.encrypt(serialize_record(record, schema)),
+            ),
+        )
+    tree = IndexTree(domain, fanout=4)
+    tree.set_leaf_counts(counts)
+    cloud.receive_publication(0, tree, {})
+
+
+class TestQueryClient:
+    def test_exact_range_filtering(self, domain, schema, fast_cipher):
+        cloud = FresqueCloud(domain)
+        records = [
+            Record(("a", 1, 361, "none")),
+            Record(("b", 1, 365, "cough")),
+            Record(("c", 1, 372, "none")),
+        ]
+        _publish(cloud, domain, fast_cipher, schema, records)
+        client = QueryClient(schema, fast_cipher, cloud)
+        result = client.range_query(362, 372)
+        values = sorted(r.values[2] for r in result.records)
+        assert values == [365, 372]
+        # 361 shares leaf [360, 370) with 365 → returned but filtered.
+        assert result.out_of_range_discarded == 1
+
+    def test_dummies_filtered(self, domain, schema, fast_cipher):
+        cloud = FresqueCloud(domain)
+        records = [Record(("a", 1, 365, "none")), make_dummy(schema, 366)]
+        _publish(cloud, domain, fast_cipher, schema, records)
+        client = QueryClient(schema, fast_cipher, cloud)
+        result = client.range_query(360, 369)
+        assert len(result.records) == 1
+        assert result.dummies_discarded == 1
+        assert result.ciphertexts_received == 2
+
+    def test_empty_result(self, domain, schema, fast_cipher):
+        cloud = FresqueCloud(domain)
+        _publish(cloud, domain, fast_cipher, schema, [])
+        client = QueryClient(schema, fast_cipher, cloud)
+        result = client.range_query(340, 420)
+        assert result.records == ()
+
+    def test_wrong_key_raises(self, domain, schema, fast_cipher):
+        cloud = FresqueCloud(domain)
+        _publish(
+            cloud, domain, fast_cipher, schema, [Record(("a", 1, 365, "none"))]
+        )
+        wrong = SimulatedCipher(KeyStore(b"some-entirely-different-key-32b!"))
+        client = QueryClient(schema, wrong, cloud)
+        with pytest.raises(DecryptionError):
+            client.range_query(360, 369)

@@ -1,0 +1,46 @@
+"""Metadata cache tests."""
+
+import pytest
+
+from repro.cloud.metadata import MetadataCache
+from repro.cloud.storage import PhysicalAddress
+
+
+def _address(offset: int) -> PhysicalAddress:
+    return PhysicalAddress(0, offset, 32)
+
+
+class TestMetadataCache:
+    def test_add_and_lookup(self):
+        cache = MetadataCache(0)
+        cache.add(3, _address(0))
+        cache.add(3, _address(32))
+        cache.add(7, _address(64))
+        assert cache.addresses_for(3) == [_address(0), _address(32)]
+        assert cache.addresses_for(7) == [_address(64)]
+        assert cache.addresses_for(5) == []
+        assert cache.entry_count == 3
+
+    def test_size_is_small_and_record_size_independent(self):
+        # The paper's point: metadata is independent of e-record size.
+        cache = MetadataCache(0)
+        for i in range(1000):
+            cache.add(i % 10, PhysicalAddress(0, i * 4096, 4096))
+        assert cache.size_bytes() == 24 * 1000
+
+    def test_destroy(self):
+        cache = MetadataCache(0)
+        cache.add(1, _address(0))
+        cache.destroy()
+        assert cache.is_destroyed
+        assert cache.addresses_for(1) == []
+        with pytest.raises(RuntimeError):
+            cache.add(1, _address(32))
+
+    def test_items_grouped_by_leaf(self):
+        cache = MetadataCache(0)
+        cache.add(2, _address(0))
+        cache.add(2, _address(32))
+        grouped = dict(cache.items())
+        assert set(grouped) == {2}
+        assert len(grouped[2]) == 2

@@ -1,0 +1,142 @@
+"""Cloud node protocol tests (both variants)."""
+
+import random
+
+import pytest
+
+from repro.cloud.node import CloudError, FresqueCloud, MatchingTableCloud
+from repro.index.domain import AttributeDomain
+from repro.index.overflow import OverflowArray
+from repro.index.query import RangeQuery
+from repro.index.tree import IndexTree
+from repro.records.record import EncryptedRecord
+
+
+@pytest.fixture
+def domain():
+    return AttributeDomain(0, 100, 10)
+
+
+def _record(fill: int, publication: int = 0) -> EncryptedRecord:
+    return EncryptedRecord(
+        leaf_offset=None, ciphertext=bytes([fill]) * 32, publication=publication
+    )
+
+
+def _tree(domain, counts):
+    tree = IndexTree(domain, fanout=4)
+    tree.set_leaf_counts(counts)
+    return tree
+
+
+def _sealed_overflow(domain):
+    overflow = {}
+    for offset in range(domain.num_leaves):
+        array = OverflowArray(offset, capacity=2)
+        array.seal(lambda: _record(255), rng=random.Random(offset))
+        overflow[offset] = array
+    return overflow
+
+
+class TestFresqueCloud:
+    def test_publication_lifecycle(self, domain):
+        cloud = FresqueCloud(domain)
+        cloud.announce_publication(0)
+        for i in range(10):
+            cloud.receive_pair(0, i % 10, _record(i))
+        receipt = cloud.receive_publication(
+            0, _tree(domain, [1] * 10), _sealed_overflow(domain)
+        )
+        assert receipt.records_matched == 10
+        assert len(cloud.engine.published) == 1
+
+    def test_double_announce_rejected(self, domain):
+        cloud = FresqueCloud(domain)
+        cloud.announce_publication(0)
+        with pytest.raises(CloudError):
+            cloud.announce_publication(0)
+
+    def test_pair_for_unknown_publication_rejected(self, domain):
+        cloud = FresqueCloud(domain)
+        with pytest.raises(CloudError):
+            cloud.receive_pair(5, 0, _record(1))
+
+    def test_publish_unknown_publication_rejected(self, domain):
+        cloud = FresqueCloud(domain)
+        with pytest.raises(CloudError):
+            cloud.receive_publication(3, _tree(domain, [0] * 10), {})
+
+    def test_query_over_published(self, domain):
+        cloud = FresqueCloud(domain)
+        cloud.announce_publication(0)
+        cloud.receive_pair(0, 2, _record(1))
+        cloud.receive_pair(0, 7, _record(2))
+        cloud.receive_publication(0, _tree(domain, [0, 0, 1, 0, 0, 0, 0, 1, 0, 0]), {})
+        result = cloud.query(RangeQuery(20, 29))
+        assert len(result.indexed) == 1
+        assert result.indexed[0].ciphertext == _record(1).ciphertext
+
+    def test_query_includes_overflow_of_touched_leaves(self, domain):
+        cloud = FresqueCloud(domain)
+        cloud.announce_publication(0)
+        cloud.receive_pair(0, 2, _record(1))
+        cloud.receive_publication(
+            0, _tree(domain, [0, 0, 1, 0, 0, 0, 0, 0, 0, 0]),
+            _sealed_overflow(domain),
+        )
+        result = cloud.query(RangeQuery(20, 29))
+        assert len(result.overflow) == 2  # leaf 2's sealed array
+
+    def test_query_covers_unindexed_inflight_data(self, domain):
+        cloud = FresqueCloud(domain)
+        cloud.announce_publication(0)
+        cloud.receive_pair(0, 3, _record(9))
+        result = cloud.query(RangeQuery(30, 39))
+        assert len(result.unindexed) == 1
+        assert result.indexed == ()
+
+    def test_unindexed_moves_to_indexed_after_publish(self, domain):
+        cloud = FresqueCloud(domain)
+        cloud.announce_publication(0)
+        cloud.receive_pair(0, 3, _record(9))
+        cloud.receive_publication(
+            0, _tree(domain, [0, 0, 0, 1, 0, 0, 0, 0, 0, 0]), {}
+        )
+        result = cloud.query(RangeQuery(30, 39))
+        assert len(result.indexed) == 1
+        assert result.unindexed == ()
+
+
+class TestMatchingTableCloud:
+    def test_lifecycle_with_table(self, domain):
+        cloud = MatchingTableCloud(domain)
+        cloud.announce_publication(0)
+        table = {}
+        for i in range(10):
+            cloud.receive_tagged(0, 1000 + i, _record(i))
+            table[1000 + i] = i % 10
+        receipt = cloud.receive_publication(
+            0, _tree(domain, [1] * 10), {}, table
+        )
+        assert receipt.records_matched == 10
+        assert receipt.stats.bytes_read == 10 * 32
+
+    def test_query_after_matching(self, domain):
+        cloud = MatchingTableCloud(domain)
+        cloud.announce_publication(0)
+        cloud.receive_tagged(0, 42, _record(5))
+        cloud.receive_publication(
+            0, _tree(domain, [0, 1, 0, 0, 0, 0, 0, 0, 0, 0]), {}, {42: 1}
+        )
+        result = cloud.query(RangeQuery(10, 19))
+        assert len(result.indexed) == 1
+
+    def test_unindexed_invisible_to_queries(self, domain):
+        # Tags are random: the PINED-RQ++ cloud cannot filter unpublished
+        # records by range.
+        cloud = MatchingTableCloud(domain)
+        cloud.announce_publication(0)
+        cloud.receive_tagged(0, 42, _record(5))
+        result = cloud.query(RangeQuery(0, 100))
+        assert result.unindexed == ()
+        assert result.indexed == ()

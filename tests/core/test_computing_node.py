@@ -1,0 +1,88 @@
+"""Computing node tests: parse/offset/encrypt, publish/done buffering."""
+
+import pytest
+
+from repro.core.computing_node import ComputingNode
+from repro.core.messages import DoneMsg, Pair, RawData
+from repro.records.record import Record, make_dummy
+from repro.records.serialize import render_raw_line
+
+
+@pytest.fixture
+def node(flu_config, fast_cipher):
+    return ComputingNode(0, flu_config, fast_cipher)
+
+
+def _raw(flu_config, value=371, publication=0):
+    record = Record(("p", 1, value, "none"))
+    return RawData(publication, line=render_raw_line(record, flu_config.schema))
+
+
+class TestProcessing:
+    def test_raw_line_becomes_pair(self, node, flu_config):
+        out = node.on_raw(_raw(flu_config, value=371))
+        assert len(out) == 1
+        destination, pair = out[0]
+        assert destination == "checking"
+        assert isinstance(pair, Pair)
+        assert pair.leaf_offset == flu_config.domain.leaf_offset(371)
+        assert not pair.dummy
+        assert node.parsed == 1
+        assert node.encrypted == 1
+
+    def test_pre_built_record_skips_parsing(self, node, flu_config):
+        dummy = make_dummy(flu_config.schema, 380)
+        out = node.on_raw(RawData(0, record=dummy))
+        (_, pair), = out
+        assert pair.dummy
+        assert node.parsed == 0  # no raw line parsed
+        assert node.encrypted == 1
+
+    def test_ciphertext_decrypts_to_record(self, node, flu_config, fast_cipher):
+        (_, pair), = node.on_raw(_raw(flu_config, value=402))
+        from repro.records.serialize import deserialize_record
+
+        record = deserialize_record(
+            fast_cipher.decrypt(pair.encrypted.ciphertext), flu_config.schema
+        )
+        assert record.values[2] == 402
+
+    def test_leaf_offset_in_clear(self, node, flu_config):
+        """The pair exposes the leaf offset (and nothing else) in clear."""
+        (_, pair), = node.on_raw(_raw(flu_config, value=355))
+        assert pair.encrypted.leaf_offset == pair.leaf_offset
+        assert b"355" not in pair.encrypted.ciphertext
+
+
+class TestPublishBoundary:
+    def test_publishing_notifies_checking(self, node):
+        out = node.on_publishing(0)
+        (destination, message), = out
+        assert destination == "checking"
+        assert message.publication == 0
+        assert message.node_id == 0
+        assert node.waiting_for_done
+
+    def test_pairs_held_while_waiting(self, node, flu_config):
+        node.on_publishing(0)
+        out = node.on_raw(_raw(flu_config, publication=1))
+        assert out == []
+        assert node.held_pairs == 1
+
+    def test_done_flushes_held_pairs(self, node, flu_config):
+        node.on_publishing(0)
+        node.on_raw(_raw(flu_config, publication=1))
+        node.on_raw(_raw(flu_config, publication=1))
+        out = node.on_done(DoneMsg(0))
+        assert len(out) == 2
+        assert all(dest == "checking" for dest, _ in out)
+        assert node.held_pairs == 0
+        assert not node.waiting_for_done
+
+    def test_held_records_still_processed(self, node, flu_config):
+        """The paper: during the wait, data is processed (parsed +
+        encrypted) and only the *send* is deferred."""
+        node.on_publishing(0)
+        node.on_raw(_raw(flu_config, publication=1))
+        assert node.parsed == 1
+        assert node.encrypted == 1

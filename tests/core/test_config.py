@@ -1,0 +1,94 @@
+"""FRESQUE configuration tests."""
+
+import pytest
+
+from repro.core.config import ConfigError, FresqueConfig
+from repro.datasets.flu import flu_domain
+from repro.index.domain import gowalla_domain, nasa_domain
+from repro.records.schema import flu_survey_schema, gowalla_schema, nasa_log_schema
+
+
+def _config(**overrides):
+    defaults = dict(
+        schema=flu_survey_schema(),
+        domain=flu_domain(),
+        num_computing_nodes=4,
+    )
+    defaults.update(overrides)
+    return FresqueConfig(**defaults)
+
+
+class TestValidation:
+    def test_defaults_match_paper(self):
+        config = _config()
+        assert config.epsilon == 1.0
+        assert config.alpha == 2.0
+        assert config.delta == config.delta_prime == 0.99
+        assert config.fanout == 16
+        assert config.publish_interval == 60.0
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"num_computing_nodes": 0},
+            {"epsilon": 0.0},
+            {"epsilon": -1.0},
+            {"alpha": 1.9},  # the paper requires alpha >= 2
+            {"delta": 0.0},
+            {"delta": 1.0},
+            {"delta_prime": 1.5},
+            {"publish_interval": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, overrides):
+        with pytest.raises(ConfigError):
+            _config(**overrides)
+
+
+class TestDerivedQuantities:
+    def test_flu_domain_derivations(self):
+        config = _config(epsilon=1.0)
+        assert config.index_height == 3  # 80 → 5 → 1
+        assert config.per_level_epsilon == pytest.approx(1.0 / 3)
+        assert config.noise_scale == pytest.approx(3.0)
+
+    def test_nasa_buffer_size_matches_paper_formula(self):
+        # ε=1, 3421 leaves, height 4 → scale 4 → s_i=16 → S = 2·3421·16.
+        config = FresqueConfig(
+            schema=nasa_log_schema(),
+            domain=nasa_domain(),
+            num_computing_nodes=12,
+            epsilon=1.0,
+            alpha=2.0,
+        )
+        assert config.per_leaf_noise_bound == 16
+        assert config.max_dummy_bound == 3421 * 16
+        assert config.randomer_buffer_size == 2 * 3421 * 16
+
+    def test_gowalla_buffer_size(self):
+        config = FresqueConfig(
+            schema=gowalla_schema(),
+            domain=gowalla_domain(),
+            num_computing_nodes=8,
+        )
+        assert config.randomer_buffer_size == 2 * 626 * 16
+
+    def test_smaller_epsilon_bigger_buffer(self):
+        small = _config(epsilon=0.1)
+        large = _config(epsilon=2.0)
+        assert small.randomer_buffer_size > large.randomer_buffer_size
+
+    def test_alpha_scales_buffer_linearly(self):
+        base = _config(alpha=2.0)
+        big = _config(alpha=20.0)
+        assert big.randomer_buffer_size == 10 * base.randomer_buffer_size
+
+    def test_buffer_independent_of_actual_dummy_draw(self):
+        """Requirement (*) of Section 5.2: the size is a function of the
+        configuration only, never of the sampled noise."""
+        assert (
+            _config().randomer_buffer_size == _config().randomer_buffer_size
+        )
+
+    def test_overflow_capacity_positive(self):
+        assert _config().overflow_capacity > 0

@@ -1,0 +1,105 @@
+"""Merger tests: index assembly and overflow arrays."""
+
+import random
+
+import pytest
+
+from repro.core.merger import Merger
+from repro.core.messages import (
+    AlSnapshot,
+    MergedPublication,
+    RemovedRecord,
+    TemplateMsg,
+)
+from repro.index.perturb import draw_noise_plan
+from repro.index.tree import IndexTree
+from repro.records.record import EncryptedRecord
+
+
+@pytest.fixture
+def merger(flu_config, fast_cipher):
+    return Merger(flu_config, fast_cipher, rng=random.Random(12))
+
+
+@pytest.fixture
+def plan(flu_config):
+    tree = IndexTree(flu_config.domain, fanout=flu_config.fanout)
+    return draw_noise_plan(tree, flu_config.epsilon, rng=random.Random(55))
+
+
+def _removed(offset: int, publication: int = 0) -> RemovedRecord:
+    return RemovedRecord(
+        publication, offset, EncryptedRecord(offset, bytes(48))
+    )
+
+
+class TestMergeJob:
+    def test_merge_produces_truth_plus_noise(self, merger, flu_config, plan):
+        merger.on_template(TemplateMsg(0, plan))
+        al = [3] * flu_config.domain.num_leaves
+        out = merger.on_al(AlSnapshot(0, tuple(al)))
+        (destination, message), = out
+        assert destination == "cloud"
+        assert isinstance(message, MergedPublication)
+        for offset, leaf in enumerate(message.tree.leaves):
+            assert leaf.count == 3 + plan.leaf_noise[offset]
+
+    def test_overflow_arrays_sealed_at_capacity(self, merger, flu_config, plan):
+        merger.on_template(TemplateMsg(0, plan))
+        merger.on_removed(_removed(2))
+        (_, message), = merger.on_al(
+            AlSnapshot(0, tuple([0] * flu_config.domain.num_leaves))
+        )
+        arrays = message.overflow
+        assert len(arrays) == flu_config.domain.num_leaves
+        capacity = flu_config.overflow_capacity
+        assert all(len(a.entries) == capacity for a in arrays.values())
+        assert arrays[2].real_count == 1
+        assert arrays[3].real_count == 0
+
+    def test_removed_before_template_buffers(self, merger, flu_config, plan):
+        # Race tolerance: a removed record may beat the template message.
+        merger.on_removed(_removed(1))
+        merger.on_template(TemplateMsg(0, plan))
+        (_, message), = merger.on_al(
+            AlSnapshot(0, tuple([0] * flu_config.domain.num_leaves))
+        )
+        assert message.overflow[1].real_count == 1
+
+    def test_al_without_template_raises(self, merger, flu_config):
+        with pytest.raises(KeyError):
+            merger.on_al(AlSnapshot(9, tuple([0] * flu_config.domain.num_leaves)))
+
+    def test_report_accounting(self, merger, flu_config, plan):
+        merger.on_template(TemplateMsg(0, plan))
+        merger.on_removed(_removed(0))
+        merger.on_al(AlSnapshot(0, tuple([1] * flu_config.domain.num_leaves)))
+        report = merger.reports[0]
+        assert report.publication == 0
+        assert report.removed_records == 1
+        assert report.overflow_capacity == (
+            flu_config.overflow_capacity * flu_config.domain.num_leaves
+        )
+        assert report.padding_encrypts == report.overflow_capacity - 1
+
+    def test_overflow_capacity_caps_removed(self, merger, flu_config, plan):
+        merger.on_template(TemplateMsg(0, plan))
+        capacity = flu_config.overflow_capacity
+        for _ in range(capacity + 5):
+            merger.on_removed(_removed(4))
+        (_, message), = merger.on_al(
+            AlSnapshot(0, tuple([0] * flu_config.domain.num_leaves))
+        )
+        assert message.overflow[4].real_count == capacity
+
+    def test_two_publications_independent(self, merger, flu_config, plan):
+        tree = IndexTree(flu_config.domain, fanout=flu_config.fanout)
+        other = draw_noise_plan(tree, 1.0, rng=random.Random(99))
+        merger.on_template(TemplateMsg(0, plan))
+        merger.on_template(TemplateMsg(1, other))
+        merger.on_removed(_removed(0, publication=1))
+        zeros = tuple([0] * flu_config.domain.num_leaves)
+        (_, first), = merger.on_al(AlSnapshot(0, zeros))
+        (_, second), = merger.on_al(AlSnapshot(1, zeros))
+        assert first.overflow[0].real_count == 0
+        assert second.overflow[0].real_count == 1

@@ -1,0 +1,107 @@
+"""Randomer buffer tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import Pair
+from repro.core.randomer import Randomer
+from repro.records.record import EncryptedRecord
+
+
+def _pair(index: int, dummy: bool = False) -> Pair:
+    return Pair(
+        publication=0,
+        leaf_offset=index,
+        encrypted=EncryptedRecord(index, index.to_bytes(4, "little") * 8),
+        dummy=dummy,
+    )
+
+
+class TestRandomer:
+    def test_no_release_until_full(self):
+        randomer = Randomer(5, rng=random.Random(1))
+        for index in range(5):
+            assert randomer.insert(_pair(index)) is None
+        assert len(randomer) == 5
+        assert randomer.is_full
+
+    def test_release_after_full(self):
+        randomer = Randomer(3, rng=random.Random(1))
+        for index in range(3):
+            randomer.insert(_pair(index))
+        evicted = randomer.insert(_pair(3))
+        assert evicted is not None
+        assert len(randomer) == 3
+
+    def test_capacity_one_is_degenerate(self):
+        # Buffer size 1: inserting the second pair always evicts one —
+        # the "no randomer" extreme the paper warns about.
+        randomer = Randomer(1, rng=random.Random(1))
+        assert randomer.insert(_pair(0)) is None
+        assert randomer.insert(_pair(1)) is not None
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Randomer(0)
+
+    def test_flush_returns_everything(self):
+        randomer = Randomer(10, rng=random.Random(3))
+        for index in range(7):
+            randomer.insert(_pair(index))
+        flushed = randomer.flush()
+        assert len(flushed) == 7
+        assert len(randomer) == 0
+        assert {p.leaf_offset for p in flushed} == set(range(7))
+
+    def test_flush_shuffles(self):
+        orders = set()
+        for seed in range(20):
+            randomer = Randomer(10, rng=random.Random(seed))
+            for index in range(10):
+                randomer.insert(_pair(index))
+            orders.add(tuple(p.leaf_offset for p in randomer.flush()))
+        assert len(orders) > 10
+
+    def test_eviction_is_uniform(self):
+        """Each resident (including the newcomer) must be evicted with
+        roughly equal probability — the mixing property."""
+        counts = {i: 0 for i in range(4)}
+        trials = 4000
+        for seed in range(trials):
+            randomer = Randomer(3, rng=random.Random(seed))
+            for index in range(3):
+                randomer.insert(_pair(index))
+            evicted = randomer.insert(_pair(3))
+            counts[evicted.leaf_offset] += 1
+        for count in counts.values():
+            assert count == pytest.approx(trials / 4, rel=0.2)
+
+    def test_released_counter(self):
+        randomer = Randomer(2, rng=random.Random(1))
+        randomer.insert(_pair(0))
+        randomer.insert(_pair(1))
+        randomer.insert(_pair(2))
+        randomer.flush()
+        assert randomer.released == 3
+
+
+@settings(max_examples=40)
+@given(
+    capacity=st.integers(min_value=1, max_value=50),
+    inserts=st.integers(min_value=0, max_value=200),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_conservation_property(capacity, inserts, seed):
+    """No pair is ever lost or duplicated by the randomer."""
+    randomer = Randomer(capacity, rng=random.Random(seed))
+    released = []
+    for index in range(inserts):
+        evicted = randomer.insert(_pair(index))
+        if evicted is not None:
+            released.append(evicted)
+    released.extend(randomer.flush())
+    assert len(released) == inserts
+    assert {p.leaf_offset for p in released} == set(range(inserts))

@@ -1,0 +1,80 @@
+"""AES block cipher tests against the FIPS-197 / NIST vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.aes import BLOCK_SIZE, AesBlockCipher, AesKeyError, expand_key
+
+# FIPS-197 Appendix C: key = 000102...; plaintext = 00112233...
+_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+_VECTORS = {
+    16: "69c4e0d86a7b0430d8cdb78070b4c55a",
+    24: "dda97ca4864cdfe06eaf70a0ec0d7191",
+    32: "8ea2b7ca516745bfeafc49904b496089",
+}
+
+
+class TestFips197Vectors:
+    @pytest.mark.parametrize("key_size", sorted(_VECTORS))
+    def test_encrypt_vector(self, key_size):
+        cipher = AesBlockCipher(bytes(range(key_size)))
+        assert cipher.encrypt_block(_PLAINTEXT).hex() == _VECTORS[key_size]
+
+    @pytest.mark.parametrize("key_size", sorted(_VECTORS))
+    def test_decrypt_vector(self, key_size):
+        cipher = AesBlockCipher(bytes(range(key_size)))
+        ciphertext = bytes.fromhex(_VECTORS[key_size])
+        assert cipher.decrypt_block(ciphertext) == _PLAINTEXT
+
+    def test_appendix_b_vector(self):
+        # FIPS-197 Appendix B worked example.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        cipher = AesBlockCipher(key)
+        assert (
+            cipher.encrypt_block(plaintext).hex()
+            == "3925841d02dc09fbdc118597196a0b32"
+        )
+
+
+class TestKeyExpansion:
+    def test_round_key_counts(self):
+        assert len(expand_key(bytes(16))) == 11
+        assert len(expand_key(bytes(24))) == 13
+        assert len(expand_key(bytes(32))) == 15
+
+    def test_first_round_key_is_key(self):
+        key = bytes(range(16))
+        assert bytes(expand_key(key)[0]) == key
+
+    @pytest.mark.parametrize("bad", [0, 1, 15, 17, 33, 64])
+    def test_bad_key_sizes_rejected(self, bad):
+        with pytest.raises(AesKeyError):
+            expand_key(bytes(bad))
+
+
+class TestBlockOperations:
+    def test_wrong_block_size_rejected(self):
+        cipher = AesBlockCipher(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"short")
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(b"x" * 17)
+
+    def test_encryption_changes_data(self):
+        cipher = AesBlockCipher(bytes(16))
+        block = b"\x00" * BLOCK_SIZE
+        assert cipher.encrypt_block(block) != block
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    def test_roundtrip_property(self, key, block):
+        """decrypt(encrypt(x)) == x for every key/block pair."""
+        cipher = AesBlockCipher(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=16, max_size=16))
+    def test_different_keys_differ(self, block):
+        a = AesBlockCipher(b"\x00" * 16)
+        b = AesBlockCipher(b"\x01" + b"\x00" * 15)
+        assert a.encrypt_block(block) != b.encrypt_block(block)

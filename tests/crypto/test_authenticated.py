@@ -1,0 +1,85 @@
+"""Authenticated (encrypt-then-MAC) cipher tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.authenticated import AuthenticatedCipher, AuthenticationError
+from repro.crypto.cipher import AesCbcCipher, SimulatedCipher
+from repro.crypto.keys import KeyStore
+
+
+@pytest.fixture(params=[AesCbcCipher, SimulatedCipher])
+def cipher(request, keystore):
+    return AuthenticatedCipher(request.param(keystore), keystore)
+
+
+class TestAuthenticatedCipher:
+    def test_roundtrip(self, cipher):
+        assert cipher.decrypt(cipher.encrypt(b"payload")) == b"payload"
+
+    def test_length_prediction(self, cipher):
+        for size in (0, 1, 16, 100):
+            assert len(cipher.encrypt(b"x" * size)) == cipher.ciphertext_length(
+                size
+            )
+
+    def test_any_bit_flip_detected(self, cipher):
+        ciphertext = bytearray(cipher.encrypt(b"sensitive record"))
+        for position in range(0, len(ciphertext), 7):
+            tampered = bytearray(ciphertext)
+            tampered[position] ^= 0x01
+            with pytest.raises(AuthenticationError):
+                cipher.decrypt(bytes(tampered))
+
+    def test_truncation_detected(self, cipher):
+        ciphertext = cipher.encrypt(b"sensitive record")
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt(ciphertext[:-1])
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt(b"")
+
+    def test_tag_swap_between_records_detected(self, cipher):
+        a = cipher.encrypt(b"record a")
+        b = cipher.encrypt(b"record b")
+        franken = a[:-32] + b[-32:]
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt(franken)
+
+    def test_mac_key_independent_of_encryption_key(self, keystore):
+        assert keystore.derive("fresque/record-authentication") != (
+            keystore.record_key()
+        )
+
+    def test_wrong_mac_key_rejects(self, keystore):
+        inner = SimulatedCipher(keystore)
+        ours = AuthenticatedCipher(inner, keystore)
+        theirs = AuthenticatedCipher(
+            inner, KeyStore(b"some-other-master-key-32-bytes!!")
+        )
+        ciphertext = ours.encrypt(b"record")
+        with pytest.raises(AuthenticationError):
+            theirs.decrypt(ciphertext)
+
+
+@settings(max_examples=40)
+@given(payload=st.binary(max_size=300))
+def test_authenticated_roundtrip_property(payload):
+    """Authenticate-then-decrypt is the identity on untampered data."""
+    keys = KeyStore(b"property-authenticated-key-32by!")
+    cipher = AuthenticatedCipher(SimulatedCipher(keys), keys)
+    assert cipher.decrypt(cipher.encrypt(payload)) == payload
+
+
+def test_end_to_end_with_fresque(flu_config, keystore):
+    """The authenticated cipher drops into the full pipeline."""
+    from repro.core.system import FresqueSystem
+    from repro.datasets.flu import FluSurveyGenerator
+
+    cipher = AuthenticatedCipher(SimulatedCipher(keystore), keystore)
+    system = FresqueSystem(flu_config, cipher, seed=3)
+    system.start()
+    generator = FluSurveyGenerator(seed=61)
+    system.run_publication(list(generator.raw_lines(300)))
+    result = system.query(340, 420)
+    assert len(result.records) > 250

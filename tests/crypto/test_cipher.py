@@ -1,0 +1,99 @@
+"""Record cipher tests (AES-CBC and the simulated fast cipher)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cipher import AesCbcCipher, DecryptionError, SimulatedCipher
+from repro.crypto.keys import KeyStore
+
+
+@pytest.fixture(params=[AesCbcCipher, SimulatedCipher])
+def cipher(request, keystore):
+    return request.param(keystore)
+
+
+class TestRecordCiphers:
+    def test_roundtrip(self, cipher):
+        assert cipher.decrypt(cipher.encrypt(b"payload")) == b"payload"
+
+    def test_empty_plaintext(self, cipher):
+        assert cipher.decrypt(cipher.encrypt(b"")) == b""
+
+    def test_distinct_ciphertexts_for_equal_plaintexts(self, cipher):
+        # Fresh IV (or nonce) per message: equal plaintexts must not
+        # produce equal ciphertexts, or dummies become linkable.
+        assert cipher.encrypt(b"same") != cipher.encrypt(b"same")
+
+    def test_ciphertext_length_prediction(self, cipher):
+        for size in (0, 1, 15, 16, 17, 100, 255):
+            ciphertext = cipher.encrypt(b"z" * size)
+            assert len(ciphertext) == cipher.ciphertext_length(size)
+
+    def test_too_short_ciphertext_rejected(self, cipher):
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(b"\x00" * 16)
+
+    def test_wrong_key_fails_or_garbles(self, keystore):
+        # With CBC + PKCS#7 a wrong key overwhelmingly fails the padding
+        # check; on the rare valid-padding draw it must at least not
+        # return the true plaintext.
+        cipher = AesCbcCipher(keystore)
+        other = AesCbcCipher(KeyStore(b"another-master-key-of-32-bytes!!"))
+        ciphertext = cipher.encrypt(b"secret payload")
+        try:
+            assert other.decrypt(ciphertext) != b"secret payload"
+        except DecryptionError:
+            pass
+
+    def test_both_ciphers_same_length_schedule(self, keystore):
+        # The simulated cipher must be a drop-in for AES-CBC size-wise,
+        # or the cost model would charge the wrong bytes.
+        aes = AesCbcCipher(keystore)
+        fast = SimulatedCipher(keystore)
+        for size in (0, 5, 16, 31, 32, 100):
+            assert aes.ciphertext_length(size) == fast.ciphertext_length(size)
+            assert len(aes.encrypt(b"p" * size)) == len(fast.encrypt(b"p" * size))
+
+
+class TestKeyStore:
+    def test_derivation_is_deterministic(self):
+        a = KeyStore(b"shared-master-key-32-bytes-long!")
+        b = KeyStore(b"shared-master-key-32-bytes-long!")
+        assert a.record_key() == b.record_key()
+
+    def test_purpose_separation(self, keystore):
+        assert keystore.derive("a") != keystore.derive("b")
+
+    def test_key_size(self):
+        for size in (16, 24, 32):
+            assert len(KeyStore(b"k" * 32, key_size=size).record_key()) == size
+
+    def test_bad_key_size_rejected(self):
+        with pytest.raises(ValueError):
+            KeyStore(b"k" * 32, key_size=20)
+
+    def test_short_master_rejected(self):
+        with pytest.raises(ValueError):
+            KeyStore(b"short")
+
+    def test_random_master_keys_differ(self):
+        assert KeyStore().record_key() != KeyStore().record_key()
+
+    def test_fresh_ivs_differ(self, keystore):
+        assert keystore.fresh_iv() != keystore.fresh_iv()
+
+
+@settings(max_examples=25)
+@given(st.binary(max_size=300))
+def test_aes_cbc_roundtrip_property(payload):
+    """AesCbcCipher round-trips arbitrary payloads."""
+    cipher = AesCbcCipher(KeyStore(b"property-test-master-key-32byte!"))
+    assert cipher.decrypt(cipher.encrypt(payload)) == payload
+
+
+@given(st.binary(max_size=2000))
+def test_simulated_roundtrip_property(payload):
+    """SimulatedCipher round-trips arbitrary payloads."""
+    cipher = SimulatedCipher(KeyStore(b"property-test-master-key-32byte!"))
+    assert cipher.decrypt(cipher.encrypt(payload)) == payload

@@ -1,0 +1,77 @@
+"""CBC mode tests, including the NIST SP 800-38A vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AesBlockCipher
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt
+from repro.crypto.padding import PaddingError
+
+# NIST SP 800-38A F.2.1 (AES-128 CBC).
+_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+_IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+_NIST_PLAIN = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+_NIST_CIPHER = bytes.fromhex(
+    "7649abac8119b246cee98e9b12e9197d"
+    "5086cb9b507219ee95db113a917678b2"
+    "73bed6b8e3c1743b7116e69e22229516"
+    "3ff1caa1681fac09120eca307586e1a7"
+)
+
+
+class TestNistVectors:
+    def test_cbc_encrypt_blocks_match(self):
+        cipher = AesBlockCipher(_KEY)
+        ciphertext = cbc_encrypt(cipher, _NIST_PLAIN, _IV)
+        # Our CBC appends a PKCS#7 padding block; the first four blocks
+        # must match the NIST vector exactly.
+        assert ciphertext[:64] == _NIST_CIPHER
+
+    def test_cbc_decrypt_recovers_plaintext(self):
+        cipher = AesBlockCipher(_KEY)
+        ciphertext = cbc_encrypt(cipher, _NIST_PLAIN, _IV)
+        assert cbc_decrypt(cipher, ciphertext, _IV) == _NIST_PLAIN
+
+
+class TestCbcBehaviour:
+    def test_iv_must_be_block_sized(self):
+        cipher = AesBlockCipher(_KEY)
+        with pytest.raises(ValueError):
+            cbc_encrypt(cipher, b"data", b"short-iv")
+        with pytest.raises(ValueError):
+            cbc_decrypt(cipher, b"\x00" * 16, b"short-iv")
+
+    def test_ciphertext_must_be_block_multiple(self):
+        cipher = AesBlockCipher(_KEY)
+        with pytest.raises(ValueError):
+            cbc_decrypt(cipher, b"\x00" * 17, _IV)
+        with pytest.raises(ValueError):
+            cbc_decrypt(cipher, b"", _IV)
+
+    def test_same_plaintext_different_iv_differs(self):
+        cipher = AesBlockCipher(_KEY)
+        other_iv = bytes(reversed(_IV))
+        assert cbc_encrypt(cipher, b"hello", _IV) != cbc_encrypt(
+            cipher, b"hello", other_iv
+        )
+
+    def test_tampered_ciphertext_fails_padding(self):
+        cipher = AesBlockCipher(_KEY)
+        ciphertext = bytearray(cbc_encrypt(cipher, b"hello world", _IV))
+        ciphertext[-1] ^= 0xFF
+        with pytest.raises((PaddingError, ValueError)):
+            cbc_decrypt(cipher, bytes(ciphertext), _IV)
+
+    @given(st.binary(min_size=0, max_size=200))
+    def test_roundtrip_property(self, plaintext):
+        """CBC decrypt(encrypt(m)) == m for any message length."""
+        cipher = AesBlockCipher(_KEY)
+        ciphertext = cbc_encrypt(cipher, plaintext, _IV)
+        assert len(ciphertext) % 16 == 0
+        assert cbc_decrypt(cipher, ciphertext, _IV) == plaintext

@@ -1,0 +1,56 @@
+"""PKCS#7 padding tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.padding import PaddingError, pad, unpad
+
+
+class TestPad:
+    def test_always_appends(self):
+        assert pad(b"", 16) == b"\x10" * 16
+        assert pad(b"x" * 16, 16) == b"x" * 16 + b"\x10" * 16
+
+    def test_partial_block(self):
+        assert pad(b"abc", 8) == b"abc" + b"\x05" * 5
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            pad(b"x", 0)
+        with pytest.raises(ValueError):
+            pad(b"x", 256)
+
+
+class TestUnpad:
+    def test_roundtrip(self):
+        assert unpad(pad(b"hello", 16), 16) == b"hello"
+
+    def test_empty_rejected(self):
+        with pytest.raises(PaddingError):
+            unpad(b"", 16)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(PaddingError):
+            unpad(b"x" * 15, 16)
+
+    def test_zero_pad_byte_rejected(self):
+        with pytest.raises(PaddingError):
+            unpad(b"x" * 15 + b"\x00", 16)
+
+    def test_oversized_pad_byte_rejected(self):
+        with pytest.raises(PaddingError):
+            unpad(b"x" * 15 + b"\x20", 16)
+
+    def test_inconsistent_padding_rejected(self):
+        with pytest.raises(PaddingError):
+            unpad(b"x" * 13 + b"\x01\x02\x03", 16)
+
+
+@given(st.binary(max_size=100), st.integers(min_value=1, max_value=64))
+def test_pad_unpad_property(data, block_size):
+    """unpad(pad(x)) == x, and pad always aligns to the block size."""
+    padded = pad(data, block_size)
+    assert len(padded) % block_size == 0
+    assert len(padded) > len(data)
+    assert unpad(padded, block_size) == data

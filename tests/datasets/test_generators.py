@@ -1,0 +1,102 @@
+"""Synthetic workload generator tests."""
+
+import pytest
+
+from repro.datasets.base import DatasetGenerator
+from repro.datasets.flu import FluSurveyGenerator
+from repro.datasets.gowalla import GowallaGenerator
+from repro.datasets.nasa import NasaLogGenerator
+from repro.records.serialize import parse_raw_line
+
+GENERATORS = [NasaLogGenerator, GowallaGenerator, FluSurveyGenerator]
+
+
+@pytest.mark.parametrize("generator_cls", GENERATORS)
+class TestGeneratorContract:
+    def test_records_match_schema(self, generator_cls):
+        generator = generator_cls(seed=1)
+        for record in generator.records(50):
+            validated = record.validate(generator.schema)
+            assert validated.values == record.values
+
+    def test_indexed_values_in_domain(self, generator_cls):
+        generator = generator_cls(seed=2)
+        domain = generator.domain
+        for record in generator.records(200):
+            value = record.indexed_value(generator.schema)
+            assert domain.dmin <= value <= domain.dmax
+            domain.leaf_offset(value)  # must not raise
+
+    def test_raw_lines_parse_back(self, generator_cls):
+        generator = generator_cls(seed=3)
+        for line in generator.raw_lines(50):
+            record = parse_raw_line(line, generator.schema)
+            assert len(record.values) == generator.schema.arity
+
+    def test_deterministic_under_seed(self, generator_cls):
+        a = [r.values for r in generator_cls(seed=9).records(20)]
+        b = [r.values for r in generator_cls(seed=9).records(20)]
+        assert a == b
+
+    def test_different_seeds_differ(self, generator_cls):
+        a = [r.values for r in generator_cls(seed=1).records(20)]
+        b = [r.values for r in generator_cls(seed=2).records(20)]
+        assert a != b
+
+
+class TestRecordSizes:
+    def test_nasa_lines_about_4x_gowalla(self):
+        """The cost model's record-size ratio must hold in the data."""
+        nasa = NasaLogGenerator(seed=4).average_line_bytes()
+        gowalla = GowallaGenerator(seed=4).average_line_bytes()
+        assert 3.0 < nasa / gowalla < 5.5
+
+    def test_nasa_line_size_near_model(self):
+        from repro.simulation.costs import NASA_COSTS
+
+        measured = NasaLogGenerator(seed=5).average_line_bytes()
+        assert measured == pytest.approx(NASA_COSTS.line_bytes, rel=0.25)
+
+    def test_gowalla_line_size_near_model(self):
+        from repro.simulation.costs import GOWALLA_COSTS
+
+        measured = GowallaGenerator(seed=5).average_line_bytes()
+        assert measured == pytest.approx(GOWALLA_COSTS.line_bytes, rel=0.25)
+
+
+class TestDistributionShapes:
+    def test_nasa_reply_bytes_heavy_tailed(self):
+        generator = NasaLogGenerator(seed=6)
+        sizes = [r.values[4] for r in generator.records(4000)]
+        sizes.sort()
+        median = sizes[len(sizes) // 2]
+        p99 = sizes[int(0.99 * len(sizes))]
+        assert p99 > 10 * median  # long tail
+
+    def test_gowalla_checkins_diurnal(self):
+        generator = GowallaGenerator(seed=7)
+        by_hour_of_day = [0] * 24
+        for record in generator.records(8000):
+            by_hour_of_day[(record.values[1] // 3600) % 24] += 1
+        assert max(by_hour_of_day) > 1.8 * min(by_hour_of_day)
+
+    def test_flu_fever_rate(self):
+        generator = FluSurveyGenerator(seed=8, fever_rate=0.1)
+        febrile = sum(
+            1 for r in generator.records(5000) if r.values[2] >= 380
+        )
+        assert 0.05 < febrile / 5000 < 0.2
+
+    def test_flu_fever_rate_validation(self):
+        with pytest.raises(ValueError):
+            FluSurveyGenerator(seed=1, fever_rate=1.5)
+
+
+class TestPaperCounts:
+    def test_paper_record_counts_recorded(self):
+        assert NasaLogGenerator.PAPER_RECORD_COUNT == 1_569_898
+        assert GowallaGenerator.PAPER_RECORD_COUNT == 6_442_892
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(TypeError):
+            DatasetGenerator(seed=1)

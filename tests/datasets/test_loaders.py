@@ -1,0 +1,122 @@
+"""Real-format dataset loader tests."""
+
+import pytest
+
+from repro.datasets.loaders import (
+    GowallaLoader,
+    NasaLogLoader,
+    load_file,
+)
+
+NASA_LINES = [
+    'burger.letters.com - - [01/Jul/1995:00:00:11 -0400] '
+    '"GET /shuttle/countdown/liftoff.html HTTP/1.0" 304 0',
+    'unicomp6.unicomp.net - - [01/Jul/1995:00:00:06 -0400] '
+    '"GET /shuttle/countdown/ HTTP/1.0" 200 3985',
+    '199.120.110.21 - - [01/Jul/1995:00:00:09 -0400] '
+    '"GET /shuttle/missions/sts-73/mission-sts-73.html HTTP/1.0" 200 4085',
+]
+
+GOWALLA_LINES = [
+    "0\t2010-10-19T23:55:27Z\t30.2359091167\t-97.7951395833\t22847",
+    "0\t2010-10-18T22:17:43Z\t30.2691029532\t-97.7493953705\t420315",
+    "1\t2010-10-19T23:55:30Z\t40.6438845363\t-73.7828063965\t23261",
+]
+
+
+class TestNasaLoader:
+    def test_parses_clf(self):
+        loader = NasaLogLoader()
+        records = list(loader.load(NASA_LINES))
+        assert len(records) == 3
+        assert records[0].values[0] == "burger.letters.com"
+        assert records[0].values[3] == 304
+        assert records[0].values[4] == 0
+        assert records[1].values[4] == 3985
+        assert loader.stats.accepted == 3
+
+    def test_timestamps_with_offset(self):
+        loader = NasaLogLoader()
+        first = loader.parse_line(NASA_LINES[1])
+        second = loader.parse_line(NASA_LINES[2])
+        assert second.values[1] - first.values[1] == 3  # 00:00:06 -> 00:00:09
+
+    def test_dash_reply_size_skipped(self):
+        loader = NasaLogLoader()
+        line = (
+            'host - - [01/Jul/1995:00:00:01 -0400] "HEAD / HTTP/1.0" 200 -'
+        )
+        assert loader.parse_line(line) is None
+        assert loader.stats.skip_reasons["no-reply-size"] == 1
+
+    def test_garbage_skipped(self):
+        loader = NasaLogLoader()
+        assert loader.parse_line("total garbage") is None
+        assert loader.parse_line("") is None
+        assert loader.stats.skipped == 2
+
+    def test_records_match_schema(self):
+        loader = NasaLogLoader()
+        for record in loader.load(NASA_LINES):
+            record.validate(loader.schema)
+
+
+class TestGowallaLoader:
+    def test_parses_tsv(self):
+        loader = GowallaLoader()
+        records = list(loader.load(GOWALLA_LINES))
+        assert len(records) == 3
+        assert records[0].values[0] == 0
+        assert records[0].values[2] == 22847
+
+    def test_relative_timestamps(self):
+        loader = GowallaLoader(epoch_origin=1287360000)  # 2010-10-18T00:00
+        records = list(loader.load(GOWALLA_LINES))
+        # 2010-10-19T23:55:27 is 1 day 23:55:27 after the origin.
+        assert records[0].values[1] == 86400 + 23 * 3600 + 55 * 60 + 27
+
+    def test_checkins_before_origin_skipped(self):
+        loader = GowallaLoader(epoch_origin=2_000_000_000)
+        assert list(loader.load(GOWALLA_LINES)) == []
+        assert loader.stats.skip_reasons["before-origin"] == 3
+
+    def test_bad_lines_skipped(self):
+        loader = GowallaLoader()
+        assert loader.parse_line("1\t2\t3") is None
+        assert loader.parse_line("a\tnot-a-date\t0\t0\t1") is None
+        assert loader.stats.skipped == 2
+
+    def test_records_match_schema(self):
+        loader = GowallaLoader()
+        for record in loader.load(GOWALLA_LINES):
+            record.validate(loader.schema)
+
+
+class TestLoadFile:
+    def test_streams_from_disk(self, tmp_path):
+        path = tmp_path / "nasa.log"
+        path.write_text("\n".join(NASA_LINES + ["garbage line"]) + "\n")
+        loader = NasaLogLoader()
+        records = list(load_file(path, loader))
+        assert len(records) == 3
+        assert loader.stats.skipped == 1
+
+    def test_end_to_end_into_fresque(self, tmp_path, flu_config, fast_cipher):
+        """Real-format NASA lines can drive the actual pipeline."""
+        from repro.core.config import FresqueConfig
+        from repro.core.system import FresqueSystem
+        from repro.index.domain import nasa_domain
+        from repro.records.serialize import render_raw_line
+
+        loader = NasaLogLoader()
+        records = list(loader.load(NASA_LINES))
+        config = FresqueConfig(
+            schema=loader.schema,
+            domain=nasa_domain(),
+            num_computing_nodes=2,
+        )
+        system = FresqueSystem(config, fast_cipher, seed=5)
+        system.start()
+        lines = [render_raw_line(r, loader.schema) for r in records]
+        summary = system.run_publication(lines)
+        assert summary.real_records == 3

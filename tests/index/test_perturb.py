@@ -1,0 +1,97 @@
+"""Noise plan and perturbation tests."""
+
+import random
+
+import pytest
+
+from repro.index.domain import AttributeDomain
+from repro.index.perturb import (
+    draw_noise_plan,
+    noise_bound_per_leaf,
+    perturb_clear_tree,
+)
+from repro.index.tree import IndexTree
+
+
+@pytest.fixture
+def tree(small_domain):
+    return IndexTree(small_domain, fanout=4)
+
+
+class TestNoisePlan:
+    def test_shape_matches_tree(self, tree):
+        plan = draw_noise_plan(tree, epsilon=1.0, rng=random.Random(1))
+        assert len(plan.node_noise) == tree.height
+        for level_nodes, level_noise in zip(tree.levels, plan.node_noise):
+            assert len(level_nodes) == len(level_noise)
+
+    def test_scale_uses_per_level_budget(self, tree):
+        plan = draw_noise_plan(tree, epsilon=1.0, rng=random.Random(1))
+        assert plan.per_level_scale == pytest.approx(tree.height / 1.0)
+
+    def test_integer_noise(self, tree):
+        plan = draw_noise_plan(tree, epsilon=1.0, rng=random.Random(1))
+        assert all(
+            isinstance(noise, int)
+            for level in plan.node_noise
+            for noise in level
+        )
+
+    def test_dummies_and_removals_accounting(self, tree):
+        plan = draw_noise_plan(tree, epsilon=0.5, rng=random.Random(2))
+        assert plan.total_dummies == sum(max(0, n) for n in plan.leaf_noise)
+        assert plan.total_removals == sum(max(0, -n) for n in plan.leaf_noise)
+
+    def test_determinism(self, tree):
+        a = draw_noise_plan(tree, 1.0, rng=random.Random(9))
+        b = draw_noise_plan(tree, 1.0, rng=random.Random(9))
+        assert a.node_noise == b.node_noise
+
+    def test_smaller_epsilon_more_noise(self, tree):
+        """Smaller privacy budget must produce larger magnitude noise on
+        average (the paper's Figure 16 driver)."""
+        loose = draw_noise_plan(tree, 2.0, rng=random.Random(3))
+        tight_trees = IndexTree(
+            AttributeDomain(0, 1000, 1), fanout=16
+        )  # many leaves → stable average
+        loose = draw_noise_plan(tight_trees, 2.0, rng=random.Random(3))
+        tight = draw_noise_plan(tight_trees, 0.1, rng=random.Random(3))
+        loose_mag = sum(abs(n) for n in loose.leaf_noise)
+        tight_mag = sum(abs(n) for n in tight.leaf_noise)
+        assert tight_mag > loose_mag
+
+
+class TestNoiseBound:
+    def test_bound_positive(self):
+        assert noise_bound_per_leaf(4.0, 0.99) > 0
+
+    def test_bound_grows_with_scale(self):
+        assert noise_bound_per_leaf(40.0, 0.99) > noise_bound_per_leaf(4.0, 0.99)
+
+    def test_paper_configuration(self):
+        # ε=1, height 4 → per-level scale 4; δ'=0.99 → s_i = 16.
+        assert noise_bound_per_leaf(4.0, 0.99) == 16
+
+
+class TestPerturbClearTree:
+    def test_counts_shift_by_noise(self, tree):
+        tree.set_leaf_counts([5] * 10)
+        plan = draw_noise_plan(tree, 1.0, rng=random.Random(4))
+        perturb_clear_tree(tree, plan)
+        for leaf, noise in zip(tree.leaves, plan.leaf_noise):
+            assert leaf.count == 5 + noise
+
+    def test_dummy_removal_split(self, tree):
+        tree.set_leaf_counts([5] * 10)
+        plan = draw_noise_plan(tree, 0.2, rng=random.Random(4))
+        dummies, removals = perturb_clear_tree(tree, plan)
+        for noise, dummy, removed in zip(plan.leaf_noise, dummies, removals):
+            assert dummy == max(0, noise)
+            assert removed == max(0, -noise)
+            assert dummy == 0 or removed == 0
+
+    def test_mismatched_plan_rejected(self, tree, small_domain):
+        other = IndexTree(small_domain, fanout=2)
+        plan = draw_noise_plan(other, 1.0, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            perturb_clear_tree(tree, plan)

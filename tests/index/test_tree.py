@@ -1,0 +1,115 @@
+"""Index tree skeleton tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.domain import AttributeDomain, gowalla_domain, nasa_domain
+from repro.index.tree import IndexTree, expected_height
+
+
+class TestShape:
+    def test_paper_shapes(self):
+        nasa = IndexTree(nasa_domain(), fanout=16)
+        assert nasa.num_leaves == 3421
+        assert nasa.height == 4  # 3421 → 214 → 14 → 1
+        gowalla = IndexTree(gowalla_domain(), fanout=16)
+        assert gowalla.num_leaves == 626
+        assert gowalla.height == 4  # 626 → 40 → 3 → 1
+
+    def test_single_level_when_leaves_fit_fanout(self, small_domain):
+        tree = IndexTree(small_domain, fanout=16)
+        assert tree.height == 2  # 10 leaves under one root
+
+    def test_fanout_validation(self, small_domain):
+        with pytest.raises(ValueError):
+            IndexTree(small_domain, fanout=1)
+
+    def test_root_spans_domain(self, small_domain):
+        tree = IndexTree(small_domain, fanout=4)
+        assert tree.root.low == small_domain.dmin
+        assert tree.root.high == small_domain.dmax
+
+    def test_leaf_offsets_sequential(self, small_domain):
+        tree = IndexTree(small_domain, fanout=4)
+        assert [leaf.leaf_offset for leaf in tree.leaves] == list(range(10))
+
+    def test_num_nodes(self, small_domain):
+        tree = IndexTree(small_domain, fanout=4)
+        # 10 leaves → 3 internal → 1 root.
+        assert tree.num_nodes == 14
+        assert len(list(tree.all_nodes())) == 14
+
+
+class TestCounts:
+    def test_set_leaf_counts_aggregates(self, small_domain):
+        tree = IndexTree(small_domain, fanout=4)
+        tree.set_leaf_counts([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+        assert tree.root.count == 55
+        # First internal node covers leaves 0-3.
+        assert tree.levels[1][0].count == 10
+
+    def test_set_leaf_counts_wrong_length(self, small_domain):
+        tree = IndexTree(small_domain, fanout=4)
+        with pytest.raises(ValueError):
+            tree.set_leaf_counts([1, 2, 3])
+
+    def test_add_record_path(self, small_domain):
+        tree = IndexTree(small_domain, fanout=4)
+        tree.add_record_path(5)
+        assert tree.leaves[5].count == 1
+        assert tree.levels[1][1].count == 1  # leaf 5 is in group 1
+        assert tree.root.count == 1
+
+    def test_path_to_leaf(self, small_domain):
+        tree = IndexTree(small_domain, fanout=4)
+        path = tree.path_to_leaf(9)
+        assert len(path) == tree.height
+        assert path[0] is tree.leaves[9]
+        assert path[-1] is tree.root
+
+    def test_reset_counts(self, small_domain):
+        tree = IndexTree(small_domain, fanout=4)
+        tree.set_leaf_counts(list(range(10)))
+        tree.reset_counts(0.0)
+        assert all(node.count == 0.0 for node in tree.all_nodes())
+
+    def test_path_updates_equal_bulk_counts(self, small_domain, rng):
+        """Streaming path updates and batch aggregation agree."""
+        streaming = IndexTree(small_domain, fanout=4)
+        offsets = [rng.randrange(10) for _ in range(500)]
+        for offset in offsets:
+            streaming.add_record_path(offset)
+        batch = IndexTree(small_domain, fanout=4)
+        batch.set_leaf_counts([offsets.count(i) for i in range(10)])
+        for stream_level, batch_level in zip(streaming.levels, batch.levels):
+            assert [n.count for n in stream_level] == [
+                n.count for n in batch_level
+            ]
+
+
+class TestExpectedHeight:
+    @pytest.mark.parametrize(
+        ("leaves", "fanout", "height"),
+        [(1, 16, 1), (16, 16, 2), (17, 16, 3), (256, 16, 3), (3421, 16, 4),
+         (626, 16, 4), (2, 2, 2), (1024, 2, 11)],
+    )
+    def test_values(self, leaves, fanout, height):
+        assert expected_height(leaves, fanout) == height
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            expected_height(0, 16)
+        with pytest.raises(ValueError):
+            expected_height(10, 1)
+
+    @given(
+        leaves=st.integers(min_value=1, max_value=5000),
+        fanout=st.integers(min_value=2, max_value=64),
+    )
+    def test_matches_built_tree_property(self, leaves, fanout):
+        """The closed form equals the actually built tree's height."""
+        domain = AttributeDomain(0, leaves, 1)
+        assert IndexTree(domain, fanout=fanout).height == expected_height(
+            leaves, fanout
+        )

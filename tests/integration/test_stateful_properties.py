@@ -1,0 +1,120 @@
+"""Stateful property-based tests (hypothesis state machines).
+
+Two machines hammer the trickiest mutable state:
+
+* :class:`RandomerMachine` — arbitrary interleavings of inserts and
+  flushes must conserve every pair and respect the capacity bound;
+* :class:`LeafArraysMachine` — arbitrary check/update sequences must keep
+  AL equal to the number of arrivals per leaf and consume negative noise
+  exactly once per removal.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.messages import Pair
+from repro.core.randomer import Randomer
+from repro.index.template import LeafArrays
+from repro.records.record import EncryptedRecord
+
+
+def _pair(serial: int) -> Pair:
+    return Pair(
+        publication=0,
+        leaf_offset=serial,
+        encrypted=EncryptedRecord(serial, serial.to_bytes(8, "little") * 4),
+    )
+
+
+class RandomerMachine(RuleBasedStateMachine):
+    """Inserts, evictions and flushes conserve pairs."""
+
+    @initialize(capacity=st.integers(min_value=1, max_value=30),
+                seed=st.integers(min_value=0, max_value=10**6))
+    def setup(self, capacity, seed):
+        self.randomer = Randomer(capacity, rng=random.Random(seed))
+        self.inserted = 0
+        self.released = 0
+
+    @rule()
+    def insert(self):
+        evicted = self.randomer.insert(_pair(self.inserted))
+        self.inserted += 1
+        if evicted is not None:
+            self.released += 1
+
+    @rule()
+    def flush(self):
+        self.released += len(self.randomer.flush())
+
+    @invariant()
+    def conservation(self):
+        assert self.inserted == self.released + len(self.randomer)
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.randomer) <= self.randomer.capacity
+
+
+class LeafArraysMachine(RuleBasedStateMachine):
+    """AL/ALN bookkeeping under arbitrary arrival orders."""
+
+    @initialize(
+        noise=st.lists(
+            st.integers(min_value=-5, max_value=5), min_size=1, max_size=8
+        )
+    )
+    def setup(self, noise):
+        self.initial_noise = list(noise)
+        self.arrays = LeafArrays(noise)
+        self.arrivals = [0] * len(noise)
+        self.removed = [0] * len(noise)
+
+    @rule(data=st.data())
+    def arrive(self, data):
+        offset = data.draw(
+            st.integers(min_value=0, max_value=len(self.arrivals) - 1)
+        )
+        result = self.arrays.check_and_update(offset)
+        self.arrivals[offset] += 1
+        if result.removed:
+            self.removed[offset] += 1
+
+    @invariant()
+    def al_counts_every_arrival(self):
+        assert self.arrays.al == self.arrivals
+
+    @invariant()
+    def removals_bounded_by_negative_noise(self):
+        for offset, noise in enumerate(self.initial_noise):
+            budget = max(0, -noise)
+            assert self.removed[offset] == min(budget, self.arrivals[offset])
+
+    @invariant()
+    def aln_converges_to_nonnegative(self):
+        for offset, noise in enumerate(self.initial_noise):
+            expected = min(noise + self.removed[offset], max(noise, 0))
+            if noise < 0:
+                expected = noise + self.removed[offset]
+            else:
+                expected = noise
+            assert self.arrays.aln[offset] == expected
+
+
+TestRandomerStateful = RandomerMachine.TestCase
+TestRandomerStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+
+TestLeafArraysStateful = LeafArraysMachine.TestCase
+TestLeafArraysStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,128 @@
+"""PINED-RQ++ workflow component tests."""
+
+import random
+
+import pytest
+
+from repro.datasets.flu import flu_domain
+from repro.index.template import IndexTemplate
+from repro.pinedrqpp.components import (
+    Checker,
+    Encrypter,
+    Enricher,
+    Parser,
+    Updater,
+)
+from repro.records.record import Record, make_dummy
+from repro.records.schema import flu_survey_schema
+from repro.records.serialize import render_raw_line
+
+
+@pytest.fixture
+def schema():
+    return flu_survey_schema()
+
+
+@pytest.fixture
+def domain():
+    return flu_domain()
+
+
+@pytest.fixture
+def template(domain):
+    return IndexTemplate(domain, fanout=16, epsilon=1.0, rng=random.Random(8))
+
+
+class TestParser:
+    def test_parses_and_counts(self, schema):
+        parser = Parser(schema)
+        record = Record(("alice", 2, 371, "cough"))
+        line = render_raw_line(record, schema)
+        assert parser.parse(line) == record
+        assert parser.parsed == 1
+        assert parser.bytes_parsed == len(line)
+
+
+class TestChecker:
+    def test_consumes_negative_budget(self, schema, domain, template):
+        checker = Checker(schema, domain)
+        checker.begin_publication(template)
+        negative = [
+            offset for offset, n in enumerate(template.plan.leaf_noise) if n < 0
+        ]
+        if not negative:
+            pytest.skip("no negative leaf in this draw")
+        offset = negative[0]
+        budget = -template.plan.leaf_noise[offset]
+        low, _ = domain.leaf_range(offset)
+        record = Record(("p", 1, int(low), "none"))
+        removed = sum(1 for _ in range(budget + 3) if checker.check(record))
+        assert removed == budget
+        assert len(checker.drain_removed()) == budget
+
+    def test_dummies_never_removed(self, schema, domain, template):
+        checker = Checker(schema, domain)
+        checker.begin_publication(template)
+        negative = [
+            offset for offset, n in enumerate(template.plan.leaf_noise) if n < 0
+        ]
+        if not negative:
+            pytest.skip("no negative leaf in this draw")
+        low, _ = domain.leaf_range(negative[0])
+        assert not checker.check(make_dummy(schema, int(low)))
+
+    def test_traversal_cost_charged(self, schema, domain, template):
+        checker = Checker(schema, domain)
+        checker.begin_publication(template)
+        checker.check(Record(("p", 1, 370, "none")))
+        assert checker.traversal_steps == template.tree.height
+
+
+class TestEnricher:
+    def test_tags_unique_within_publication(self):
+        enricher = Enricher(rng=random.Random(3))
+        enricher.begin_publication()
+        tags = {enricher.tag() for _ in range(1000)}
+        assert len(tags) == 1000
+
+    def test_counts(self):
+        enricher = Enricher(rng=random.Random(3))
+        enricher.begin_publication()
+        enricher.tag()
+        assert enricher.enriched == 1
+
+
+class TestUpdater:
+    def test_updates_template_and_table(self, schema, domain, template):
+        updater = Updater(schema, domain)
+        updater.begin_publication(template)
+        record = Record(("p", 1, 370, "none"))
+        offset = updater.update(record, tag=42)
+        assert updater.matching_table[42] == offset
+        expected = template.plan.leaf_noise[offset] + 1
+        assert template.tree.leaves[offset].count == expected
+
+    def test_dummy_updates_table_only(self, schema, domain, template):
+        updater = Updater(schema, domain)
+        updater.begin_publication(template)
+        dummy = make_dummy(schema, 370)
+        offset = updater.update(dummy, tag=7)
+        assert updater.matching_table[7] == offset
+        assert (
+            template.tree.leaves[offset].count
+            == template.plan.leaf_noise[offset]
+        )
+
+    def test_requires_publication(self, schema, domain):
+        updater = Updater(schema, domain)
+        with pytest.raises(RuntimeError):
+            updater.update(Record(("p", 1, 370, "none")), tag=1)
+
+
+class TestEncrypter:
+    def test_encrypts_and_counts(self, schema, fast_cipher):
+        encrypter = Encrypter(schema, fast_cipher)
+        ciphertext = encrypter.encrypt(Record(("p", 1, 370, "none")))
+        assert encrypter.encrypted == 1
+        assert encrypter.bytes_out == len(ciphertext)
+        assert fast_cipher.decrypt(ciphertext)

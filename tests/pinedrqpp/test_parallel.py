@@ -1,0 +1,117 @@
+"""Parallel PINED-RQ++ (message-passing form) tests."""
+
+import pytest
+
+from repro.client.query_client import QueryClient
+from repro.datasets.flu import FluSurveyGenerator, flu_domain
+from repro.pinedrqpp.parallel import ParallelPinedRqPPSystem
+from repro.records.schema import flu_survey_schema
+from repro.records.serialize import parse_raw_line, render_raw_line
+
+
+@pytest.fixture
+def system(fast_cipher):
+    return ParallelPinedRqPPSystem(
+        flu_survey_schema(),
+        flu_domain(),
+        fast_cipher,
+        num_workers=3,
+        epsilon=1.0,
+        seed=17,
+    )
+
+
+class TestParallelSystem:
+    def test_round_robin_over_workers(self, system):
+        system.start_publication()
+        generator = FluSurveyGenerator(seed=71)
+        schema = flu_survey_schema()
+        for record in generator.records(90):
+            system.ingest_line(render_raw_line(record, schema))
+        processed = [worker.processed for worker in system.workers]
+        assert sum(processed) >= 90  # real records + interleaved dummies
+        # Round robin keeps the workers balanced within one task.
+        assert max(processed) - min(processed) <= 1
+
+    def test_publication_and_query(self, system, fast_cipher):
+        system.start_publication()
+        generator = FluSurveyGenerator(seed=72)
+        schema = flu_survey_schema()
+        records = list(generator.records(700))
+        for record in records:
+            system.ingest_line(render_raw_line(record, schema))
+        matched = system.publish()
+        assert matched > 600
+        client = QueryClient(schema, fast_cipher, system.cloud)
+        result = client.range_query(340, 420)
+        truth = {r.values for r in records}
+        got = {r.values for r in result.records}
+        assert got <= truth
+        assert len(got) >= 0.85 * len(truth)
+
+    def test_front_node_owns_template_updates(self, system):
+        """Only the sequential front touches the shared template — the
+        architectural constraint of Section 4.2."""
+        system.start_publication()
+        template = system.front.template
+        noise_root = sum(template.plan.node_noise[-1])
+        generator = FluSurveyGenerator(seed=73)
+        schema = flu_survey_schema()
+        for record in generator.records(50):
+            system.ingest_line(render_raw_line(record, schema))
+        assert template.tree.root.count == noise_root + 50
+
+    def test_matches_functional_collector_semantics(self, fast_cipher):
+        """The message-passing form and the single-object collector agree
+        on what a publication contains (same seed, same stream)."""
+        from repro.cloud.node import MatchingTableCloud
+        from repro.pinedrqpp.collector import PinedRqPPCollector
+        import random
+
+        schema = flu_survey_schema()
+        generator = FluSurveyGenerator(seed=74)
+        lines = [
+            render_raw_line(record, schema)
+            for record in generator.records(300)
+        ]
+        counts = {}
+        for variant in ("system", "collector"):
+            if variant == "system":
+                sys_ = ParallelPinedRqPPSystem(
+                    schema, flu_domain(), fast_cipher, num_workers=2, seed=5
+                )
+                sys_.start_publication()
+                for line in lines:
+                    sys_.ingest_line(line)
+                sys_.publish()
+                dataset = sys_.cloud.engine.published[0]
+            else:
+                cloud = MatchingTableCloud(flu_domain())
+                collector = PinedRqPPCollector(
+                    schema, flu_domain(), fast_cipher,
+                    rng=random.Random(5),
+                )
+                collector.start_publication(cloud)
+                for line in lines:
+                    collector.ingest_line(line, cloud)
+                collector.publish(cloud)
+                dataset = cloud.engine.published[0]
+            # Compare the *true* component of every leaf count (noise
+            # draws differ between the two rng streams).
+            domain = flu_domain()
+            truth = [0] * domain.num_leaves
+            for line in lines:
+                record = parse_raw_line(line, schema)
+                truth[domain.leaf_offset(record.indexed_value(schema))] += 1
+            noise = [
+                leaf.count - truth[offset]
+                for offset, leaf in enumerate(dataset.tree.leaves)
+            ]
+            counts[variant] = all(float(n).is_integer() for n in noise)
+        assert counts["system"] and counts["collector"]
+
+    def test_worker_count_validation(self, fast_cipher):
+        with pytest.raises(ValueError):
+            ParallelPinedRqPPSystem(
+                flu_survey_schema(), flu_domain(), fast_cipher, num_workers=0
+            )

@@ -1,0 +1,89 @@
+"""Privacy budget and accountant tests."""
+
+import pytest
+
+from repro.privacy.accountant import PublicationAccountant
+from repro.privacy.budget import BudgetExhausted, PrivacyBudget, per_level_epsilon
+
+
+class TestPrivacyBudget:
+    def test_spend_and_remaining(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.25, "index-level")
+        assert budget.spent == pytest.approx(0.25)
+        assert budget.remaining == pytest.approx(0.75)
+
+    def test_sequential_composition_history(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.3, "a")
+        budget.spend(0.3, "b")
+        assert budget.history == (("a", 0.3), ("b", 0.3))
+        assert budget.spent == pytest.approx(0.6)
+
+    def test_exhaustion_raises(self):
+        budget = PrivacyBudget(0.5)
+        budget.spend(0.5)
+        with pytest.raises(BudgetExhausted):
+            budget.spend(0.01)
+
+    def test_exact_exhaustion_allowed(self):
+        budget = PrivacyBudget(1.0)
+        for _ in range(4):
+            budget.spend(0.25)
+        assert budget.remaining == pytest.approx(0.0, abs=1e-9)
+
+    def test_non_positive_spend_rejected(self):
+        budget = PrivacyBudget(1.0)
+        with pytest.raises(ValueError):
+            budget.spend(0.0)
+        with pytest.raises(ValueError):
+            budget.spend(-0.1)
+
+    def test_non_positive_total_rejected(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(0.0)
+
+    def test_split_evenly(self):
+        budget = PrivacyBudget(1.0)
+        assert budget.split_evenly(52) == pytest.approx(1.0 / 52)
+        budget.spend(0.5)
+        assert budget.split_evenly(2) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            budget.split_evenly(0)
+
+
+class TestPerLevelEpsilon:
+    def test_divides_by_height(self):
+        assert per_level_epsilon(1.0, 4) == pytest.approx(0.25)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            per_level_epsilon(1.0, 0)
+        with pytest.raises(ValueError):
+            per_level_epsilon(0.0, 4)
+
+
+class TestPublicationAccountant:
+    def test_weekly_grants(self):
+        accountant = PublicationAccountant(total_epsilon=1.0, horizon=52)
+        grant = accountant.grant()
+        assert grant.publication == 0
+        assert grant.epsilon == pytest.approx(1.0 / 52)
+        assert accountant.publications_remaining == 51
+
+    def test_full_horizon_consumes_total(self):
+        accountant = PublicationAccountant(total_epsilon=2.0, horizon=4)
+        grants = [accountant.grant() for _ in range(4)]
+        assert [g.publication for g in grants] == [0, 1, 2, 3]
+        assert accountant.remaining_epsilon == pytest.approx(0.0, abs=1e-9)
+
+    def test_over_horizon_rejected(self):
+        accountant = PublicationAccountant(total_epsilon=1.0, horizon=2)
+        accountant.grant()
+        accountant.grant()
+        with pytest.raises(BudgetExhausted):
+            accountant.grant()
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            PublicationAccountant(total_epsilon=1.0, horizon=0)

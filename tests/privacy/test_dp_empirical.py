@@ -1,0 +1,89 @@
+"""Empirical differential-privacy checks.
+
+Samples the actual noisy-count mechanism on neighbouring datasets (counts
+``c`` and ``c + 1``) and verifies the ε-DP inequality
+``P[M(D) = o] <= e^ε · P[M(D') = o]`` on every well-populated outcome.
+Integer rounding of the Laplace noise preserves ε-DP (rounding is a
+post-processing of the continuous mechanism), so the bound must hold up
+to sampling error.
+"""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.index.perturb import draw_noise_plan
+from repro.index.tree import IndexTree
+from repro.index.domain import AttributeDomain
+from repro.privacy.laplace import LaplaceMechanism
+
+SAMPLES = 60_000
+MIN_BIN = 200  # only compare outcomes with enough mass
+SLACK = 1.35  # multiplicative sampling slack on the e^epsilon bound
+
+
+def _distribution(epsilon: float, count: int, seed: int) -> Counter:
+    mechanism = LaplaceMechanism(epsilon, rng=random.Random(seed))
+    return Counter(mechanism.perturb_count(count) for _ in range(SAMPLES))
+
+
+@pytest.mark.parametrize("epsilon", [0.25, 0.5, 1.0])
+def test_noisy_count_satisfies_epsilon_dp(epsilon):
+    """The count mechanism's likelihood ratio respects e^epsilon."""
+    base = _distribution(epsilon, count=10, seed=1)
+    neighbour = _distribution(epsilon, count=11, seed=2)
+    bound = math.exp(epsilon) * SLACK
+    checked = 0
+    for outcome, mass in base.items():
+        other = neighbour.get(outcome, 0)
+        if mass < MIN_BIN or other < MIN_BIN:
+            continue
+        ratio = mass / other
+        assert 1.0 / bound <= ratio <= bound, (
+            f"outcome {outcome}: ratio {ratio:.3f} outside e^{epsilon} "
+            f"bound {bound:.3f}"
+        )
+        checked += 1
+    assert checked >= 5  # the comparison covered a meaningful support
+
+
+def test_per_level_budget_composes_to_publication_epsilon():
+    """A record changes one count per level; the per-level budgets must
+    sum back to the publication ε (sequential composition)."""
+    domain = AttributeDomain(0, 256, 1)
+    tree = IndexTree(domain, fanout=16)
+    plan = draw_noise_plan(tree, epsilon=1.0, rng=random.Random(3))
+    per_level = 1.0 / plan.per_level_scale
+    assert per_level * tree.height == pytest.approx(1.0)
+
+
+def test_leaf_noise_distribution_matches_scale():
+    """Leaf noise must be Laplace with scale height/ε (variance 2b²)."""
+    domain = AttributeDomain(0, 4096, 1)
+    tree = IndexTree(domain, fanout=16)
+    plan = draw_noise_plan(tree, epsilon=1.0, rng=random.Random(4))
+    noise = list(plan.leaf_noise)
+    mean = sum(noise) / len(noise)
+    variance = sum((n - mean) ** 2 for n in noise) / len(noise)
+    b = plan.per_level_scale
+    # Integer rounding adds Var(U[-.5,.5]) = 1/12.
+    assert mean == pytest.approx(0.0, abs=0.5)
+    assert variance == pytest.approx(2 * b * b + 1 / 12, rel=0.15)
+
+
+def test_node_noises_are_independent_draws():
+    """Sibling counts must not share noise (independent perturbation,
+    Section 4.1 step 2)."""
+    domain = AttributeDomain(0, 4096, 1)
+    tree = IndexTree(domain, fanout=16)
+    plan = draw_noise_plan(tree, epsilon=1.0, rng=random.Random(5))
+    leaves = plan.leaf_noise
+    # Lag-1 autocorrelation of an i.i.d. sequence is ~0.
+    mean = sum(leaves) / len(leaves)
+    num = sum(
+        (a - mean) * (b - mean) for a, b in zip(leaves, leaves[1:])
+    )
+    den = sum((a - mean) ** 2 for a in leaves)
+    assert abs(num / den) < 0.1

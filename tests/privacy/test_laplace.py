@@ -1,0 +1,110 @@
+"""Laplace distribution and mechanism tests."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.privacy.laplace import (
+    LaplaceMechanism,
+    laplace_cdf,
+    laplace_inverse_cdf,
+    laplace_pdf,
+)
+
+
+class TestDistribution:
+    def test_pdf_peak_at_zero(self):
+        assert laplace_pdf(0, 2.0) == pytest.approx(0.25)
+
+    def test_pdf_symmetry(self):
+        assert laplace_pdf(3.5, 2.0) == pytest.approx(laplace_pdf(-3.5, 2.0))
+
+    def test_cdf_median(self):
+        assert laplace_cdf(0, 1.0) == pytest.approx(0.5)
+
+    def test_cdf_monotone_bounds(self):
+        assert laplace_cdf(-50, 1.0) < 1e-10
+        assert laplace_cdf(50, 1.0) > 1 - 1e-10
+
+    def test_inverse_cdf_is_inverse(self):
+        for p in (0.01, 0.25, 0.5, 0.75, 0.99):
+            x = laplace_inverse_cdf(p, 3.0)
+            assert laplace_cdf(x, 3.0) == pytest.approx(p, abs=1e-9)
+
+    def test_inverse_cdf_99_positive(self):
+        # The paper's buffer sizing uses δ' = 0.99: the bound must be
+        # positive and grow with the scale (smaller ε → bigger buffer).
+        assert laplace_inverse_cdf(0.99, 4.0) > 0
+        assert laplace_inverse_cdf(0.99, 40.0) > laplace_inverse_cdf(0.99, 4.0)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.1])
+    def test_inverse_cdf_domain(self, bad):
+        with pytest.raises(ValueError):
+            laplace_inverse_cdf(bad, 1.0)
+
+    @pytest.mark.parametrize("fn", [laplace_pdf, laplace_cdf])
+    def test_bad_scale_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(0.0, -1.0)
+
+
+class TestMechanism:
+    def test_scale(self):
+        mechanism = LaplaceMechanism(epsilon=0.25, sensitivity=1.0)
+        assert mechanism.scale == pytest.approx(4.0)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=0.0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=1.0, sensitivity=0.0)
+
+    def test_sample_statistics(self):
+        mechanism = LaplaceMechanism(1.0, rng=random.Random(7))
+        samples = [mechanism.sample() for _ in range(20_000)]
+        mean = sum(samples) / len(samples)
+        # Laplace(0, 1): mean 0, variance 2b² = 2.
+        variance = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert abs(mean) < 0.05
+        assert variance == pytest.approx(2.0, rel=0.1)
+
+    def test_sample_integer_rounds(self):
+        mechanism = LaplaceMechanism(1.0, rng=random.Random(7))
+        assert all(
+            isinstance(mechanism.sample_integer(), int) for _ in range(100)
+        )
+
+    def test_perturb_count(self):
+        mechanism = LaplaceMechanism(1.0, rng=random.Random(7))
+        noisy = [mechanism.perturb_count(10) for _ in range(2000)]
+        assert min(noisy) < 10 < max(noisy)
+        assert sum(noisy) / len(noisy) == pytest.approx(10, abs=0.2)
+
+    def test_positive_noise_bound_probability(self):
+        mechanism = LaplaceMechanism(0.25, rng=random.Random(13))
+        bound = mechanism.positive_noise_bound(0.99)
+        exceed = sum(
+            1 for _ in range(20_000) if mechanism.sample() > bound
+        )
+        # P(X > bound) <= 1 - 0.99.
+        assert exceed / 20_000 <= 0.015
+
+    def test_determinism_under_seed(self):
+        a = LaplaceMechanism(1.0, rng=random.Random(5))
+        b = LaplaceMechanism(1.0, rng=random.Random(5))
+        assert [a.sample() for _ in range(10)] == [b.sample() for _ in range(10)]
+
+
+@given(
+    epsilon=st.floats(min_value=0.05, max_value=5.0),
+    probability=st.floats(min_value=0.5, max_value=0.999),
+)
+def test_bound_monotone_in_probability(epsilon, probability):
+    """A higher confidence level never shrinks the noise bound."""
+    mechanism = LaplaceMechanism(epsilon)
+    low = mechanism.positive_noise_bound(probability)
+    high = mechanism.positive_noise_bound(min(0.9999, probability + 0.0009))
+    assert high >= low >= 0

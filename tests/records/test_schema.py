@@ -1,0 +1,98 @@
+"""Unit tests for relation schemas."""
+
+import pytest
+
+from repro.records.schema import (
+    Attribute,
+    AttributeType,
+    Schema,
+    SchemaError,
+    flu_survey_schema,
+    gowalla_schema,
+    nasa_log_schema,
+)
+
+
+class TestAttribute:
+    def test_coerce_int(self):
+        attr = Attribute("age", AttributeType.INT)
+        assert attr.coerce("42") == 42
+        assert attr.coerce(42.9) == 42
+
+    def test_coerce_float(self):
+        attr = Attribute("temp", AttributeType.FLOAT)
+        assert attr.coerce("36.6") == pytest.approx(36.6)
+
+    def test_coerce_str(self):
+        attr = Attribute("name", AttributeType.STR)
+        assert attr.coerce(42) == "42"
+
+    def test_coerce_failure(self):
+        attr = Attribute("age", AttributeType.INT)
+        with pytest.raises(ValueError, match="cannot coerce"):
+            attr.coerce("not-a-number")
+
+    def test_python_type(self):
+        assert AttributeType.INT.python_type() is int
+        assert AttributeType.FLOAT.python_type() is float
+        assert AttributeType.STR.python_type() is str
+
+
+class TestSchema:
+    def test_basic_properties(self):
+        schema = nasa_log_schema()
+        assert schema.arity == 5
+        assert schema.indexed_attribute == "reply_bytes"
+        assert schema.indexed_position == 4
+        assert schema.attribute_names[0] == "host"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(
+                name="bad",
+                attributes=(
+                    Attribute("a", AttributeType.INT),
+                    Attribute("a", AttributeType.INT),
+                ),
+                indexed_attribute="a",
+            )
+
+    def test_unknown_indexed_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="not in schema"):
+            Schema(
+                name="bad",
+                attributes=(Attribute("a", AttributeType.INT),),
+                indexed_attribute="b",
+            )
+
+    def test_string_indexed_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="numerical"):
+            Schema(
+                name="bad",
+                attributes=(Attribute("a", AttributeType.STR),),
+                indexed_attribute="a",
+            )
+
+    def test_attribute_lookup(self):
+        schema = gowalla_schema()
+        assert schema.attribute("user_id").type is AttributeType.INT
+        assert schema.position("checkin_time") == 1
+        with pytest.raises(SchemaError):
+            schema.attribute("nope")
+        with pytest.raises(SchemaError):
+            schema.position("nope")
+
+    def test_coerce_values(self):
+        schema = gowalla_schema()
+        assert schema.coerce_values(("1", "2", "3")) == (1, 2, 3)
+
+    def test_coerce_values_wrong_arity(self):
+        schema = gowalla_schema()
+        with pytest.raises(SchemaError, match="expects 3"):
+            schema.coerce_values(("1", "2"))
+
+    def test_builtin_schemas_are_valid(self):
+        for schema in (nasa_log_schema(), gowalla_schema(), flu_survey_schema()):
+            assert schema.arity >= 3
+            indexed = schema.attribute(schema.indexed_attribute)
+            assert indexed.type is not AttributeType.STR

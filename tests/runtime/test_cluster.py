@@ -1,0 +1,94 @@
+"""Threaded runtime tests: real concurrency over the component logic."""
+
+import pytest
+
+from repro.core.config import FresqueConfig
+from repro.core.system import FresqueSystem
+from repro.datasets.flu import FluSurveyGenerator, flu_domain
+from repro.records.schema import flu_survey_schema
+from repro.records.serialize import parse_raw_line
+from repro.runtime.channel import InFlightTracker
+from repro.runtime.cluster import ThreadedFresque
+
+
+class TestInFlightTracker:
+    def test_quiescent_initially(self):
+        tracker = InFlightTracker()
+        assert tracker.wait_quiescent(timeout=0.1)
+
+    def test_blocks_until_drained(self):
+        tracker = InFlightTracker()
+        tracker.increment(3)
+        assert not tracker.wait_quiescent(timeout=0.05)
+        tracker.decrement()
+        tracker.decrement()
+        tracker.decrement()
+        assert tracker.wait_quiescent(timeout=0.1)
+        assert tracker.count == 0
+
+    def test_negative_count_raises(self):
+        tracker = InFlightTracker()
+        with pytest.raises(RuntimeError):
+            tracker.decrement()
+
+
+class TestThreadedFresque:
+    def test_end_to_end_matches_truth(self, flu_config, fast_cipher):
+        generator = FluSurveyGenerator(seed=44)
+        lines = list(generator.raw_lines(1500))
+        with ThreadedFresque(flu_config, fast_cipher, seed=7) as runtime:
+            runtime.run_publication(lines)
+            result = runtime.make_client().range_query(340, 420)
+        schema = flu_survey_schema()
+        truth = {parse_raw_line(line, schema).values for line in lines}
+        got = {record.values for record in result.records}
+        assert got <= truth
+        assert len(got) >= 0.9 * len(truth)
+
+    def test_multiple_publications(self, flu_config, fast_cipher):
+        generator = FluSurveyGenerator(seed=45)
+        with ThreadedFresque(flu_config, fast_cipher, seed=8) as runtime:
+            runtime.run_publication(list(generator.raw_lines(400)))
+            runtime.run_publication(list(generator.raw_lines(400)))
+            assert len(runtime.cloud.engine.published) == 2
+
+    def test_double_start_rejected(self, flu_config, fast_cipher):
+        runtime = ThreadedFresque(flu_config, fast_cipher, seed=9)
+        runtime.start()
+        try:
+            with pytest.raises(RuntimeError):
+                runtime.start()
+        finally:
+            runtime.shutdown()
+
+    def test_matches_synchronous_driver_counts(self, fast_cipher):
+        """Thread scheduling must not change *what* is published, only
+        when: pair counts at the cloud match the synchronous driver's."""
+        config = FresqueConfig(
+            schema=flu_survey_schema(),
+            domain=flu_domain(),
+            num_computing_nodes=2,
+        )
+        generator = FluSurveyGenerator(seed=46)
+        lines = list(generator.raw_lines(600))
+
+        sync = FresqueSystem(config, fast_cipher, seed=11)
+        sync.start()
+        summary = sync.run_publication(lines)
+
+        with ThreadedFresque(config, fast_cipher, seed=11) as runtime:
+            runtime.run_publication(lines)
+            threaded_pairs = runtime.cloud.engine.published[0].pointers.total
+        # Same seed → same noise plan → same dummy/removal totals.
+        assert threaded_pairs == summary.published_pairs
+
+    def test_single_computing_node(self, fast_cipher):
+        config = FresqueConfig(
+            schema=flu_survey_schema(),
+            domain=flu_domain(),
+            num_computing_nodes=1,
+        )
+        generator = FluSurveyGenerator(seed=47)
+        with ThreadedFresque(config, fast_cipher, seed=12) as runtime:
+            runtime.run_publication(list(generator.raw_lines(200)))
+            assert len(runtime.cloud.engine.published) == 1

@@ -1,0 +1,69 @@
+"""Multi-process cluster tests (separate OS processes over TCP)."""
+
+import pytest
+
+from repro.core.config import FresqueConfig
+from repro.datasets.flu import FluSurveyGenerator, flu_domain
+from repro.records.schema import flu_survey_schema
+from repro.records.serialize import parse_raw_line
+from repro.runtime.process import ProcessCluster
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    config = FresqueConfig(
+        schema=flu_survey_schema(),
+        domain=flu_domain(),
+        num_computing_nodes=2,
+    )
+    with ProcessCluster(
+        config,
+        key=b"process-cluster-test-key-32bytes",
+        workdir=tmp_path,
+        seed=9,
+    ) as running:
+        yield running
+
+
+class TestProcessCluster:
+    def test_publication_across_processes(self, cluster):
+        generator = FluSurveyGenerator(seed=91)
+        lines = list(generator.raw_lines(400))
+        matched = cluster.run_publication(lines)
+        assert matched > 350
+        schema = flu_survey_schema()
+        truth = sum(
+            1
+            for line in lines
+            if 380 <= parse_raw_line(line, schema).values[2] <= 420
+        )
+        response = cluster.query(380, 420)
+        assert response["count"] <= truth
+        assert response["count"] >= 0.5 * truth
+
+    def test_two_publications(self, cluster):
+        generator = FluSurveyGenerator(seed=92)
+        first = cluster.run_publication(list(generator.raw_lines(150)))
+        second = cluster.run_publication(list(generator.raw_lines(150)))
+        assert first > 100 and second > 100
+
+    def test_node_processes_are_separate(self, cluster):
+        import os
+
+        pids = {process.pid for process in cluster._processes}
+        assert len(pids) == 5  # 2 CNs + checking + merger + cloud
+        assert os.getpid() not in pids
+
+    def test_cluster_spec_written(self, cluster):
+        spec_path = cluster.workdir / "cluster.json"
+        assert spec_path.exists()
+        import json
+
+        spec = json.loads(spec_path.read_text())
+        assert set(spec["ports"]) == {
+            "cn-0",
+            "cn-1",
+            "checking",
+            "merger",
+            "cloud",
+        }

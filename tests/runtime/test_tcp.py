@@ -1,0 +1,62 @@
+"""TCP cluster tests: the full protocol over real loopback sockets."""
+
+import pytest
+
+from repro.core.config import FresqueConfig
+from repro.datasets.flu import FluSurveyGenerator
+from repro.records.serialize import parse_raw_line
+from repro.runtime.tcp import TcpFresqueCluster
+
+
+@pytest.fixture
+def cluster(flu_config, fast_cipher):
+    with TcpFresqueCluster(flu_config, fast_cipher, seed=42) as running:
+        yield running
+
+
+class TestTcpCluster:
+    def test_publication_over_sockets(self, cluster, flu_config):
+        generator = FluSurveyGenerator(seed=81)
+        lines = list(generator.raw_lines(600))
+        matched = cluster.run_publication(lines)
+        assert matched > 500
+        schema = flu_config.schema
+        truth = {parse_raw_line(line, schema).values for line in lines}
+        result = cluster.make_client().range_query(340, 420)
+        got = {record.values for record in result.records}
+        assert got <= truth
+        assert len(got) >= 0.85 * len(truth)
+
+    def test_two_publications(self, cluster):
+        generator = FluSurveyGenerator(seed=82)
+        first = cluster.run_publication(list(generator.raw_lines(200)))
+        second = cluster.run_publication(list(generator.raw_lines(200)))
+        assert first > 150 and second > 150
+        assert len(cluster.cloud.engine.published) == 2
+
+    def test_matches_synchronous_driver(self, flu_config, fast_cipher):
+        """Same seed + same stream over sockets publishes the same pair
+        count as the in-process driver."""
+        from repro.core.system import FresqueSystem
+
+        generator = FluSurveyGenerator(seed=83)
+        lines = list(generator.raw_lines(300))
+        reference = FresqueSystem(flu_config, fast_cipher, seed=9)
+        reference.start()
+        expected = reference.run_publication(lines).published_pairs
+        with TcpFresqueCluster(flu_config, fast_cipher, seed=9) as cluster:
+            assert cluster.run_publication(lines) == expected
+
+    def test_double_start_rejected(self, flu_config, fast_cipher):
+        cluster = TcpFresqueCluster(flu_config, fast_cipher, seed=1)
+        cluster.start()
+        try:
+            with pytest.raises(RuntimeError):
+                cluster.start()
+        finally:
+            cluster.shutdown()
+
+    def test_every_node_listens_on_distinct_port(self, cluster):
+        ports = [node.port for node in cluster._nodes]
+        assert len(set(ports)) == len(ports)
+        assert all(port > 0 for port in ports)

@@ -1,0 +1,153 @@
+"""Analytic performance model tests against the paper's reported values."""
+
+import pytest
+
+from repro.simulation.analytic import (
+    derive_privacy_sizes,
+    fresque_matching_time,
+    fresque_publishing_times,
+    fresque_throughput,
+    nonparallel_pp_throughput,
+    parallel_pp_matching_time,
+    parallel_pp_throughput,
+    pp_publish_stall,
+)
+from repro.simulation.costs import GOWALLA_COSTS, NASA_COSTS
+
+
+class TestPrivacySizes:
+    def test_paper_buffer_sizes(self):
+        # ε=1, α=2: S = 2·3421·16 (NASA), 2·626·16 (Gowalla).
+        nasa = derive_privacy_sizes(NASA_COSTS)
+        assert nasa.per_leaf_bound == 16
+        assert nasa.buffer_size == 2 * 3421 * 16
+        gowalla = derive_privacy_sizes(GOWALLA_COSTS)
+        assert gowalla.buffer_size == 2 * 626 * 16
+
+    def test_expected_dummies_scale(self):
+        # E[max(0, Lap(4))] = 2 per leaf.
+        sizes = derive_privacy_sizes(NASA_COSTS, epsilon=1.0)
+        assert sizes.expected_dummies == pytest.approx(2.0 * 3421)
+        assert sizes.expected_removals == sizes.expected_dummies
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            derive_privacy_sizes(NASA_COSTS, epsilon=0)
+        with pytest.raises(ValueError):
+            derive_privacy_sizes(NASA_COSTS, alpha=1.0)
+
+
+class TestPublishingTimes:
+    """Figure 13 of the paper."""
+
+    def test_nasa_at_12_nodes(self):
+        times = fresque_publishing_times(NASA_COSTS, 12)
+        assert times.dispatcher == pytest.approx(0.101, rel=0.1)  # 101 ms
+        assert times.checking_node < 0.6  # "under 600 ms with NASA"
+        assert 0.149 * 0.9 < times.merger < 0.191 * 1.1  # 149–191 ms
+        assert times.cloud == pytest.approx(0.877, rel=0.1)  # 877 ms
+
+    def test_gowalla_at_12_nodes(self):
+        times = fresque_publishing_times(GOWALLA_COSTS, 12)
+        assert times.dispatcher == pytest.approx(0.019, rel=0.15)  # 19 ms
+        assert times.checking_node < 0.11  # "under 80 ms" (we allow slack)
+        assert times.cloud == pytest.approx(0.837, rel=0.1)  # 837 ms
+
+    def test_dispatcher_decreases_with_nodes(self):
+        # "The delay even gradually decreases as #CN increases."
+        previous = float("inf")
+        for nodes in (2, 4, 8, 12):
+            current = fresque_publishing_times(NASA_COSTS, nodes).dispatcher
+            assert current < previous
+            previous = current
+
+    def test_nasa_dispatcher_bounds(self):
+        # "always lower than 520 ms with NASA and 200 ms with Gowalla"
+        for nodes in (2, 4, 6, 8, 10, 12):
+            assert fresque_publishing_times(NASA_COSTS, nodes).dispatcher <= 0.53
+            assert (
+                fresque_publishing_times(GOWALLA_COSTS, nodes).dispatcher <= 0.21
+            )
+
+    def test_smaller_epsilon_longer_checking(self):
+        # Figure 16: the checking node dominates as ε shrinks.
+        tight = fresque_publishing_times(NASA_COSTS, 10, epsilon=0.1)
+        loose = fresque_publishing_times(NASA_COSTS, 10, epsilon=2.0)
+        assert tight.checking_node > loose.checking_node
+        assert tight.checking_node > 3.0  # paper: ~7 s at ε=0.1
+
+    def test_alpha_scales_checking_linearly(self):
+        # Figure 17: α=20 → ~6 s at the checking node (NASA).
+        base = fresque_publishing_times(NASA_COSTS, 10, alpha=2.0)
+        big = fresque_publishing_times(NASA_COSTS, 10, alpha=20.0)
+        assert big.checking_node == pytest.approx(
+            10 * base.checking_node, rel=0.05
+        )
+        assert 3.0 < big.checking_node < 8.0
+
+
+class TestMatchingTimes:
+    """Figure 15 of the paper."""
+
+    def test_fresque_stays_tens_of_ms(self):
+        for records in (1_000_000, 3_000_000, 5_000_000):
+            assert fresque_matching_time(NASA_COSTS, records) < 0.06
+        assert fresque_matching_time(NASA_COSTS, 5_000_000) == pytest.approx(
+            0.054, rel=0.15
+        )
+
+    def test_pp_grows_linearly_to_seconds(self):
+        assert parallel_pp_matching_time(NASA_COSTS, 5_000_000) == pytest.approx(
+            78.0, rel=0.1
+        )
+        assert parallel_pp_matching_time(
+            NASA_COSTS, 1_000_000
+        ) == pytest.approx(parallel_pp_matching_time(NASA_COSTS, 5_000_000) / 5)
+
+    def test_gap_is_orders_of_magnitude(self):
+        # "at least two orders of magnitude shorter"
+        ratio = parallel_pp_matching_time(
+            GOWALLA_COSTS, 5_000_000
+        ) / fresque_matching_time(GOWALLA_COSTS, 5_000_000)
+        assert ratio > 100
+
+
+class TestThroughputModels:
+    def test_fresque_always_beats_parallel_pp(self):
+        # Figure 11: "The throughput of FRESQUE is always higher."
+        for costs in (NASA_COSTS, GOWALLA_COSTS):
+            for nodes in (2, 4, 6, 8, 10, 12):
+                assert fresque_throughput(costs, nodes) > parallel_pp_throughput(
+                    costs, nodes
+                )
+
+    def test_vs_parallel_ratio_at_12(self):
+        # Figure 11: ~5.6x (NASA), ~2.2x (Gowalla) at 12 nodes.
+        nasa = fresque_throughput(NASA_COSTS, 12) / parallel_pp_throughput(
+            NASA_COSTS, 12
+        )
+        assert nasa == pytest.approx(5.6, rel=0.15)
+        gowalla = fresque_throughput(GOWALLA_COSTS, 12) / parallel_pp_throughput(
+            GOWALLA_COSTS, 12
+        )
+        assert gowalla == pytest.approx(2.2, rel=0.3)
+
+    def test_publish_stall_grows_with_records(self):
+        assert pp_publish_stall(NASA_COSTS, 2_000_000) > pp_publish_stall(
+            NASA_COSTS, 500_000
+        )
+
+    def test_nonparallel_clamped_by_source(self):
+        assert nonparallel_pp_throughput(NASA_COSTS) == pytest.approx(3159)
+        assert (
+            nonparallel_pp_throughput(NASA_COSTS, source_rate=1000.0) == 1000.0
+        )
+
+    def test_fig18_throughput_stable_across_epsilon(self):
+        # Figure 18a: throughput varies little with ε (checking-node
+        # publishing happens while computing nodes buffer).
+        rates = [
+            fresque_throughput(NASA_COSTS, 10)
+            for _ in (0.1, 0.5, 1.0, 2.0)
+        ]
+        assert max(rates) - min(rates) < 0.05 * max(rates)

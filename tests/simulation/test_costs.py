@@ -1,0 +1,92 @@
+"""Cost model tests: calibration anchors and paper-shape predictions."""
+
+import pytest
+
+from repro.simulation.costs import (
+    GOWALLA_COSTS,
+    NASA_COSTS,
+    cost_model_for,
+)
+
+
+class TestAnchors:
+    def test_nonparallel_anchored_to_paper(self):
+        # Section 7.2(a): 3,159 records/s (NASA), 13,223 records/s (Gowalla).
+        assert NASA_COSTS.nonparallel_pp_capacity() == pytest.approx(3159, rel=1e-6)
+        assert GOWALLA_COSTS.nonparallel_pp_capacity() == pytest.approx(
+            13223, rel=1e-6
+        )
+
+    def test_residuals_positive(self):
+        # The calibrated single-node residual must stay physical.
+        assert NASA_COSTS.t_nonparallel_residual > 0
+        assert GOWALLA_COSTS.t_nonparallel_residual > 0
+
+    def test_lookup(self):
+        assert cost_model_for("nasa") is NASA_COSTS
+        assert cost_model_for("gowalla") is GOWALLA_COSTS
+        with pytest.raises(KeyError):
+            cost_model_for("unknown")
+
+
+class TestPaperShapePredictions:
+    def test_fresque_nasa_peak(self):
+        # Figure 9: ~142k records/s at 12 computing nodes.
+        assert NASA_COSTS.fresque_capacity(12) == pytest.approx(142_000, rel=0.05)
+
+    def test_fresque_gowalla_saturates_at_8(self):
+        # Figure 9: ~165k records/s, peak at 8 nodes, flat afterwards.
+        at8 = GOWALLA_COSTS.fresque_capacity(8)
+        at12 = GOWALLA_COSTS.fresque_capacity(12)
+        assert at8 == pytest.approx(165_000, rel=0.05)
+        assert at12 == at8  # checking node is the bottleneck
+
+    def test_improvement_over_nonparallel(self):
+        # Figure 10: ~43x (NASA), ~11x (Gowalla) at 12 nodes;
+        # 7.61x / 2.69x at 2 nodes.
+        nasa12 = NASA_COSTS.fresque_capacity(12) / NASA_COSTS.nonparallel_pp_capacity()
+        assert nasa12 == pytest.approx(43, rel=0.12)
+        gowalla12 = (
+            GOWALLA_COSTS.fresque_capacity(12)
+            / GOWALLA_COSTS.nonparallel_pp_capacity()
+        )
+        assert gowalla12 == pytest.approx(11, rel=0.15)
+        nasa2 = NASA_COSTS.fresque_capacity(2) / NASA_COSTS.nonparallel_pp_capacity()
+        assert nasa2 == pytest.approx(7.61, rel=0.05)
+
+    def test_fresque_scales_linearly_until_bottleneck(self):
+        previous = 0.0
+        for k in range(1, 12):
+            capacity = NASA_COSTS.fresque_capacity(k)
+            assert capacity >= previous
+            previous = capacity
+
+    def test_parallel_pp_front_bound_nasa(self):
+        # Figure 11: parallel PINED-RQ++ NASA flattens (sequential
+        # parser+checker front) around 1/t_pp_front regardless of workers.
+        assert NASA_COSTS.parallel_pp_capacity(4) == NASA_COSTS.parallel_pp_capacity(
+            12
+        )
+
+    def test_dispatch_cost_supports_source_rate(self):
+        # The 200k records/s source must be sustainable by the dispatcher.
+        assert 1.0 / NASA_COSTS.t_dispatch >= 200_000
+
+    def test_record_size_ordering(self):
+        # NASA records are ~4x Gowalla records: parsing and encryption
+        # must order accordingly.
+        assert NASA_COSTS.t_parse > GOWALLA_COSTS.t_parse
+        assert NASA_COSTS.t_encrypt > GOWALLA_COSTS.t_encrypt
+        assert NASA_COSTS.t_computing_node > GOWALLA_COSTS.t_computing_node
+
+    def test_array_check_cheaper_than_template_chain(self):
+        # The whole point of AL/ALN: the checking node's O(1) cost must
+        # beat the front node's parse+template-check chain.
+        for costs in (NASA_COSTS, GOWALLA_COSTS):
+            assert costs.t_check_array < costs.t_pp_front
+
+    def test_invalid_node_counts(self):
+        with pytest.raises(ValueError):
+            NASA_COSTS.fresque_capacity(0)
+        with pytest.raises(ValueError):
+            NASA_COSTS.parallel_pp_capacity(0)

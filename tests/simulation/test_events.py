@@ -1,0 +1,71 @@
+"""Event loop tests."""
+
+import pytest
+
+from repro.simulation.events import EventLoop
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, lambda: fired.append("c"))
+        loop.schedule(1.0, lambda: fired.append("a"))
+        loop.schedule(2.0, lambda: fired.append("b"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        loop = EventLoop()
+        fired = []
+        for name in "abc":
+            loop.schedule(1.0, lambda name=name: fired.append(name))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_stops(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        loop.run_until(2.0)
+        assert fired == [1]
+        assert loop.now == 2.0
+        assert loop.pending == 1
+
+    def test_clock_advances_to_events(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule(1.5, lambda: times.append(loop.now))
+        loop.run()
+        assert times == [1.5]
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        fired = []
+
+        def outer():
+            fired.append(("outer", loop.now))
+            loop.schedule(1.0, lambda: fired.append(("inner", loop.now)))
+
+        loop.schedule(1.0, outer)
+        loop.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule(-1.0, lambda: None)
+
+    def test_schedule_at(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(4.0, lambda: fired.append(loop.now))
+        loop.run()
+        assert fired == [4.0]
+
+    def test_event_counter(self):
+        loop = EventLoop()
+        for _ in range(7):
+            loop.schedule(1.0, lambda: None)
+        loop.run()
+        assert loop.events_processed == 7

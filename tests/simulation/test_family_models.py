@@ -1,0 +1,51 @@
+"""Unit tests for the batch-PINED-RQ congestion model."""
+
+import pytest
+
+from repro.simulation.analytic import (
+    pinedrq_batch_throughput,
+    pinedrq_congestion_factor,
+)
+from repro.simulation.costs import GOWALLA_COSTS, NASA_COSTS
+
+
+class TestBatchThroughput:
+    def test_sustainable_rate_single_node_scale(self):
+        for costs in (NASA_COSTS, GOWALLA_COSTS):
+            rate = pinedrq_batch_throughput(costs)
+            # Same order as the (anchored) non-parallel streaming system.
+            assert 0.3 < rate / costs.nonparallel_pp_capacity() < 3.5
+
+    def test_clamped_by_source(self):
+        assert pinedrq_batch_throughput(NASA_COSTS, source_rate=100.0) == 100.0
+
+    def test_smaller_epsilon_lowers_capacity(self):
+        loose = pinedrq_batch_throughput(NASA_COSTS, epsilon=2.0)
+        tight = pinedrq_batch_throughput(NASA_COSTS, epsilon=0.1)
+        assert tight < loose  # more dummies + bigger overflow arrays
+
+
+class TestCongestionFactor:
+    def test_paper_rate_overruns_interval(self):
+        # Section 1's congestion: at 200k records/s the batch work of one
+        # interval takes dozens of intervals.
+        assert pinedrq_congestion_factor(NASA_COSTS) > 50
+        assert pinedrq_congestion_factor(GOWALLA_COSTS) > 10
+
+    def test_low_rate_fits_in_interval(self):
+        factor = pinedrq_congestion_factor(NASA_COSTS, rate=1000.0)
+        assert factor < 1.0  # sustainable: no backlog growth
+
+    def test_monotone_in_rate(self):
+        factors = [
+            pinedrq_congestion_factor(NASA_COSTS, rate=rate)
+            for rate in (1_000, 10_000, 100_000, 200_000)
+        ]
+        assert factors == sorted(factors)
+
+    def test_congestion_boundary_matches_capacity(self):
+        """The rate where the factor crosses 1 is the sustainable rate."""
+        capacity = pinedrq_batch_throughput(NASA_COSTS, source_rate=1e12)
+        below = pinedrq_congestion_factor(NASA_COSTS, rate=capacity * 0.95)
+        above = pinedrq_congestion_factor(NASA_COSTS, rate=capacity * 1.05)
+        assert below < 1.0 < above

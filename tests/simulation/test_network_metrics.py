@@ -1,0 +1,123 @@
+"""Network link and latency-tracker tests."""
+
+import pytest
+
+from repro.simulation.costs import NASA_COSTS
+from repro.simulation.events import EventLoop
+from repro.simulation.metrics import LatencyTracker
+from repro.simulation.network import (
+    GIGABIT_BYTES_PER_SECOND,
+    Link,
+    link_is_bottleneck,
+)
+from repro.simulation.stations import Counter, Job
+
+
+class TestLink:
+    def test_delivery_time(self):
+        loop = EventLoop()
+        delivered = []
+        link = Link(
+            loop,
+            "l",
+            bandwidth=1000.0,  # bytes/s
+            latency=0.5,
+            bytes_per_record=10.0,
+            sink=lambda job: delivered.append(loop.now),
+        )
+        link.send(Job(records=10, created_at=0.0))  # 100 bytes -> 0.1 s
+        loop.run()
+        assert delivered == [pytest.approx(0.6)]
+
+    def test_serialised_transmissions(self):
+        loop = EventLoop()
+        delivered = []
+        link = Link(
+            loop, "l", 1000.0, 0.0, 10.0,
+            sink=lambda job: delivered.append(loop.now),
+        )
+        link.send(Job(records=10, created_at=0.0))
+        link.send(Job(records=10, created_at=0.0))
+        loop.run()
+        assert delivered == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_capacity(self):
+        loop = EventLoop()
+        link = Link(loop, "l", 1000.0, 0.0, 10.0, sink=Counter())
+        assert link.capacity_records_per_second() == pytest.approx(100.0)
+
+    def test_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            Link(loop, "l", 0.0, 0.0, 10.0, sink=Counter())
+        with pytest.raises(ValueError):
+            Link(loop, "l", 1.0, -0.1, 10.0, sink=Counter())
+
+    def test_gigabit_not_the_bottleneck_for_the_paper(self):
+        """Sanity behind omitting links from the main pipelines: at the
+        paper's peak rates a 1 Gbps link carries the record stream with
+        room to spare."""
+        assert not link_is_bottleneck(
+            GIGABIT_BYTES_PER_SECOND, NASA_COSTS.ciphertext_bytes, 142_000
+        )
+        assert not link_is_bottleneck(
+            GIGABIT_BYTES_PER_SECOND, 64.0, 165_000
+        )
+        # But a 10 Mbps link would be.
+        assert link_is_bottleneck(1_250_000, NASA_COSTS.ciphertext_bytes, 142_000)
+
+
+class TestLatencyTracker:
+    def test_records_latency(self):
+        loop = EventLoop()
+        tracker = LatencyTracker(loop)
+        loop.schedule(2.0, lambda: tracker(Job(records=5, created_at=0.5)))
+        loop.run()
+        assert tracker.count == 1
+        assert tracker.mean() == pytest.approx(1.5)
+        assert tracker.records == 5
+
+    def test_percentiles(self):
+        loop = EventLoop()
+        tracker = LatencyTracker(loop)
+        for delay in (1.0, 2.0, 3.0, 4.0, 10.0):
+            loop.schedule(delay, lambda d=delay: tracker(Job(1, 0.0)))
+        loop.run()
+        assert tracker.percentile(0.5) == pytest.approx(3.0)
+        assert tracker.percentile(0.99) == pytest.approx(10.0)
+        assert tracker.max() == pytest.approx(10.0)
+
+    def test_empty(self):
+        tracker = LatencyTracker(EventLoop())
+        assert tracker.mean() == 0.0
+        assert tracker.percentile(0.9) == 0.0
+        with pytest.raises(ValueError):
+            tracker.percentile(1.5)
+
+    def test_pipeline_latency_under_load(self):
+        """End-to-end: in an underloaded FRESQUE pipeline the batch
+        latency stays near the service-time sum; under saturation it
+        grows without bound."""
+        from repro.simulation.pipelines import build_fresque
+
+        loop = EventLoop()
+        sim = build_fresque(loop, NASA_COSTS, 12)
+        tracker = LatencyTracker(loop)
+        sim.stations[-1].sink = tracker
+        sim.run(rate=50_000, duration=1.0, warmup=0.2, batch_size=50, seed=2)
+        underloaded = tracker.mean()
+        chain = (
+            NASA_COSTS.t_dispatch
+            + NASA_COSTS.t_computing_node
+            + NASA_COSTS.t_check_array
+            + NASA_COSTS.t_cloud_write
+        ) * 50
+        assert underloaded < 5 * chain
+
+        loop = EventLoop()
+        sim = build_fresque(loop, NASA_COSTS, 12)
+        tracker = LatencyTracker(loop)
+        sim.stations[-1].sink = tracker
+        sim.run(rate=200_000, duration=1.0, warmup=0.2, batch_size=50, seed=2)
+        saturated = tracker.max()
+        assert saturated > 10 * underloaded  # queues built up

@@ -1,0 +1,95 @@
+"""Pipeline simulation tests: DES throughput must match the analytic model."""
+
+import pytest
+
+from repro.simulation.costs import GOWALLA_COSTS, NASA_COSTS
+from repro.simulation.events import EventLoop
+from repro.simulation.pipelines import (
+    build_fresque,
+    build_intake_only,
+    build_nonparallel_pp,
+    build_parallel_pp,
+)
+
+
+def _measure(builder, costs, *args, rate=200_000.0):
+    loop = EventLoop()
+    sim = builder(loop, costs, *args) if args else builder(loop, costs)
+    return sim.run(rate=rate, duration=2.0, warmup=0.5, batch_size=100, seed=3)
+
+
+class TestFresquePipeline:
+    @pytest.mark.parametrize("nodes", [1, 2, 4, 8, 12])
+    def test_matches_analytic_capacity(self, nodes):
+        for costs in (NASA_COSTS, GOWALLA_COSTS):
+            measured = _measure(build_fresque, costs, nodes)
+            expected = min(200_000.0, costs.fresque_capacity(nodes))
+            assert measured == pytest.approx(expected, rel=0.03)
+
+    def test_underload_passes_through(self):
+        # Below capacity, throughput equals the offered rate.
+        measured = _measure(build_fresque, NASA_COSTS, 12, rate=50_000.0)
+        assert measured == pytest.approx(50_000.0, rel=0.03)
+
+    def test_bottleneck_identification(self):
+        # Gowalla at 12 nodes: the sequential checking node saturates.
+        loop = EventLoop()
+        sim = build_fresque(loop, GOWALLA_COSTS, 12)
+        sim.run(rate=200_000, duration=1.0, warmup=0.2, seed=1)
+        assert sim.bottleneck().name == "checking"
+        # NASA at 2 nodes: the computing nodes are the constraint.
+        loop = EventLoop()
+        sim = build_fresque(loop, NASA_COSTS, 2)
+        sim.run(rate=200_000, duration=1.0, warmup=0.2, seed=1)
+        assert sim.bottleneck().name.startswith("cn-")
+
+
+class TestBaselinePipelines:
+    def test_nonparallel_matches_anchor(self):
+        measured = _measure(build_nonparallel_pp, NASA_COSTS)
+        assert measured == pytest.approx(3159, rel=0.03)
+
+    def test_parallel_pp_front_bound(self):
+        measured = _measure(build_parallel_pp, NASA_COSTS, 12)
+        assert measured == pytest.approx(
+            1.0 / NASA_COSTS.t_pp_front, rel=0.03
+        )
+
+    def test_parallel_pp_worker_bound_at_low_k(self):
+        measured = _measure(build_parallel_pp, GOWALLA_COSTS, 2)
+        assert measured == pytest.approx(
+            2.0 / GOWALLA_COSTS.t_pp_worker, rel=0.03
+        )
+
+    def test_intake_only_sustains_source(self):
+        measured = _measure(build_intake_only, NASA_COSTS)
+        assert measured == pytest.approx(200_000.0, rel=0.03)
+
+    def test_invalid_configs(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            build_fresque(loop, NASA_COSTS, 0)
+        with pytest.raises(ValueError):
+            build_parallel_pp(loop, NASA_COSTS, 0)
+
+
+class TestRunValidation:
+    def test_duration_must_exceed_warmup(self):
+        loop = EventLoop()
+        sim = build_intake_only(loop, NASA_COSTS)
+        with pytest.raises(ValueError):
+            sim.run(rate=1000, duration=0.5, warmup=0.5)
+
+    def test_poisson_arrivals_close_to_constant(self):
+        loop = EventLoop()
+        sim = build_fresque(loop, GOWALLA_COSTS, 8)
+        measured = sim.run(
+            rate=200_000,
+            duration=2.0,
+            warmup=0.5,
+            batch_size=100,
+            poisson=True,
+            seed=5,
+        )
+        expected = GOWALLA_COSTS.fresque_capacity(8)
+        assert measured == pytest.approx(expected, rel=0.05)

@@ -1,0 +1,92 @@
+"""Queueing station tests."""
+
+import pytest
+
+from repro.simulation.events import EventLoop
+from repro.simulation.stations import Counter, Job, RoundRobinSplitter, Station
+
+
+class TestStation:
+    def test_single_job_service_time(self):
+        loop = EventLoop()
+        done = []
+        station = Station(
+            loop, "s", service_per_record=0.01, sink=lambda job: done.append(loop.now)
+        )
+        station.submit(Job(records=10, created_at=0.0))
+        loop.run()
+        assert done == [pytest.approx(0.1)]
+
+    def test_fcfs_queueing(self):
+        loop = EventLoop()
+        done = []
+        station = Station(
+            loop, "s", 0.01, sink=lambda job: done.append((job.records, loop.now))
+        )
+        station.submit(Job(records=10, created_at=0.0))
+        station.submit(Job(records=5, created_at=0.0))
+        loop.run()
+        # Second job waits for the first: 0.1, then 0.15.
+        assert done == [(10, pytest.approx(0.1)), (5, pytest.approx(0.15))]
+
+    def test_multi_server_parallelism(self):
+        loop = EventLoop()
+        done = []
+        station = Station(
+            loop, "s", 0.01, servers=2, sink=lambda job: done.append(loop.now)
+        )
+        station.submit(Job(records=10, created_at=0.0))
+        station.submit(Job(records=10, created_at=0.0))
+        loop.run()
+        assert done == [pytest.approx(0.1), pytest.approx(0.1)]
+
+    def test_capacity(self):
+        loop = EventLoop()
+        station = Station(loop, "s", 0.001, servers=4)
+        assert station.capacity_per_second() == pytest.approx(4000)
+        assert Station(loop, "z", 0.0).capacity_per_second() == float("inf")
+
+    def test_utilisation_and_backlog(self):
+        loop = EventLoop()
+        station = Station(loop, "s", 0.01)
+        station.submit(Job(records=50, created_at=0.0))
+        loop.run_until(0.25)
+        assert station.backlog_records == 50  # not yet complete
+        loop.run()
+        assert station.backlog_records == 0
+        assert station.utilisation(0.5) == pytest.approx(1.0)
+
+    def test_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            Station(loop, "s", -1.0)
+        with pytest.raises(ValueError):
+            Station(loop, "s", 1.0, servers=0)
+
+
+class TestRoundRobinSplitter:
+    def test_cycles_targets(self):
+        loop = EventLoop()
+        counters = [Counter(), Counter()]
+        targets = [
+            Station(loop, f"t{i}", 0.0, sink=counters[i]) for i in range(2)
+        ]
+        splitter = RoundRobinSplitter(targets)
+        for _ in range(5):
+            splitter(Job(records=1, created_at=0.0))
+        loop.run()
+        assert counters[0].records == 3
+        assert counters[1].records == 2
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinSplitter([])
+
+
+class TestCounter:
+    def test_counts_records_and_jobs(self):
+        counter = Counter()
+        counter(Job(records=10, created_at=0.0))
+        counter(Job(records=5, created_at=0.0))
+        assert counter.records == 15
+        assert counter.jobs == 2

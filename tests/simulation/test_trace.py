@@ -1,0 +1,61 @@
+"""Queue-tracing tests: saturation shows up as backlog growth."""
+
+import pytest
+
+from repro.simulation.costs import GOWALLA_COSTS, NASA_COSTS
+from repro.simulation.events import EventLoop
+from repro.simulation.pipelines import build_fresque
+from repro.simulation.trace import QueueTrace, QueueTracer, TraceSample
+from repro.simulation.workload import ArrivalSource
+
+
+def _run_traced(costs, nodes, rate, duration=1.5):
+    loop = EventLoop()
+    sim = build_fresque(loop, costs, nodes)
+    tracer = QueueTracer(loop, sim.stations, period=0.05)
+    tracer.start(until=duration)
+    source = ArrivalSource(loop, rate, sim.entry, batch_size=100)
+    source.start(until=duration)
+    loop.run_until(duration)
+    return tracer.trace
+
+
+class TestQueueTracer:
+    def test_saturated_station_backlog_grows(self):
+        # Gowalla at 12 nodes: checking is saturated at 200k arrivals.
+        trace = _run_traced(GOWALLA_COSTS, 12, rate=200_000)
+        growth = trace.growth_rate("checking")
+        # Expected growth ≈ arrival rate − capacity ≈ 37k records/s.
+        assert growth == pytest.approx(
+            200_000 - GOWALLA_COSTS.fresque_capacity(12), rel=0.25
+        )
+
+    def test_underloaded_station_stays_flat(self):
+        trace = _run_traced(GOWALLA_COSTS, 12, rate=50_000)
+        assert abs(trace.growth_rate("checking")) < 2_000
+        assert trace.peak("checking") < 1_000
+
+    def test_cn_bound_configuration(self):
+        # NASA at 2 nodes: the computing nodes back up, not the checker.
+        trace = _run_traced(NASA_COSTS, 2, rate=200_000)
+        assert trace.growth_rate("cn-0") > 10_000
+        assert abs(trace.growth_rate("checking")) < 2_000
+
+    def test_samples_have_all_stations(self):
+        trace = _run_traced(NASA_COSTS, 2, rate=10_000, duration=0.5)
+        assert trace.samples
+        assert "dispatcher" in trace.samples[0].backlogs
+        assert "cloud" in trace.samples[0].backlogs
+
+    def test_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            QueueTracer(loop, [], period=0.0)
+
+    def test_empty_trace_metrics(self):
+        trace = QueueTrace()
+        assert trace.growth_rate("x") == 0.0
+        assert trace.peak("x") == 0
+        trace.samples.append(TraceSample(0.0, {"x": 5}))
+        assert trace.growth_rate("x") == 0.0
+        assert trace.peak("x") == 5

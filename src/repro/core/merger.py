@@ -28,8 +28,8 @@ from repro.crypto.cipher import RecordCipher
 from repro.index.overflow import OverflowArray
 from repro.index.perturb import NoisePlan
 from repro.index.template import IndexTemplate, merge_template_and_counts
-from repro.records.record import EncryptedRecord, make_dummy
-from repro.records.serialize import serialize_record
+from repro.records.record import EncryptedRecord
+from repro.records.serialize import DummyRecordSerializer
 
 
 @dataclass
@@ -73,6 +73,7 @@ class Merger:
         self.config = config
         self.cipher = cipher
         self._rng = rng if rng is not None else random.Random()
+        self._dummy_serializer = DummyRecordSerializer(config.schema)
         self._states: dict[int, _MergeState] = {}
         self._early_removed: dict[int, list[RemovedRecord]] = {}
         self.reports: list[MergeReport] = []
@@ -113,11 +114,10 @@ class Merger:
     def _encrypted_dummy(self, leaf_offset: int, publication: int):
         low, high = self.config.domain.leaf_range(leaf_offset)
         value = low if high <= low else low + self._rng.random() * (high - low)
-        dummy = make_dummy(self.config.schema, value)
         return EncryptedRecord(
             leaf_offset=None,
             ciphertext=self.cipher.encrypt(
-                serialize_record(dummy, self.config.schema)
+                self._dummy_serializer.serialize(value)
             ),
             publication=publication,
         )

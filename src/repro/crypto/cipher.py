@@ -21,6 +21,7 @@ dummies from real records).
 from __future__ import annotations
 
 import hashlib
+import threading
 from abc import ABC, abstractmethod
 
 from repro.crypto.aes import BLOCK_SIZE, AesBlockCipher
@@ -100,36 +101,47 @@ class SimulatedCipher(RecordCipher):
         self._key = keys.record_key()
         self._keys = keys
         self._counter = 0
+        # The cipher is shared by every computing-node thread plus the
+        # merger; the counter bump must be atomic or two threads can draw
+        # the same IV (keystream reuse).
+        self._counter_lock = threading.Lock()
 
     def _keystream(self, iv: bytes, length: int) -> bytes:
-        stream = bytearray()
-        counter = 0
-        while len(stream) < length:
-            stream += hashlib.sha256(
-                self._key + iv + counter.to_bytes(4, "little")
-            ).digest()
-            counter += 1
-        return bytes(stream[:length])
+        prefix = self._key + iv
+        sha256 = hashlib.sha256
+        blocks = [
+            sha256(prefix + counter.to_bytes(4, "little")).digest()
+            for counter in range((length + 31) // 32)
+        ]
+        return b"".join(blocks)[:length]
 
     def _next_iv(self) -> bytes:
         # A cheap deterministic nonce is enough here; uniqueness per message
         # is what keeps decryption well-defined.
-        self._counter += 1
+        with self._counter_lock:
+            self._counter += 1
+            counter = self._counter
         return hashlib.sha256(
-            self._key + b"iv" + self._counter.to_bytes(8, "little")
+            self._key + b"iv" + counter.to_bytes(8, "little")
         ).digest()[:BLOCK_SIZE]
+
+    @staticmethod
+    def _xor(data: bytes, keystream: bytes) -> bytes:
+        return (
+            int.from_bytes(data, "little")
+            ^ int.from_bytes(keystream, "little")
+        ).to_bytes(len(data), "little")
 
     def encrypt(self, plaintext: bytes) -> bytes:
         iv = self._next_iv()
         padded = pad(plaintext, BLOCK_SIZE)
-        body = bytes(p ^ k for p, k in zip(padded, self._keystream(iv, len(padded))))
-        return iv + body
+        return iv + self._xor(padded, self._keystream(iv, len(padded)))
 
     def decrypt(self, ciphertext: bytes) -> bytes:
         if len(ciphertext) < 2 * BLOCK_SIZE:
             raise DecryptionError("ciphertext shorter than IV + one block")
         iv, body = ciphertext[:BLOCK_SIZE], ciphertext[BLOCK_SIZE:]
-        padded = bytes(c ^ k for c, k in zip(body, self._keystream(iv, len(body))))
+        padded = self._xor(body, self._keystream(iv, len(body)))
         try:
             return unpad(padded, BLOCK_SIZE)
         except PaddingError as exc:

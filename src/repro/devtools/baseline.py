@@ -1,0 +1,83 @@
+"""Count-based baseline (suppression) file for fresque-lint.
+
+Each non-comment line grandfathers a known finding::
+
+    src/repro/index/perturb.py:FRQ-P301:1  # sanctioned noise-plan layer
+
+The count is per (file, code).  During a lint run every diagnostic is
+matched against the baseline: up to ``count`` findings of that code in
+that file are swallowed; anything beyond the count is reported normally.
+Entries whose file no longer produces the finding are *stale* — the CLI
+warns so the entry gets deleted, but stale entries never fail the build.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.diagnostics import Diagnostic
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline file: (display path, code) → allowed count."""
+
+    allowed: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: Justification comments by entry, kept for reporting.
+    comments: dict[tuple[str, str], str] = field(default_factory=dict)
+    _seen: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Parse ``path`` (missing file → empty baseline)."""
+        baseline = cls()
+        if not path.exists():
+            return baseline
+        for raw in path.read_text().splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            entry, _, comment = line.partition("#")
+            parts = entry.strip().rsplit(":", 2)
+            if len(parts) != 3 or not parts[2].isdigit():
+                raise ValueError(f"malformed baseline entry: {raw!r}")
+            file_path, code, count = parts[0], parts[1], int(parts[2])
+            key = (file_path, code)
+            baseline.allowed[key] = baseline.allowed.get(key, 0) + count
+            if comment.strip():
+                baseline.comments[key] = comment.strip()
+        return baseline
+
+    def absorbs(self, diagnostic: Diagnostic) -> bool:
+        """Whether the baseline swallows ``diagnostic`` (stateful: each
+        entry only absorbs up to its count)."""
+        key = (diagnostic.path, diagnostic.code)
+        if self._seen[key] < self.allowed.get(key, 0):
+            self._seen[key] += 1
+            return True
+        return False
+
+    def stale_entries(self) -> list[tuple[str, str, int, int]]:
+        """Entries that absorbed fewer findings than budgeted, as
+        ``(path, code, allowed, actually_seen)``."""
+        return [
+            (path, code, count, self._seen[(path, code)])
+            for (path, code), count in sorted(self.allowed.items())
+            if self._seen[(path, code)] < count
+        ]
+
+
+def render_baseline(diagnostics: list[Diagnostic]) -> str:
+    """A fresh baseline file body covering ``diagnostics``."""
+    counts: Counter = Counter(
+        (diagnostic.path, diagnostic.code) for diagnostic in diagnostics
+    )
+    lines = [
+        "# fresque-lint baseline: path:CODE:count  # justification",
+        "# Regenerate with: python -m repro.devtools.lint --update-baseline src",
+    ]
+    for (path, code), count in sorted(counts.items()):
+        lines.append(f"{path}:{code}:{count}  # TODO: justify or fix")
+    return "\n".join(lines) + "\n"

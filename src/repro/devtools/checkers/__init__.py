@@ -1,0 +1,9 @@
+"""Built-in checker families.
+
+Importing this package registers every built-in checker with the
+registry in :mod:`repro.devtools.registry`.
+"""
+
+from repro.devtools.checkers import concurrency, crypto, hygiene, privacy
+
+__all__ = ["concurrency", "crypto", "hygiene", "privacy"]

@@ -1,0 +1,68 @@
+"""Diagnostics and inline suppression directives.
+
+A diagnostic renders as ``file:line:col: CODE message`` — the format most
+editors and CI annotations understand.  A finding can be silenced at the
+exact line it fires on (or on a comment line directly above it) with::
+
+    risky_call()  # fresque-lint: disable=FRQ-C102 -- why this is safe
+
+The justification after the code list is free text; the directive parser
+only reads the comma-separated codes (or ``all``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: Matches an inline suppression directive anywhere in a source line.
+_DIRECTIVE_RE = re.compile(
+    r"#\s*fresque-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding of one checker at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical ``file:line:col: CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def directive_codes(line: str) -> frozenset[str]:
+    """Codes suppressed by the directive on ``line`` (empty if none)."""
+    match = _DIRECTIVE_RE.search(line)
+    if match is None:
+        return frozenset()
+    return frozenset(
+        code.strip() for code in match.group(1).split(",") if code.strip()
+    )
+
+
+def suppressed_codes(lines: list[str], lineno: int) -> frozenset[str]:
+    """Codes suppressed at 1-based ``lineno``.
+
+    A directive applies when it sits on the flagged line itself or on a
+    comment-only line immediately above it.
+    """
+    codes: set[str] = set()
+    if 1 <= lineno <= len(lines):
+        codes |= directive_codes(lines[lineno - 1])
+    if lineno >= 2:
+        above = lines[lineno - 2].strip()
+        if above.startswith("#"):
+            codes |= directive_codes(above)
+    return frozenset(codes)
+
+
+def is_suppressed(diagnostic: Diagnostic, lines: list[str]) -> bool:
+    """Whether an inline directive silences ``diagnostic``."""
+    codes = suppressed_codes(lines, diagnostic.line)
+    return diagnostic.code in codes or "all" in codes

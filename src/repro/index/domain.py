@@ -14,7 +14,7 @@ index-template traversals of PINED-RQ++.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 class DomainError(ValueError):
@@ -37,6 +37,7 @@ class AttributeDomain:
     dmin: float
     dmax: float
     bin_interval: float
+    _num_leaves: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if self.bin_interval <= 0:
@@ -49,11 +50,16 @@ class AttributeDomain:
             )
         if self.dmax - self.dmin < self.bin_interval:
             raise DomainError("domain must span at least one bin")
+        object.__setattr__(
+            self,
+            "_num_leaves",
+            int(math.floor((self.dmax - self.dmin) / self.bin_interval)),
+        )
 
     @property
     def num_leaves(self) -> int:
         """Number of histogram bins (index leaves) covering the domain."""
-        return int(math.floor((self.dmax - self.dmin) / self.bin_interval))
+        return self._num_leaves
 
     def leaf_offset(self, value: float) -> int:
         """Leaf offset of ``value`` (the paper's ``Ov`` formula).

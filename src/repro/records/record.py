@@ -67,14 +67,9 @@ def make_dummy(schema: Schema, indexed_value) -> Record:
     All other attributes get type-appropriate filler so that, once encrypted,
     a dummy is indistinguishable from a real record of the same size class.
     """
-    values = []
-    for pos, attr in enumerate(schema.attributes):
-        if pos == schema.indexed_position:
-            values.append(attr.coerce(indexed_value))
-        elif attr.type.name == "STR":
-            values.append("")
-        else:
-            values.append(attr.coerce(0))
+    values = list(schema.dummy_filler)
+    position = schema.indexed_position
+    values[position] = schema.attributes[position].coerce(indexed_value)
     return Record(tuple(values), flag=DUMMY_FLAG)
 
 

@@ -92,6 +92,8 @@ class Schema:
     attributes: tuple[Attribute, ...]
     indexed_attribute: str
     _index_pos: int = field(init=False, repr=False, compare=False, default=-1)
+    _py_types: tuple = field(init=False, repr=False, compare=False, default=())
+    _dummy_filler: tuple = field(init=False, repr=False, compare=False, default=())
 
     def __post_init__(self) -> None:
         names = [attr.name for attr in self.attributes]
@@ -108,6 +110,19 @@ class Schema:
                 f"indexed attribute {self.indexed_attribute!r} must be numerical"
             )
         object.__setattr__(self, "_index_pos", pos)
+        object.__setattr__(
+            self, "_py_types", tuple(_TYPES[attr.type] for attr in self.attributes)
+        )
+        object.__setattr__(
+            self,
+            "_dummy_filler",
+            tuple(
+                None
+                if position == pos
+                else ("" if attr.type is AttributeType.STR else _TYPES[attr.type](0))
+                for position, attr in enumerate(self.attributes)
+            ),
+        )
 
     @property
     def arity(self) -> int:
@@ -123,6 +138,15 @@ class Schema:
     def indexed_position(self) -> int:
         """Position of the indexed attribute within the schema."""
         return self._index_pos
+
+    @property
+    def dummy_filler(self) -> tuple:
+        """Filler values for dummy records (``None`` at the indexed position).
+
+        STR attributes fill with ``""``, numerical ones with their zero, so
+        a dummy serializes to the same size class as a minimal real record.
+        """
+        return self._dummy_filler
 
     def attribute(self, name: str) -> Attribute:
         """Return the attribute called ``name``.
@@ -152,14 +176,22 @@ class Schema:
         SchemaError
             If the tuple arity does not match the schema.
         """
-        if len(values) != self.arity:
+        if len(values) != len(self.attributes):
             raise SchemaError(
                 f"record has {len(values)} values, schema {self.name!r} "
                 f"expects {self.arity}"
             )
-        return tuple(
-            attr.coerce(value) for attr, value in zip(self.attributes, values)
-        )
+        try:
+            return tuple(
+                target(value)
+                for target, value in zip(self._py_types, values)
+            )
+        except (TypeError, ValueError):
+            # Re-run attribute by attribute for the precise error message.
+            return tuple(
+                attr.coerce(value)
+                for attr, value in zip(self.attributes, values)
+            )
 
 
 def nasa_log_schema() -> Schema:

@@ -57,15 +57,30 @@ class Router:
         frame = encode_message(destination, message)
         with self._guard:
             connection = self._connections.get(destination)
-            if connection is None:
-                connection = socket.create_connection(
-                    ("127.0.0.1", self._addresses[destination]), timeout=10
-                )
-                self._connections[destination] = connection
-                self._locks[destination] = threading.Lock()
-            lock = self._locks[destination]
+            lock = self._locks.get(destination)
+        if connection is None:
+            # Dial outside the guard: a slow connect to one destination
+            # must not block every other sender on the shared guard lock.
+            dialed = socket.create_connection(
+                ("127.0.0.1", self._addresses[destination]), timeout=10
+            )
+            with self._guard:
+                connection = self._connections.get(destination)
+                if connection is None:
+                    connection = dialed
+                    self._connections[destination] = connection
+                    self._locks[destination] = threading.Lock()
+                lock = self._locks[destination]
+            if connection is not dialed:
+                # Another sender won the dial race; drop the spare socket.
+                try:
+                    dialed.close()
+                except OSError:
+                    pass
         with lock:
-            connection.sendall(frame)
+            # The per-connection lock exists precisely to serialize frame
+            # writes on this socket, so the blocking send is intentional.
+            connection.sendall(frame)  # fresque-lint: disable=FRQ-C102
 
     def close(self) -> None:
         """Tear down every outbound connection."""
@@ -104,7 +119,14 @@ class TcpNode:
         self._threads: list[threading.Thread] = []
         self._running = False
         self.errors: list[BaseException] = []
-        self.handled = 0
+        self._lock = threading.Lock()
+        self._handled = 0
+
+    @property
+    def handled(self) -> int:
+        """Frames fully processed by the worker thread."""
+        with self._lock:
+            return self._handled
 
     def start(self) -> None:
         """Spawn the acceptor and worker threads."""
@@ -162,7 +184,8 @@ class TcpNode:
                     )
                 for out_destination, out_message in self.handler(message):
                     self.router.send(out_destination, out_message)
-                self.handled += 1
+                with self._lock:
+                    self._handled += 1
             except BaseException as exc:  # surfaced by the driver
                 self.errors.append(exc)
 

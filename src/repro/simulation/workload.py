@@ -52,7 +52,9 @@ class ArrivalSource:
         self.sink = sink
         self.batch_size = batch_size
         self.poisson = poisson
-        self._rng = rng if rng is not None else random.Random()
+        # Seeded default: simulated runs must replay bit-identically so
+        # the paper-figure scripts are reproducible.
+        self._rng = rng if rng is not None else random.Random(0)
         self._stop_at: float | None = None
         self.records_emitted = 0
 

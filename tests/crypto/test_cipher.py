@@ -97,3 +97,34 @@ def test_simulated_roundtrip_property(payload):
     """SimulatedCipher round-trips arbitrary payloads."""
     cipher = SimulatedCipher(KeyStore(b"property-test-master-key-32byte!"))
     assert cipher.decrypt(cipher.encrypt(payload)) == payload
+
+
+class TestCipherThreadSafety:
+    """The cipher is shared by every computing-node thread plus the merger
+    (see ThreadedFresque); concurrent encrypts must never reuse an IV."""
+
+    def test_concurrent_encrypts_use_unique_ivs(self, keystore):
+        import threading
+
+        cipher = SimulatedCipher(keystore)
+        per_thread = 200
+        results: list[list[bytes]] = [[] for _ in range(8)]
+        barrier = threading.Barrier(8)
+
+        def worker(slot: int) -> None:
+            barrier.wait()
+            for _ in range(per_thread):
+                results[slot].append(cipher.encrypt(b"shared-cipher-payload"))
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,)) for slot in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ciphertexts = [c for bucket in results for c in bucket]
+        ivs = {c[:16] for c in ciphertexts}
+        assert len(ivs) == 8 * per_thread
+        for ciphertext in ciphertexts:
+            assert cipher.decrypt(ciphertext) == b"shared-cipher-payload"

@@ -1,0 +1,172 @@
+"""Positive/negative fixtures for the FRQ-C1xx concurrency checkers."""
+
+from tests.devtools.conftest import codes_of, lint_source
+
+
+class TestC101UnlockedThreadMutation:
+    def test_positive_mutation_without_lock(self):
+        diagnostics = lint_source(
+            """
+            import threading
+
+            class Node:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.handled = 0
+
+                def start(self):
+                    threading.Thread(target=self._loop).start()
+
+                def _loop(self):
+                    self.handled += 1
+            """
+        )
+        assert codes_of(diagnostics) == ["FRQ-C101"]
+        assert "Node._loop" in diagnostics[0].message
+
+    def test_positive_reaches_through_helper_calls(self):
+        diagnostics = lint_source(
+            """
+            import threading
+
+            class Node:
+                def start(self):
+                    threading.Thread(target=self._loop).start()
+
+                def _loop(self):
+                    self._step()
+
+                def _step(self):
+                    self.count = 1
+            """
+        )
+        assert codes_of(diagnostics) == ["FRQ-C101"]
+
+    def test_negative_mutation_under_lock(self):
+        diagnostics = lint_source(
+            """
+            import threading
+
+            class Node:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.handled = 0
+
+                def start(self):
+                    threading.Thread(target=self._loop).start()
+
+                def _loop(self):
+                    with self._lock:
+                        self.handled += 1
+            """
+        )
+        assert codes_of(diagnostics) == []
+
+    def test_negative_mutation_outside_thread_target(self):
+        diagnostics = lint_source(
+            """
+            import threading
+
+            class Node:
+                def start(self):
+                    threading.Thread(target=self._loop).start()
+
+                def _loop(self):
+                    pass
+
+                def configure(self):
+                    self.rate = 3  # driver-thread only, not a target
+            """
+        )
+        assert codes_of(diagnostics) == []
+
+
+class TestC102BlockingUnderLock:
+    def test_positive_dial_under_lock(self):
+        diagnostics = lint_source(
+            """
+            import socket
+            import threading
+
+            class Router:
+                def __init__(self):
+                    self._guard = threading.Lock()
+
+                def send(self, port):
+                    with self._guard:
+                        connection = socket.create_connection(("h", port))
+            """
+        )
+        assert "FRQ-C102" in codes_of(diagnostics)
+
+    def test_positive_queue_get_under_lock(self):
+        diagnostics = lint_source(
+            """
+            def drain(state_lock, inbox):
+                with state_lock:
+                    item = inbox.get()
+            """
+        )
+        assert codes_of(diagnostics) == ["FRQ-C102"]
+
+    def test_negative_blocking_call_outside_lock(self):
+        diagnostics = lint_source(
+            """
+            import socket
+            import threading
+
+            class Router:
+                def __init__(self):
+                    self._guard = threading.Lock()
+
+                def send(self, port):
+                    connection = socket.create_connection(("h", port))
+                    with self._guard:
+                        self._connections = {port: connection}
+            """
+        )
+        assert codes_of(diagnostics) == []
+
+    def test_negative_str_join_is_not_thread_join(self):
+        diagnostics = lint_source(
+            """
+            def render(lock, parts):
+                with lock:
+                    return ", ".join(parts)
+            """
+        )
+        assert codes_of(diagnostics) == []
+
+
+class TestC103LockOrderCycle:
+    def test_positive_ab_ba_cycle(self):
+        diagnostics = lint_source(
+            """
+            def transfer(a_lock, b_lock):
+                with a_lock:
+                    with b_lock:
+                        pass
+
+            def refund(a_lock, b_lock):
+                with b_lock:
+                    with a_lock:
+                        pass
+            """
+        )
+        assert codes_of(diagnostics) == ["FRQ-C103"]
+
+    def test_negative_consistent_order(self):
+        diagnostics = lint_source(
+            """
+            def transfer(a_lock, b_lock):
+                with a_lock:
+                    with b_lock:
+                        pass
+
+            def refund(a_lock, b_lock):
+                with a_lock:
+                    with b_lock:
+                        pass
+            """
+        )
+        assert codes_of(diagnostics) == []

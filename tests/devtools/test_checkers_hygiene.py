@@ -1,0 +1,149 @@
+"""Positive/negative fixtures for the FRQ-H4xx hygiene checkers."""
+
+from tests.devtools.conftest import codes_of, lint_source
+
+SIMULATION_PATH = "src/repro/simulation/fixture.py"
+
+
+class TestH401SwallowedExceptions:
+    def test_positive_bare_except(self):
+        diagnostics = lint_source(
+            """
+            def parse(line):
+                try:
+                    return int(line)
+                except:
+                    return None
+            """
+        )
+        assert codes_of(diagnostics) == ["FRQ-H401"]
+
+    def test_positive_except_exception_pass(self):
+        diagnostics = lint_source(
+            """
+            def parse(line):
+                try:
+                    return int(line)
+                except Exception:
+                    pass
+            """
+        )
+        assert codes_of(diagnostics) == ["FRQ-H401"]
+
+    def test_negative_specific_exception(self):
+        diagnostics = lint_source(
+            """
+            def parse(line):
+                try:
+                    return int(line)
+                except ValueError:
+                    return None
+            """
+        )
+        assert codes_of(diagnostics) == []
+
+    def test_negative_broad_handler_that_records(self):
+        diagnostics = lint_source(
+            """
+            def run(step, errors):
+                try:
+                    step()
+                except Exception as exc:
+                    errors.append(exc)
+            """
+        )
+        assert codes_of(diagnostics) == []
+
+
+class TestH402MutableDefaults:
+    def test_positive_list_literal_default(self):
+        diagnostics = lint_source(
+            """
+            def collect(item, into=[]):
+                into.append(item)
+                return into
+            """
+        )
+        assert codes_of(diagnostics) == ["FRQ-H402"]
+
+    def test_positive_dict_factory_default(self):
+        diagnostics = lint_source(
+            """
+            def collect(item, *, into=dict()):
+                return into
+            """
+        )
+        assert codes_of(diagnostics) == ["FRQ-H402"]
+
+    def test_negative_none_default(self):
+        diagnostics = lint_source(
+            """
+            def collect(item, into=None):
+                into = [] if into is None else into
+                into.append(item)
+                return into
+            """
+        )
+        assert codes_of(diagnostics) == []
+
+
+class TestH403NondeterministicSimulation:
+    def test_positive_wall_clock_in_simulation(self):
+        diagnostics = lint_source(
+            """
+            import time
+
+            def stamp(job):
+                job.created_at = time.time()
+            """,
+            display_path=SIMULATION_PATH,
+        )
+        assert codes_of(diagnostics) == ["FRQ-H403"]
+
+    def test_positive_global_random_in_simulation(self):
+        diagnostics = lint_source(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            display_path=SIMULATION_PATH,
+        )
+        assert codes_of(diagnostics) == ["FRQ-H403"]
+
+    def test_positive_unseeded_rng_in_simulation(self):
+        diagnostics = lint_source(
+            """
+            import random
+
+            def make_rng():
+                return random.Random()
+            """,
+            display_path=SIMULATION_PATH,
+        )
+        assert codes_of(diagnostics) == ["FRQ-H403"]
+
+    def test_negative_seeded_rng_in_simulation(self):
+        diagnostics = lint_source(
+            """
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+            """,
+            display_path=SIMULATION_PATH,
+        )
+        assert codes_of(diagnostics) == []
+
+    def test_negative_wall_clock_outside_simulation(self):
+        diagnostics = lint_source(
+            """
+            import time
+
+            def elapsed(start):
+                return time.monotonic() - start
+            """,
+            display_path="src/repro/runtime/fixture.py",
+        )
+        assert codes_of(diagnostics) == []

@@ -1,0 +1,35 @@
+"""Tier-1 gate: the shipped source tree must lint clean.
+
+This is the enforcement half of the tentpole — ``src/`` stays free of
+new FRQ findings modulo the committed baseline, and the baseline itself
+stays honest (no stale entries, every entry justified).
+"""
+
+from pathlib import Path
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.lint import DEFAULT_BASELINE, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_lints_clean_modulo_baseline():
+    diagnostics = run_lint([REPO_ROOT / "src"], REPO_ROOT)
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
+    fresh = [d for d in diagnostics if not baseline.absorbs(d)]
+    assert fresh == [], "new lint findings:\n" + "\n".join(
+        d.render() for d in fresh
+    )
+    assert baseline.stale_entries() == [], (
+        "stale baseline entries — delete them: "
+        f"{baseline.stale_entries()}"
+    )
+
+
+def test_every_baseline_entry_is_justified():
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
+    for key, count in baseline.allowed.items():
+        assert key in baseline.comments, (
+            f"baseline entry {key[0]}:{key[1]}:{count} has no justification "
+            f"comment"
+        )

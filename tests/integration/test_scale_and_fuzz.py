@@ -99,7 +99,11 @@ class TestAdversarialInputs:
         except (RecordError, ValueError):
             pass
 
-    @settings(max_examples=30)
+    # Each example runs a full publication (index merge + overflow-array
+    # padding); hypothesis's 200 ms default deadline is sized for
+    # micro-examples, so give the end-to-end pipeline explicit headroom
+    # for slow CI runners (~110 ms/example on a dev machine).
+    @settings(max_examples=30, deadline=1000)
     @given(
         lines=st.lists(st.text(max_size=60), min_size=0, max_size=20),
         seed=st.integers(min_value=0, max_value=999),

@@ -98,3 +98,31 @@ def test_raw_line_roundtrip_property(participant, week, temperature):
     schema = flu_survey_schema()
     record = Record((participant, week, temperature, "none"))
     assert parse_raw_line(render_raw_line(record, schema), schema) == record
+
+
+class TestDummyRecordSerializer:
+    """The merger's fused dummy-serialization fast path must stay
+    byte-identical to the reference ``serialize_record(make_dummy(...))``."""
+
+    @pytest.mark.parametrize(
+        "schema_factory",
+        [gowalla_schema, flu_survey_schema],
+    )
+    def test_matches_reference_encoding(self, schema_factory):
+        from repro.records.serialize import DummyRecordSerializer
+
+        schema = schema_factory()
+        fast = DummyRecordSerializer(schema)
+        for value in (0, 1, 375, 1234.9, 626 * 3600):
+            assert fast.serialize(value) == serialize_record(
+                make_dummy(schema, value), schema
+            )
+
+    def test_deserializes_as_dummy(self):
+        from repro.records.serialize import DummyRecordSerializer
+
+        schema = gowalla_schema()
+        payload = DummyRecordSerializer(schema).serialize(7200)
+        record = deserialize_record(payload, schema)
+        assert record.is_dummy
+        assert record.indexed_value(schema) == 7200

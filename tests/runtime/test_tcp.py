@@ -60,3 +60,79 @@ class TestTcpCluster:
         ports = [node.port for node in cluster._nodes]
         assert len(set(ports)) == len(ports)
         assert all(port > 0 for port in ports)
+
+
+class TestRouter:
+    """Regression tests for the outbound router's locking discipline."""
+
+    def test_concurrent_senders_reuse_one_connection(self):
+        import socket
+        import threading
+        import time
+
+        from repro.core.messages import PublishingMsg
+        from repro.runtime.tcp import Router
+        from repro.runtime.wire import decode_message, read_frames
+
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", 0))
+        server.listen(16)
+        received: list[int] = []
+        connections: list[socket.socket] = []
+
+        def drain(connection: socket.socket) -> None:
+            buffer = bytearray()
+            while True:
+                try:
+                    chunk = connection.recv(65536)
+                except OSError:
+                    return
+                if not chunk:
+                    return
+                buffer.extend(chunk)
+                for frame in read_frames(buffer):
+                    _, message = decode_message(frame)
+                    received.append(message.publication)
+
+        def accept_loop() -> None:
+            while True:
+                try:
+                    connection, _ = server.accept()
+                except OSError:
+                    return
+                connections.append(connection)
+                threading.Thread(
+                    target=drain, args=(connection,), daemon=True
+                ).start()
+
+        threading.Thread(target=accept_loop, daemon=True).start()
+        router = Router({"sink": server.getsockname()[1]})
+        try:
+            # Warm up the connection, then hammer it from eight threads:
+            # every later send must reuse the established socket, and the
+            # per-connection lock must keep frames intact.
+            router.send("sink", PublishingMsg(0))
+            senders = [
+                threading.Thread(
+                    target=lambda base=base: [
+                        router.send("sink", PublishingMsg(base + i))
+                        for i in range(25)
+                    ]
+                )
+                for base in range(1000, 9000, 1000)
+            ]
+            for sender in senders:
+                sender.start()
+            for sender in senders:
+                sender.join()
+            deadline = time.monotonic() + 5
+            while len(received) < 201 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            router.close()
+            server.close()
+        assert len(connections) == 1
+        assert sorted(received) == sorted(
+            [0] + [base + i for base in range(1000, 9000, 1000) for i in range(25)]
+        )

@@ -7,8 +7,7 @@ Paper: throughput grows with computing nodes, peaking at ~142k records/s
 from benchmarks.common import (
     DATASETS,
     NODE_SWEEP,
-    emit,
-    format_series,
+    emit_series,
     simulate_throughput,
     thousands,
 )
@@ -33,13 +32,11 @@ def test_fig09_series(benchmark):
         + [thousands(series[name][nodes]) for name, _ in DATASETS]
         for nodes in NODE_SWEEP
     ]
-    emit(
+    emit_series(
         "fig09",
-        format_series(
-            "Figure 9: FRESQUE ingestion throughput (records/s)",
-            ["nodes", "nasa", "gowalla"],
-            rows,
-        ),
+        "Figure 9: FRESQUE ingestion throughput (records/s)",
+        ["nodes", "nasa", "gowalla"],
+        rows,
     )
     # Shape checks against the paper.
     nasa, gowalla = series["nasa"], series["gowalla"]

@@ -82,3 +82,49 @@ def test_micro_randomer_insert(benchmark):
     for _ in range(randomer.capacity):
         randomer.insert(pair)
     benchmark(randomer.insert, pair)
+
+
+def test_micro_ops_bench_json(tmp_path):
+    """Smoke-sized run of every micro-op, exported as BENCH_micro_ops.json.
+
+    Times each operation with a fixed loop count (no pytest-benchmark
+    fixture, so it also runs under plain ``pytest``) and routes the means
+    through the telemetry JSON exporter — the machine-readable artifact CI
+    uploads for the perf trajectory.
+    """
+    from benchmarks.common import _OUT_DIR
+    from repro.telemetry.clock import WALL_CLOCK
+    from repro.telemetry.exporters import write_bench_json
+
+    generator = NasaLogGenerator(seed=1)
+    payload = serialize_record(generator.record(), generator.schema)
+    line = generator.raw_line()
+    domain = nasa_domain()
+    tree = IndexTree(domain, fanout=16)
+    plan = draw_noise_plan(tree, 1.0, rng=random.Random(3))
+    arrays = LeafArrays(plan.leaf_noise)
+    sim_cipher = SimulatedCipher(KeyStore(b"micro-benchmark-master-key-32by!"))
+    randomer = Randomer(1024, rng=random.Random(4))
+    pair = Pair(0, 0, EncryptedRecord(0, bytes(176)))
+    ops = {
+        "simulated_encrypt": lambda: sim_cipher.encrypt(payload),
+        "leaf_offset": lambda: domain.leaf_offset(123_456),
+        "parse_nasa_line": lambda: parse_raw_line(line, generator.schema),
+        "array_check": lambda: arrays.check_and_update(1700),
+        "randomer_insert": lambda: randomer.insert(pair),
+    }
+    loops = 2000
+    means = {}
+    for name, op in ops.items():
+        start = WALL_CLOCK.now()
+        for _ in range(loops):
+            op()
+        means[name] = (WALL_CLOCK.now() - start) / loops
+    _OUT_DIR.mkdir(exist_ok=True)
+    path = write_bench_json(
+        _OUT_DIR / "BENCH_micro_ops.json",
+        "micro_ops",
+        {"loops": loops, "mean_seconds": means},
+    )
+    assert path.exists()
+    assert all(mean >= 0.0 for mean in means.values())

@@ -24,6 +24,7 @@ from repro.simulation.pipelines import (
     build_nonparallel_pp,
     build_parallel_pp,
 )
+from repro.telemetry.exporters import write_bench_json
 
 #: Computing-node counts swept in the paper's Figures 9–14.
 NODE_SWEEP = (2, 4, 6, 8, 10, 12)
@@ -99,6 +100,25 @@ def emit(figure_id: str, text: str) -> None:
     print(text)
     _OUT_DIR.mkdir(exist_ok=True)
     (_OUT_DIR / f"{figure_id}.txt").write_text(text + "\n")
+
+
+def emit_series(
+    figure_id: str, title: str, header: list[str], rows: list[list]
+) -> None:
+    """Emit one figure's series as text *and* machine-readable JSON.
+
+    The text table goes to stdout and ``benchmarks/out/<id>.txt`` as
+    before; the same rows are also written to ``benchmarks/out/
+    BENCH_<id>.json`` through the telemetry JSON exporter so the perf
+    trajectory can be diffed across runs without re-parsing tables.
+    """
+    emit(figure_id, format_series(title, header, rows))
+    _OUT_DIR.mkdir(exist_ok=True)
+    write_bench_json(
+        _OUT_DIR / f"BENCH_{figure_id}.json",
+        figure_id,
+        {"title": title, "header": list(header), "rows": [list(r) for r in rows]},
+    )
 
 
 def thousands(value: float) -> str:

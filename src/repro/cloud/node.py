@@ -33,6 +33,7 @@ from repro.index.overflow import OverflowArray
 from repro.index.query import RangeQuery
 from repro.index.tree import IndexTree
 from repro.records.record import EncryptedRecord
+from repro.telemetry.context import coalesce
 
 
 @dataclass(frozen=True)
@@ -51,12 +52,15 @@ class CloudError(RuntimeError):
 class _BaseCloud:
     """State shared by both cloud variants."""
 
-    def __init__(self, domain: AttributeDomain):
+    def __init__(self, domain: AttributeDomain, telemetry=None):
         self.domain = domain
         self.store = EncryptedStore()
         self.engine = CloudQueryEngine(domain, self.store)
         self._active: set[int] = set()
         self._done: set[int] = set()
+        self._tel = coalesce(telemetry)
+        self._pairs_counter = self._tel.counter("cloud_pairs_total")
+        self._bytes_counter = self._tel.counter("cloud_bytes_total")
 
     def announce_publication(self, publication: int) -> None:
         """Handle a new publication number: open a fresh storage file."""
@@ -101,8 +105,8 @@ class _BaseCloud:
 class FresqueCloud(_BaseCloud):
     """Cloud in FRESQUE mode: leaf-offset pairs and metadata matching."""
 
-    def __init__(self, domain: AttributeDomain):
-        super().__init__(domain)
+    def __init__(self, domain: AttributeDomain, telemetry=None):
+        super().__init__(domain, telemetry=telemetry)
         self._metadata: dict[int, MetadataCache] = {}
 
     def announce_publication(self, publication: int) -> None:
@@ -117,6 +121,8 @@ class FresqueCloud(_BaseCloud):
         address = self.store.write(publication, record)
         self._metadata[publication].add(leaf_offset, address)
         self.engine.add_unindexed(publication, leaf_offset, record)
+        self._pairs_counter.inc()
+        self._bytes_counter.inc(len(record.ciphertext))
         return address
 
     def receive_publication(
@@ -126,17 +132,21 @@ class FresqueCloud(_BaseCloud):
         overflow: dict[int, OverflowArray],
     ) -> PublicationReceipt:
         """Match the arriving secure index against the metadata cache."""
+        start = self._tel.now()
         self._require_active(publication)
         cache = self._metadata.pop(publication)
         pointers, stats = match_with_metadata(cache)
-        return self._install(publication, tree, pointers, overflow, stats)
+        receipt = self._install(publication, tree, pointers, overflow, stats)
+        self._tel.observe_stage("match", publication, start)
+        self._tel.close_publication(publication)
+        return receipt
 
 
 class MatchingTableCloud(_BaseCloud):
     """Cloud in PINED-RQ++ mode: random tags and read-back matching."""
 
-    def __init__(self, domain: AttributeDomain):
-        super().__init__(domain)
+    def __init__(self, domain: AttributeDomain, telemetry=None):
+        super().__init__(domain, telemetry=telemetry)
         self._tags: dict[int, dict[int, PhysicalAddress]] = {}
 
     def announce_publication(self, publication: int) -> None:
@@ -150,6 +160,8 @@ class MatchingTableCloud(_BaseCloud):
         self._require_active(publication)
         address = self.store.write(publication, record)
         self._tags[publication][tag] = address
+        self._pairs_counter.inc()
+        self._bytes_counter.inc(len(record.ciphertext))
         return address
 
     def receive_publication(
@@ -160,9 +172,13 @@ class MatchingTableCloud(_BaseCloud):
         matching_table: dict[int, int],
     ) -> PublicationReceipt:
         """Run the read-back matching process with the published table."""
+        start = self._tel.now()
         self._require_active(publication)
         tag_addresses = self._tags.pop(publication)
         pointers, stats = match_with_table(
             self.store, publication, tag_addresses, matching_table
         )
-        return self._install(publication, tree, pointers, overflow, stats)
+        receipt = self._install(publication, tree, pointers, overflow, stats)
+        self._tel.observe_stage("match", publication, start)
+        self._tel.close_publication(publication)
+        return receipt

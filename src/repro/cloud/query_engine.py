@@ -95,6 +95,18 @@ class CloudQueryEngine:
         """Publications whose secure index has been matched."""
         return tuple(self._published)
 
+    def in_flight_pairs(self) -> list[tuple[int, EncryptedRecord]]:
+        """``(leaf offset, e-record)`` pairs of every in-flight publication.
+
+        These are records already stored at the cloud whose publication's
+        secure index has not arrived yet — the unindexed set of
+        Section 5.3(c).
+        """
+        pairs: list[tuple[int, EncryptedRecord]] = []
+        for in_flight in self._in_flight.values():
+            pairs.extend(in_flight.pairs)
+        return pairs
+
     def open_publication(self, publication: int) -> None:
         """Start tracking unindexed pairs for a new publication."""
         self._in_flight.setdefault(publication, _InFlight(publication))

@@ -40,6 +40,7 @@ from repro.core.messages import (
 )
 from repro.core.randomer import Randomer
 from repro.index.template import LeafArrays
+from repro.telemetry.context import coalesce
 
 
 @dataclass
@@ -61,9 +62,18 @@ class CheckingNode:
         Deployment configuration (buffer size, node count, domain).
     rng:
         Seeded randomness for the randomer.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; times the
+        ``check`` stage per released pair and the ``publish`` stage per
+        publication boundary, and tracks randomer occupancy.
     """
 
-    def __init__(self, config: FresqueConfig, rng: random.Random | None = None):
+    def __init__(
+        self,
+        config: FresqueConfig,
+        rng: random.Random | None = None,
+        telemetry=None,
+    ):
         self.config = config
         self._rng = rng if rng is not None else random.Random()
         self._publications: dict[int, _PublicationState] = {}
@@ -72,6 +82,10 @@ class CheckingNode:
         self.pairs_processed = 0
         self.dummies_passed = 0
         self.records_removed = 0
+        self._tel = coalesce(telemetry)
+        self._removed_counter = self._tel.counter("checking_removed_total")
+        self._dummies_counter = self._tel.counter("checking_dummies_total")
+        self._occupancy_gauge = self._tel.gauge("randomer_occupancy")
 
     def state_of(self, publication: int) -> _PublicationState:
         """Internal state of ``publication`` (for tests and metrics)."""
@@ -114,25 +128,34 @@ class CheckingNode:
 
     def _check(self, pair: Pair) -> tuple[str, object]:
         """Checker + updater for one released pair."""
+        tel = self._tel
+        start = tel.now()
         self.pairs_processed += 1
         if pair.dummy:
             self.dummies_passed += 1
-            return (
+            self._dummies_counter.inc()
+            routed = (
                 "cloud",
                 ToCloudPair(pair.publication, pair.leaf_offset, pair.encrypted),
             )
+            tel.observe_stage("check", pair.publication, start)
+            return routed
         state = self._publications[pair.publication]
         result = state.arrays.check_and_update(pair.leaf_offset)
         if result.removed:
             self.records_removed += 1
-            return (
+            self._removed_counter.inc()
+            routed = (
                 "merger",
                 RemovedRecord(pair.publication, pair.leaf_offset, pair.encrypted),
             )
-        return (
-            "cloud",
-            ToCloudPair(pair.publication, pair.leaf_offset, pair.encrypted),
-        )
+        else:
+            routed = (
+                "cloud",
+                ToCloudPair(pair.publication, pair.leaf_offset, pair.encrypted),
+            )
+        tel.observe_stage("check", pair.publication, start)
+        return routed
 
     def on_pair(self, pair: Pair) -> list[tuple[str, object]]:
         """Buffer an arriving pair; process whatever the randomer evicts."""
@@ -145,6 +168,8 @@ class CheckingNode:
             # node mis-ordered its publishing message) bypasses the buffer.
             return [self._check(pair)]
         evicted = state.randomer.insert(pair)
+        if self._tel.enabled:
+            self._occupancy_gauge.set(len(state.randomer))
         if evicted is None:
             return []
         return [self._check(evicted)]
@@ -170,6 +195,7 @@ class CheckingNode:
 
     def _finalise(self, publication: int) -> list[tuple[str, object]]:
         """Drain the buffer, ship AL, flush to cloud, release the CNs."""
+        start = self._tel.now()
         state = self._publications[publication]
         state.closed = True
         out: list[tuple[str, object]] = []
@@ -195,4 +221,5 @@ class CheckingNode:
             (f"cn-{i}", done) for i in range(self.config.num_computing_nodes)
         )
         del self._publications[publication]
+        self._tel.observe_stage("publish", publication, start)
         return out

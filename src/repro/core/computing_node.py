@@ -21,6 +21,7 @@ from repro.crypto.cipher import RecordCipher
 from repro.index.domain import DomainError
 from repro.records.record import EncryptedRecord, Record, RecordError
 from repro.records.serialize import parse_raw_line, serialize_record
+from repro.telemetry.context import coalesce
 
 
 class ComputingNode:
@@ -34,9 +35,18 @@ class ComputingNode:
         Deployment configuration.
     cipher:
         Record cipher shared with the client.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; times the
+        ``parse`` and ``encrypt`` stages per record.
     """
 
-    def __init__(self, node_id: int, config: FresqueConfig, cipher: RecordCipher):
+    def __init__(
+        self,
+        node_id: int,
+        config: FresqueConfig,
+        cipher: RecordCipher,
+        telemetry=None,
+    ):
         self.node_id = node_id
         self.config = config
         self.cipher = cipher
@@ -44,6 +54,15 @@ class ComputingNode:
         self.encrypted = 0
         self.bytes_out = 0
         self.rejected = 0
+        self._tel = coalesce(telemetry)
+        node_label = f"cn-{node_id}"
+        self._rejected_counter = self._tel.counter(
+            "cn_rejected_total", node=node_label
+        )
+        self._bytes_counter = self._tel.counter(
+            "cn_bytes_total", node=node_label
+        )
+        self._held_gauge = self._tel.gauge("cn_held_pairs", node=node_label)
         self._waiting_done = False
         # While waiting for *done*, events are held in arrival order:
         # ("pair", Pair) entries and ("publishing", publication) markers.
@@ -64,19 +83,25 @@ class ComputingNode:
         return sum(1 for kind, _ in self._held if kind == "pair")
 
     def _process(self, message: RawData) -> Pair:
+        tel = self._tel
         if message.record is not None:
             record: Record = message.record
         else:
+            start = tel.now()
             record = parse_raw_line(message.line, self.config.schema)
             self.parsed += 1
+            tel.observe_stage("parse", message.publication, start)
         leaf_offset = self.config.domain.leaf_offset(
             record.indexed_value(self.config.schema)
         )
+        start = tel.now()
         ciphertext = self.cipher.encrypt(
             serialize_record(record, self.config.schema)
         )
+        tel.observe_stage("encrypt", message.publication, start)
         self.encrypted += 1
         self.bytes_out += len(ciphertext)
+        self._bytes_counter.inc(len(ciphertext))
         return Pair(
             publication=message.publication,
             leaf_offset=leaf_offset,
@@ -99,9 +124,12 @@ class ComputingNode:
             pair = self._process(message)
         except (RecordError, DomainError, ValueError):
             self.rejected += 1
+            self._rejected_counter.inc()
             return []
         if self._waiting_done:
             self._held.append(("pair", pair))
+            if self._tel.enabled:
+                self._held_gauge.set(self.held_pairs)
             return []
         return [("checking", pair)]
 
@@ -135,4 +163,6 @@ class ComputingNode:
             out.append(("checking", CnPublishing(payload, self.node_id)))
             self._waiting_done = True
             break
+        if self._tel.enabled:
+            self._held_gauge.set(self.held_pairs)
         return out

@@ -17,6 +17,7 @@ from repro.core.messages import NewPublication, PublishingMsg, RawData
 from repro.index.perturb import draw_noise_plan
 from repro.index.tree import IndexTree
 from repro.records.record import Record, make_dummy
+from repro.telemetry.context import coalesce
 
 
 class Dispatcher:
@@ -28,9 +29,17 @@ class Dispatcher:
         The deployment configuration.
     rng:
         Seeded randomness (noise plans, dummy values, dummy schedule).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; opens the
+        per-publication root span and times the ``dispatch`` stage.
     """
 
-    def __init__(self, config: FresqueConfig, rng: random.Random | None = None):
+    def __init__(
+        self,
+        config: FresqueConfig,
+        rng: random.Random | None = None,
+        telemetry=None,
+    ):
         self.config = config
         self._rng = rng if rng is not None else random.Random()
         self._tree_shape = IndexTree(config.domain, fanout=config.fanout)
@@ -39,6 +48,9 @@ class Dispatcher:
         self._dummy_schedule: list[tuple[float, Record]] = []
         self.records_dispatched = 0
         self.dummies_generated = 0
+        self._tel = coalesce(telemetry)
+        self._records_counter = self._tel.counter("dispatcher_records_total")
+        self._dummies_counter = self._tel.counter("dispatcher_dummies_total")
 
     @property
     def publication(self) -> int:
@@ -71,11 +83,13 @@ class Dispatcher:
         driver can map them to wall-clock or record-count positions.
         """
         self._publication += 1
+        self._tel.open_publication(self._publication)
         plan = draw_noise_plan(
             self._tree_shape, self.config.epsilon, rng=self._rng
         )
         dummies = self._make_dummies(plan)
         self.dummies_generated += len(dummies)
+        self._dummies_counter.inc(len(dummies))
         self._dummy_schedule = sorted(
             ((self._rng.random(), dummy) for dummy in dummies),
             key=lambda item: item[0],
@@ -101,16 +115,24 @@ class Dispatcher:
         return node
 
     def _dispatch_record(self, record: Record) -> tuple[str, object]:
+        start = self._tel.now()
         self.records_dispatched += 1
-        return (
+        self._records_counter.inc()
+        routed = (
             self._next_node(),
             RawData(self._publication, record=record),
         )
+        self._tel.observe_stage("dispatch", self._publication, start)
+        return routed
 
     def on_raw(self, line: str) -> list[tuple[str, object]]:
         """Forward one raw line to the next computing node (round robin)."""
+        start = self._tel.now()
         self.records_dispatched += 1
-        return [(self._next_node(), RawData(self._publication, line=line))]
+        self._records_counter.inc()
+        routed = [(self._next_node(), RawData(self._publication, line=line))]
+        self._tel.observe_stage("dispatch", self._publication, start)
+        return routed
 
     def end_publication(self) -> list[tuple[str, object]]:
         """Broadcast *publishing*; the caller immediately starts the next.

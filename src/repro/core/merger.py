@@ -30,6 +30,7 @@ from repro.index.perturb import NoisePlan
 from repro.index.template import IndexTemplate, merge_template_and_counts
 from repro.records.record import EncryptedRecord
 from repro.records.serialize import DummyRecordSerializer
+from repro.telemetry.context import coalesce
 
 
 @dataclass
@@ -62,6 +63,9 @@ class Merger:
         Record cipher, needed to encrypt overflow-array padding dummies.
     rng:
         Seeded randomness for padding values and shuffles.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; times the
+        ``merge`` stage per publication.
     """
 
     def __init__(
@@ -69,6 +73,7 @@ class Merger:
         config: FresqueConfig,
         cipher: RecordCipher,
         rng: random.Random | None = None,
+        telemetry=None,
     ):
         self.config = config
         self.cipher = cipher
@@ -77,6 +82,13 @@ class Merger:
         self._states: dict[int, _MergeState] = {}
         self._early_removed: dict[int, list[RemovedRecord]] = {}
         self.reports: list[MergeReport] = []
+        self._tel = coalesce(telemetry)
+        self._padding_counter = self._tel.counter(
+            "merger_padding_encrypts_total"
+        )
+        self._removed_counter = self._tel.counter(
+            "merger_removed_records_total"
+        )
 
     def pending_removed(self) -> list[tuple[int, int, EncryptedRecord]]:
         """Removed records held for unfinished publications.
@@ -124,6 +136,7 @@ class Merger:
 
     def on_al(self, message: AlSnapshot) -> list[tuple[str, object]]:
         """The merge job: build the secure index and overflow arrays."""
+        start = self._tel.now()
         state = self._states.pop(message.publication, None)
         if state is None:
             raise KeyError(
@@ -161,6 +174,9 @@ class Merger:
                 padding_encrypts=padding_encrypts,
             )
         )
+        self._padding_counter.inc(padding_encrypts)
+        self._removed_counter.inc(removed_total)
+        self._tel.observe_stage("merge", message.publication, start)
         return [
             (
                 "cloud",

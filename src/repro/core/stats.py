@@ -33,9 +33,20 @@ class CollectorStats:
     publications_done: int
 
     def ingest_accounting_consistent(self) -> bool:
-        """Sanity invariant: nothing processed at the checker exceeds what
-        the computing nodes produced."""
-        return self.pairs_checked <= self.records_encrypted
+        """Sanity invariants across the pipeline's accounting:
+
+        * the checker never processes more pairs than the computing nodes
+          encrypted;
+        * it never passes more dummies than the dispatcher generated;
+        * the cloud never stores more records than the checker forwarded
+          (checked pairs that were not removed, counting the removed
+          records that re-enter via the merger's overflow arrays).
+        """
+        return (
+            self.pairs_checked <= self.records_encrypted
+            and self.dummies_passed <= self.dummies_generated
+            and self.cloud_records <= self.pairs_checked + self.records_removed
+        )
 
     def render(self) -> str:
         """Human-readable one-block summary."""

@@ -37,6 +37,7 @@ from repro.core.messages import (
 )
 from repro.crypto.cipher import RecordCipher
 from repro.records.record import EncryptedRecord
+from repro.telemetry.context import coalesce
 
 
 class CloudAdapter:
@@ -127,22 +128,36 @@ class FresqueSystem:
         Record cipher shared between collector and client.
     seed:
         Seed for all randomness (noise, randomer, dummy values).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` shared by every
+        component; when omitted telemetry is disabled (null facade).
     """
 
     def __init__(
-        self, config: FresqueConfig, cipher: RecordCipher, seed: int | None = None
+        self,
+        config: FresqueConfig,
+        cipher: RecordCipher,
+        seed: int | None = None,
+        telemetry=None,
     ):
         self.config = config
         self.cipher = cipher
+        self.telemetry = coalesce(telemetry)
         rng = random.Random(seed)
-        self.dispatcher = Dispatcher(config, rng=random.Random(rng.random()))
+        self.dispatcher = Dispatcher(
+            config, rng=random.Random(rng.random()), telemetry=telemetry
+        )
         self.computing_nodes = [
-            ComputingNode(i, config, cipher)
+            ComputingNode(i, config, cipher, telemetry=telemetry)
             for i in range(config.num_computing_nodes)
         ]
-        self.checking = CheckingNode(config, rng=random.Random(rng.random()))
-        self.merger = Merger(config, cipher, rng=random.Random(rng.random()))
-        self.cloud = FresqueCloud(config.domain)
+        self.checking = CheckingNode(
+            config, rng=random.Random(rng.random()), telemetry=telemetry
+        )
+        self.merger = Merger(
+            config, cipher, rng=random.Random(rng.random()), telemetry=telemetry
+        )
+        self.cloud = FresqueCloud(config.domain, telemetry=telemetry)
         self._cloud_adapter = CloudAdapter(self.cloud)
         self._queue: deque[tuple[str, object]] = deque()
         self._started = False
@@ -256,7 +271,4 @@ class FresqueSystem:
     @property
     def unpublished_pairs(self) -> list[tuple[int, EncryptedRecord]]:
         """Pairs of the in-flight publication already at the cloud."""
-        pairs = []
-        for in_flight in self.cloud.engine._in_flight.values():
-            pairs.extend(in_flight.pairs)
-        return pairs
+        return self.cloud.engine.in_flight_pairs()

@@ -4,6 +4,12 @@ Importing this package registers every built-in checker with the
 registry in :mod:`repro.devtools.registry`.
 """
 
-from repro.devtools.checkers import concurrency, crypto, hygiene, privacy
+from repro.devtools.checkers import (
+    concurrency,
+    crypto,
+    hygiene,
+    privacy,
+    telemetry,
+)
 
-__all__ = ["concurrency", "crypto", "hygiene", "privacy"]
+__all__ = ["concurrency", "crypto", "hygiene", "privacy", "telemetry"]

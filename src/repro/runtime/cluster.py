@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import random
 import threading
-import time
 
 from repro.client.query_client import QueryClient
 from repro.cloud.node import FresqueCloud
@@ -35,6 +34,8 @@ from repro.core.messages import (
 from repro.core.system import CloudAdapter
 from repro.crypto.cipher import RecordCipher
 from repro.runtime.channel import POISON, Inbox, InFlightTracker
+from repro.telemetry.clock import WALL_CLOCK
+from repro.telemetry.context import coalesce
 
 
 class ThreadedFresque:
@@ -49,25 +50,44 @@ class ThreadedFresque:
         Record cipher shared with the client.
     seed:
         Seed for all randomness.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` shared by every
+        component; adds per-inbox queue-depth gauges and a routed
+        message counter on top of the component instrumentation.
     """
 
     def __init__(
-        self, config: FresqueConfig, cipher: RecordCipher, seed: int | None = None
+        self,
+        config: FresqueConfig,
+        cipher: RecordCipher,
+        seed: int | None = None,
+        telemetry=None,
     ):
         self.config = config
         self.cipher = cipher
+        self.telemetry = coalesce(telemetry)
         rng = random.Random(seed)
-        self.dispatcher = Dispatcher(config, rng=random.Random(rng.random()))
+        self.dispatcher = Dispatcher(
+            config, rng=random.Random(rng.random()), telemetry=telemetry
+        )
         self.computing_nodes = [
-            ComputingNode(i, config, cipher)
+            ComputingNode(i, config, cipher, telemetry=telemetry)
             for i in range(config.num_computing_nodes)
         ]
-        self.checking = CheckingNode(config, rng=random.Random(rng.random()))
-        self.merger = Merger(config, cipher, rng=random.Random(rng.random()))
-        self.cloud = FresqueCloud(config.domain)
+        self.checking = CheckingNode(
+            config, rng=random.Random(rng.random()), telemetry=telemetry
+        )
+        self.merger = Merger(
+            config, cipher, rng=random.Random(rng.random()), telemetry=telemetry
+        )
+        self.cloud = FresqueCloud(config.domain, telemetry=telemetry)
         self.cloud_adapter = CloudAdapter(self.cloud)
         self._tracker = InFlightTracker()
         self._inboxes: dict[str, Inbox] = {}
+        self._depth_gauges: dict[str, object] = {}
+        self._messages_counter = self.telemetry.counter(
+            "runtime_messages_total"
+        )
         self._threads: list[threading.Thread] = []
         self._handlers = {"checking": self._handle_checking}
         self._errors: list[BaseException] = []
@@ -113,7 +133,11 @@ class ThreadedFresque:
 
     def _send(self, destination: str, message) -> None:
         self._tracker.increment()
-        self._inboxes[destination].put(message)
+        inbox = self._inboxes[destination]
+        inbox.put(message)
+        if self.telemetry.enabled:
+            self._messages_counter.inc()
+            self._depth_gauges[destination].set(inbox.qsize())
 
     def _pump_outbox(self, outbox) -> None:
         for destination, message in outbox:
@@ -148,6 +172,9 @@ class ThreadedFresque:
             )
         for name, handler in handlers.items():
             self._inboxes[name] = Inbox(name)
+            self._depth_gauges[name] = self.telemetry.gauge(
+                "inbox_depth", node=name
+            )
             thread = threading.Thread(
                 target=self._node_loop,
                 args=(name, handler),
@@ -173,13 +200,13 @@ class ThreadedFresque:
         """Ingest ``lines``, close the publication, wait until it drains."""
         if not self._started:
             self.start()
-        started = time.perf_counter()
+        started = WALL_CLOCK.now()
         self._feed_publication(lines)
         if not self._tracker.wait_quiescent(timeout=120.0):
             raise TimeoutError(
                 f"publication did not drain ({self._tracker.count} in flight)"
             )
-        self.wall_seconds += time.perf_counter() - started
+        self.wall_seconds += WALL_CLOCK.now() - started
         self._raise_errors()
 
     def run_publications_pipelined(self, batches: list[list[str]]) -> None:
@@ -190,14 +217,14 @@ class ThreadedFresque:
         """
         if not self._started:
             self.start()
-        started = time.perf_counter()
+        started = WALL_CLOCK.now()
         for lines in batches:
             self._feed_publication(lines)
         if not self._tracker.wait_quiescent(timeout=240.0):
             raise TimeoutError(
                 f"publications did not drain ({self._tracker.count} in flight)"
             )
-        self.wall_seconds += time.perf_counter() - started
+        self.wall_seconds += WALL_CLOCK.now() - started
         self._raise_errors()
 
     def _raise_errors(self) -> None:

@@ -39,6 +39,7 @@ from repro.records.schema import (
     nasa_log_schema,
 )
 from repro.runtime.tcp import Router, TcpNode
+from repro.telemetry.clock import WALL_CLOCK
 
 _SCHEMAS = {
     "flu_survey": (flu_survey_schema, flu_domain),
@@ -277,14 +278,14 @@ class ProcessCluster:
                     stderr=subprocess.DEVNULL,
                 )
             )
-        deadline = time.monotonic() + timeout
+        deadline = WALL_CLOCK.now() + timeout
         for role, port in self._spec["ports"].items():
             while True:
                 try:
                     socket.create_connection(("127.0.0.1", port), 0.2).close()
                     break
                 except OSError:
-                    if time.monotonic() > deadline:
+                    if WALL_CLOCK.now() > deadline:
                         raise TimeoutError(f"node {role} never came up")
                     time.sleep(0.05)
         self._send(self.dispatcher.start_publication())
@@ -302,8 +303,8 @@ class ProcessCluster:
             self._send(self.dispatcher.on_raw(line))
         self._send(self.dispatcher.end_publication())
         self._send(self.dispatcher.start_publication())
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
+        deadline = WALL_CLOCK.now() + timeout
+        while WALL_CLOCK.now() < deadline:
             status = self._control({"op": "status"})
             if status is not None and publication in status["publications"]:
                 index = status["publications"].index(publication)

@@ -39,6 +39,8 @@ from repro.core.messages import (
 from repro.core.system import CloudAdapter
 from repro.crypto.cipher import RecordCipher
 from repro.runtime.wire import decode_message, encode_message, read_frames
+from repro.telemetry.clock import WALL_CLOCK
+from repro.telemetry.context import coalesce
 
 _STOP = object()
 
@@ -46,15 +48,20 @@ _STOP = object()
 class Router:
     """Outbound connections to every peer, by node name."""
 
-    def __init__(self, address_book: dict[str, int]):
+    def __init__(self, address_book: dict[str, int], telemetry=None):
         self._addresses = address_book
         self._connections: dict[str, socket.socket] = {}
         self._locks: dict[str, threading.Lock] = {}
         self._guard = threading.Lock()
+        tel = coalesce(telemetry)
+        self._sent_bytes = tel.counter("tcp_sent_bytes_total")
+        self._sent_frames = tel.counter("tcp_sent_frames_total")
 
     def send(self, destination: str, message) -> None:
         """Frame and transmit one message to ``destination``."""
         frame = encode_message(destination, message)
+        self._sent_bytes.inc(len(frame))
+        self._sent_frames.inc()
         with self._guard:
             connection = self._connections.get(destination)
             lock = self._locks.get(destination)
@@ -104,12 +111,20 @@ class TcpNode:
         Callable handling one message and returning routed outbox pairs.
     router:
         Shared router for outbound messages.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; counts received
+        bytes and tracks the inbox depth per node.
     """
 
-    def __init__(self, name: str, handler, router: Router):
+    def __init__(self, name: str, handler, router: Router, telemetry=None):
         self.name = name
         self.handler = handler
         self.router = router
+        self._tel = coalesce(telemetry)
+        self._recv_bytes = self._tel.counter(
+            "tcp_recv_bytes_total", node=name
+        )
+        self._depth_gauge = self._tel.gauge("tcp_inbox_depth", node=name)
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._server.bind(("127.0.0.1", 0))
@@ -168,8 +183,11 @@ class TcpNode:
             if not chunk:
                 return
             buffer.extend(chunk)
+            self._recv_bytes.inc(len(chunk))
             for frame in read_frames(buffer):
                 self._inbox.put(frame)
+            if self._tel.enabled:
+                self._depth_gauge.set(self._inbox.qsize())
 
     def _worker_loop(self) -> None:
         while True:
@@ -221,23 +239,35 @@ class TcpFresqueCluster:
     """
 
     def __init__(
-        self, config: FresqueConfig, cipher: RecordCipher, seed: int | None = None
+        self,
+        config: FresqueConfig,
+        cipher: RecordCipher,
+        seed: int | None = None,
+        telemetry=None,
     ):
         self.config = config
         self.cipher = cipher
+        self.telemetry = coalesce(telemetry)
         rng = random.Random(seed)
-        self.dispatcher = Dispatcher(config, rng=random.Random(rng.random()))
+        self.dispatcher = Dispatcher(
+            config, rng=random.Random(rng.random()), telemetry=telemetry
+        )
         self.computing_nodes = [
-            ComputingNode(i, config, cipher)
+            ComputingNode(i, config, cipher, telemetry=telemetry)
             for i in range(config.num_computing_nodes)
         ]
-        self.checking = CheckingNode(config, rng=random.Random(rng.random()))
-        self.merger = Merger(config, cipher, rng=random.Random(rng.random()))
-        self.cloud = FresqueCloud(config.domain)
+        self.checking = CheckingNode(
+            config, rng=random.Random(rng.random()), telemetry=telemetry
+        )
+        self.merger = Merger(
+            config, cipher, rng=random.Random(rng.random()), telemetry=telemetry
+        )
+        self.cloud = FresqueCloud(config.domain, telemetry=telemetry)
         self.cloud_adapter = CloudAdapter(self.cloud)
         self._address_book: dict[str, int] = {}
-        self.router = Router(self._address_book)
+        self.router = Router(self._address_book, telemetry=telemetry)
         self._nodes: list[TcpNode] = []
+        self._telemetry_arg = telemetry
         self._started = False
 
     def _make_nodes(self) -> None:
@@ -273,14 +303,27 @@ class TcpFresqueCluster:
                 return self.merger.on_al(message)
             raise TypeError(type(message).__name__)
 
+        telemetry = self._telemetry_arg
         for node in self.computing_nodes:
             self._nodes.append(
-                TcpNode(f"cn-{node.node_id}", cn_handler(node), self.router)
+                TcpNode(
+                    f"cn-{node.node_id}",
+                    cn_handler(node),
+                    self.router,
+                    telemetry=telemetry,
+                )
             )
-        self._nodes.append(TcpNode("checking", checking_handler, self.router))
-        self._nodes.append(TcpNode("merger", merger_handler, self.router))
         self._nodes.append(
-            TcpNode("cloud", self.cloud_adapter.handle, self.router)
+            TcpNode("checking", checking_handler, self.router, telemetry=telemetry)
+        )
+        self._nodes.append(
+            TcpNode("merger", merger_handler, self.router, telemetry=telemetry)
+        )
+        self._nodes.append(
+            TcpNode(
+                "cloud", self.cloud_adapter.handle, self.router,
+                telemetry=telemetry,
+            )
         )
         for node in self._nodes:
             self._address_book[node.name] = node.port
@@ -313,8 +356,8 @@ class TcpFresqueCluster:
             self._send_outbox(self.dispatcher.on_raw(line))
         self._send_outbox(self.dispatcher.end_publication())
         self._send_outbox(self.dispatcher.start_publication())
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
+        deadline = WALL_CLOCK.now() + timeout
+        while WALL_CLOCK.now() < deadline:
             receipt = next(
                 (
                     r

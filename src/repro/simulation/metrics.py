@@ -46,3 +46,34 @@ class LatencyTracker:
     def max(self) -> float:
         """Worst observed latency."""
         return max(self._latencies, default=0.0)
+
+
+class TelemetrySink:
+    """Terminal sink mirroring delivered batches into telemetry.
+
+    Bridges the discrete-event simulator onto the same span/metric model
+    the real runtimes use: each delivered batch becomes one span (with
+    *simulated*-clock timestamps — construct the ``Telemetry`` with
+    ``SimulatedClock(loop)`` so ``telemetry.now()`` agrees) plus one
+    observation in a latency histogram, so the report CLI and the JSONL
+    exporter render simulated and real runs identically.
+    """
+
+    def __init__(self, loop, telemetry):
+        self._loop = loop
+        self._tel = telemetry
+        self._latency = telemetry.histogram("sim_batch_latency_seconds")
+        self._batches = telemetry.counter("sim_batches_total")
+        self._records_counter = telemetry.counter("sim_records_total")
+        self.records = 0
+
+    def __call__(self, job: Job) -> None:
+        now = self._loop.now
+        self.records += job.records
+        if self._tel.enabled:
+            self._latency.observe(now - job.created_at)
+            self._batches.inc()
+            self._records_counter.inc(job.records)
+            self._tel.recorder.record(
+                "sim_batch", -1, job.created_at, now
+            )

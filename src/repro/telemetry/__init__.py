@@ -1,0 +1,82 @@
+"""``repro.telemetry`` — metrics, tracing and the flight recorder.
+
+The measurement layer of the reproduction: a thread-safe metrics
+registry (counters, gauges, fixed-bucket histograms), span-based tracing
+with a per-publication flight recorder, pluggable wall/simulated clocks,
+and exporters (JSON lines, Prometheus text, console tables).
+
+Enable it by passing a :class:`Telemetry` to any driver::
+
+    from repro.telemetry import Telemetry
+    telemetry = Telemetry()
+    system = FresqueSystem(config, cipher, seed=1, telemetry=telemetry)
+    ...
+    print(console_report(telemetry))
+
+Every component defaults to :data:`NULL_TELEMETRY`, whose operations are
+no-ops — disabled overhead is one attribute lookup per instrumented
+operation.
+"""
+
+from repro.telemetry.clock import WALL_CLOCK, Clock, SimulatedClock, WallClock
+from repro.telemetry.context import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    coalesce,
+)
+from repro.telemetry.exporters import (
+    console_report,
+    prometheus_text,
+    read_jsonl,
+    stage_table,
+    write_bench_json,
+    write_jsonl,
+)
+from repro.telemetry.registry import (
+    DURATION_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricSample,
+    NullRegistry,
+)
+from repro.telemetry.spans import (
+    PUBLICATION_SPAN,
+    STAGES,
+    FlightRecorder,
+    NullFlightRecorder,
+    Span,
+)
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DURATION_BUCKETS",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullFlightRecorder",
+    "NullRegistry",
+    "NullTelemetry",
+    "PUBLICATION_SPAN",
+    "SIZE_BUCKETS",
+    "STAGES",
+    "SimulatedClock",
+    "Span",
+    "Telemetry",
+    "WALL_CLOCK",
+    "WallClock",
+    "coalesce",
+    "console_report",
+    "prometheus_text",
+    "read_jsonl",
+    "stage_table",
+    "write_bench_json",
+    "write_jsonl",
+]

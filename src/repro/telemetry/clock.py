@@ -1,0 +1,52 @@
+"""Time sources for the telemetry subsystem.
+
+Every timestamp in the pipeline — span start/end, stage latencies, wall
+budgets — goes through a :class:`Clock` so the discrete-event simulator
+and the real runtimes share one span model: :class:`WallClock` reads the
+process's monotonic clock, :class:`SimulatedClock` reads a simulation
+:class:`~repro.simulation.events.EventLoop`.  Library code under
+``repro/{core,cloud,runtime}`` must not call ``time.time()`` /
+``time.perf_counter()`` / ``time.monotonic()`` directly (enforced by
+fresque-lint FRQ-T501); it takes timestamps from a clock instead.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Interface: a monotonically non-decreasing time source in seconds."""
+
+    def now(self) -> float:
+        """Current time in (wall or simulated) seconds."""
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Monotonic wall time (``time.perf_counter``)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class SimulatedClock(Clock):
+    """Reads the simulated time of a discrete-event loop.
+
+    Parameters
+    ----------
+    loop:
+        Any object with a ``now`` attribute in seconds — in practice a
+        :class:`repro.simulation.events.EventLoop`.
+    """
+
+    def __init__(self, loop):
+        self._loop = loop
+
+    def now(self) -> float:
+        return self._loop.now
+
+
+#: Shared wall clock — the sanctioned way for runtime code to read wall
+#: time (deadlines, wall-second budgets) without bypassing telemetry.
+WALL_CLOCK = WallClock()

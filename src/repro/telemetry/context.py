@@ -1,0 +1,165 @@
+"""The :class:`Telemetry` facade instrumented components talk to.
+
+One object bundles the three telemetry pieces — metrics registry, flight
+recorder and clock — behind a hot-path-friendly API:
+
+* ``tel.now()`` reads the clock (0.0 on the null facade);
+* ``tel.observe_stage(stage, publication, start)`` records one stage
+  span (child of the publication root) *and* feeds the per-stage
+  latency histogram;
+* ``tel.counter/gauge/histogram`` bind instruments once at component
+  construction time.
+
+Components always hold a facade: :data:`NULL_TELEMETRY` when telemetry
+is off, so the disabled cost is an attribute lookup and an empty method
+call — no branching in component code.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.clock import Clock, WallClock
+from repro.telemetry.registry import (
+    DURATION_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    _NULL_INSTRUMENT,
+)
+from repro.telemetry.spans import (
+    STAGES,
+    FlightRecorder,
+    NullFlightRecorder,
+)
+
+
+class Telemetry:
+    """Enabled telemetry: registry + flight recorder + clock.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry (a fresh :class:`MetricsRegistry` by default).
+    recorder:
+        Flight recorder (fresh, 8192-span ring by default).
+    clock:
+        Time source — :class:`~repro.telemetry.clock.WallClock` for real
+        runtimes, :class:`~repro.telemetry.clock.SimulatedClock` when
+        driven from the discrete-event simulator.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        recorder: FlightRecorder | None = None,
+        clock: Clock | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        self.clock = clock if clock is not None else WallClock()
+        self._stage_histograms = {
+            stage: self.registry.histogram("pipeline_stage_seconds", stage=stage)
+            for stage in STAGES
+        }
+
+    def now(self) -> float:
+        """Current clock reading in seconds."""
+        return self.clock.now()
+
+    # -- stage spans -------------------------------------------------------
+
+    def observe_stage(
+        self,
+        stage: str,
+        publication: int,
+        start: float,
+        end: float | None = None,
+    ) -> None:
+        """Record one completed stage operation.
+
+        Feeds the ``pipeline_stage_seconds{stage=...}`` histogram and
+        appends a span linked to the publication's root span (if open).
+        """
+        if end is None:
+            end = self.clock.now()
+        self._stage_histograms[stage].observe(end - start)
+        self.recorder.record(
+            stage,
+            publication,
+            start,
+            end,
+            parent_id=self.recorder.root_of(publication),
+        )
+
+    def open_publication(self, publication: int) -> None:
+        """Open the root span of ``publication`` (idempotent)."""
+        self.recorder.open_root(publication, self.clock.now())
+
+    def close_publication(self, publication: int) -> None:
+        """Close the root span — the publication is fully matched."""
+        self.recorder.close_root(publication, self.clock.now())
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str, **labels: str):
+        """Bind a counter (do this once, at construction time)."""
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: str):
+        """Bind a gauge."""
+        return self.registry.gauge(name, **labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DURATION_BUCKETS,
+        **labels: str,
+    ):
+        """Bind a histogram."""
+        return self.registry.histogram(name, buckets=buckets, **labels)
+
+    def stage_histogram(self, stage: str):
+        """The pre-bound per-stage latency histogram."""
+        return self._stage_histograms[stage]
+
+
+class NullTelemetry:
+    """Disabled facade: every operation is a cheap no-op."""
+
+    enabled = False
+
+    def __init__(self):
+        self.registry = NullRegistry()
+        self.recorder = NullFlightRecorder()
+        self.clock = None
+
+    def now(self) -> float:
+        return 0.0
+
+    def observe_stage(self, stage, publication, start, end=None) -> None:
+        pass
+
+    def open_publication(self, publication: int) -> None:
+        pass
+
+    def close_publication(self, publication: int) -> None:
+        pass
+
+    def counter(self, name: str, **labels: str):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: str):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, buckets=DURATION_BUCKETS, **labels):
+        return _NULL_INSTRUMENT
+
+    def stage_histogram(self, stage: str):
+        return _NULL_INSTRUMENT
+
+
+#: The shared disabled facade every component defaults to.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def coalesce(telemetry: Telemetry | None):
+    """``telemetry`` if given, else the shared null facade."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY

@@ -1,0 +1,188 @@
+"""Render a per-stage latency/throughput breakdown from a recorded run.
+
+Usage::
+
+    python -m repro.telemetry.report run.jsonl        # recorded run
+    python -m repro.telemetry.report                  # built-in demo run
+    python -m repro.telemetry.report --demo -o run.jsonl
+
+With a JSON-lines recording (written by
+:func:`repro.telemetry.exporters.write_jsonl`) the report is rebuilt
+entirely from the file.  Without one, a small instrumented
+:class:`~repro.core.system.FresqueSystem` run is executed in-process and
+reported live — covering all seven pipeline stages end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.telemetry.exporters import (
+    _table,
+    console_report,
+    read_jsonl,
+    stage_table,
+    write_jsonl,
+)
+from repro.telemetry.spans import PUBLICATION_SPAN, STAGES
+
+
+def _quantile_from_buckets(buckets: list[list], count: float, q: float) -> float:
+    """Approximate quantile from recorded ``[bound, count]`` rows."""
+    if not count:
+        return 0.0
+    rank = q * count
+    seen = 0.0
+    last_finite = 0.0
+    for bound, bucket_count in buckets:
+        finite = bound != "+Inf"
+        if finite:
+            last_finite = float(bound)
+        seen += bucket_count
+        if seen >= rank and finite:
+            return float(bound)
+    return last_finite
+
+
+def recorded_stage_stats(metrics: list[dict]) -> dict[str, dict]:
+    """Per-stage stats from recorded ``pipeline_stage_seconds`` samples."""
+    stats: dict[str, dict] = {}
+    for entry in metrics:
+        if entry["name"] != "pipeline_stage_seconds":
+            continue
+        stage = entry.get("labels", {}).get("stage")
+        if stage not in STAGES:
+            continue
+        count = entry["value"]
+        total = entry.get("sum", 0.0)
+        stats[stage] = {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "p95": _quantile_from_buckets(
+                entry.get("buckets", []), count, 0.95
+            ),
+        }
+    return stats
+
+
+def _counter_value(metrics: list[dict], name: str) -> float:
+    return sum(
+        entry["value"]
+        for entry in metrics
+        if entry["name"] == name and entry["kind"] == "counter"
+    )
+
+
+def render_recording(path: str) -> str:
+    """The full report for one JSON-lines recording."""
+    meta, metrics, spans = read_jsonl(path)
+    lines = [stage_table(recorded_stage_stats(metrics), title=f"per-stage latency — {path}")]
+
+    roots = [s for s in spans if s["name"] == PUBLICATION_SPAN]
+    children = {
+        root["span_id"]: sum(
+            1 for s in spans if s.get("parent_id") == root["span_id"]
+        )
+        for root in roots
+    }
+    if roots:
+        lines.append("")
+        lines.extend(
+            _table(
+                ["publication", "duration ms", "stage spans"],
+                [
+                    [
+                        str(root["publication"]),
+                        f"{(root['end'] - root['start']) * 1000:.2f}",
+                        str(children[root["span_id"]]),
+                    ]
+                    for root in roots
+                ],
+            )
+        )
+        wall = sum(root["end"] - root["start"] for root in roots)
+        dispatched = _counter_value(metrics, "dispatcher_records_total")
+        if wall > 0 and dispatched:
+            lines.append("")
+            lines.append(
+                f"throughput: {dispatched / wall:,.0f} records/s "
+                f"({int(dispatched)} records over {wall:.3f} s of "
+                f"publication time)"
+            )
+    return "\n".join(lines)
+
+
+def demo_run(records: int = 400, publications: int = 2):
+    """A small instrumented FresqueSystem run (returns its telemetry)."""
+    from repro.core.config import FresqueConfig
+    from repro.core.system import FresqueSystem
+    from repro.crypto.cipher import SimulatedCipher
+    from repro.crypto.keys import KeyStore
+    from repro.datasets.flu import FluSurveyGenerator, flu_domain
+    from repro.records.schema import flu_survey_schema
+    from repro.telemetry.context import Telemetry
+
+    config = FresqueConfig(
+        schema=flu_survey_schema(),
+        domain=flu_domain(),
+        num_computing_nodes=3,
+        # Self-contained demo deployment: there is no configured budget
+        # to thread through here.
+        epsilon=1.0,  # fresque-lint: disable=FRQ-P302 -- demo-only config
+        alpha=2.0,
+    )
+    telemetry = Telemetry()
+    cipher = SimulatedCipher(KeyStore(b"telemetry-report-demo-key-32byte"))
+    system = FresqueSystem(config, cipher, seed=7, telemetry=telemetry)
+    generator = FluSurveyGenerator(seed=7)
+    for _ in range(publications):
+        system.run_publication(list(generator.raw_lines(records)))
+    return telemetry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.telemetry.report",
+        description="Per-stage latency/throughput report from a recorded run.",
+    )
+    parser.add_argument(
+        "recording",
+        nargs="?",
+        default=None,
+        help="JSON-lines recording (omit to run the built-in demo)",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the built-in instrumented FresqueSystem demo",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the run's recording to this JSON-lines file",
+    )
+    parser.add_argument(
+        "--records",
+        type=int,
+        default=400,
+        help="records per publication in the demo run",
+    )
+    args = parser.parse_args(argv)
+
+    if args.recording and not args.demo:
+        print(render_recording(args.recording))
+        return 0
+
+    telemetry = demo_run(records=args.records)
+    if args.output:
+        write_jsonl(args.output, telemetry, meta={"source": "demo"})
+        print(f"recording written to {args.output}", file=sys.stderr)
+    print(console_report(telemetry, title="per-stage latency — demo run"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

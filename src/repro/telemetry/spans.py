@@ -1,0 +1,206 @@
+"""Span-based tracing: the per-publication flight recorder.
+
+A :class:`Span` is one timed unit of pipeline work — a stage applied to
+one record or one publication-level job.  Spans carry explicit
+parent/child links: stage spans point at their publication's root span,
+so a recorded run can be re-assembled into per-publication traces.
+
+The :class:`FlightRecorder` keeps completed spans in a bounded ring
+buffer (newest win), making it safe to leave enabled during long runs:
+memory is capped, and the recorder always holds the most recent flight's
+worth of spans — exactly what you want when diagnosing why the last
+publication was slow.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+#: The seven pipeline stages every FRESQUE deployment reports on, in
+#: pipeline order.  ``dispatch`` through ``check`` are per-record;
+#: ``merge``, ``publish`` and ``match`` are per-publication jobs.
+STAGES = ("dispatch", "parse", "encrypt", "check", "merge", "publish", "match")
+
+#: Span name of the per-publication root (parent of all stage spans).
+PUBLICATION_SPAN = "publication"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed timed operation.
+
+    Parameters
+    ----------
+    span_id:
+        Unique id within this recorder.
+    parent_id:
+        Id of the enclosing span (``None`` for roots).
+    name:
+        Stage name (one of :data:`STAGES`) or :data:`PUBLICATION_SPAN`.
+    publication:
+        Publication number the work belonged to (``-1`` if none).
+    start, end:
+        Clock readings in seconds (wall or simulated, per the recorder's
+        clock source).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    publication: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds."""
+        return self.end - self.start
+
+
+class FlightRecorder:
+    """Ring buffer of completed spans.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained spans; older spans fall off the ring.
+    """
+
+    def __init__(self, capacity: int = 8192):
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[Span] = deque(maxlen=capacity)
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._open_roots: dict[int, tuple[int, float]] = {}
+        self.recorded = 0
+
+    def next_id(self) -> int:
+        """Allocate a fresh span id."""
+        return next(self._ids)
+
+    def record(
+        self,
+        name: str,
+        publication: int,
+        start: float,
+        end: float,
+        parent_id: int | None = None,
+    ) -> int:
+        """Append one completed span; returns its id."""
+        span_id = self.next_id()
+        self._ring.append(
+            Span(
+                span_id=span_id,
+                parent_id=parent_id,
+                name=name,
+                publication=publication,
+                start=start,
+                end=end,
+            )
+        )
+        self.recorded += 1
+        return span_id
+
+    # -- publication roots -------------------------------------------------
+
+    def open_root(self, publication: int, start: float) -> int:
+        """Open the root span of ``publication``; stage spans recorded
+        while it is open become its children."""
+        with self._lock:
+            entry = self._open_roots.get(publication)
+            if entry is None:
+                entry = (self.next_id(), start)
+                self._open_roots[publication] = entry
+            return entry[0]
+
+    def root_of(self, publication: int) -> int | None:
+        """Id of the open root span for ``publication``, if any."""
+        entry = self._open_roots.get(publication)
+        return entry[0] if entry is not None else None
+
+    def close_root(self, publication: int, end: float) -> int | None:
+        """Complete and record the root span of ``publication``."""
+        with self._lock:
+            entry = self._open_roots.pop(publication, None)
+        if entry is None:
+            return None
+        span_id, start = entry
+        self._ring.append(
+            Span(
+                span_id=span_id,
+                parent_id=None,
+                name=PUBLICATION_SPAN,
+                publication=publication,
+                start=start,
+                end=end,
+            )
+        )
+        self.recorded += 1
+        return span_id
+
+    # -- reading -----------------------------------------------------------
+
+    def spans(self) -> tuple[Span, ...]:
+        """Every retained span, oldest first."""
+        return tuple(self._ring)
+
+    def spans_for(self, publication: int) -> tuple[Span, ...]:
+        """Retained spans of one publication."""
+        return tuple(s for s in self._ring if s.publication == publication)
+
+    def children_of(self, span_id: int) -> tuple[Span, ...]:
+        """Retained spans whose parent is ``span_id``."""
+        return tuple(s for s in self._ring if s.parent_id == span_id)
+
+    def stage_durations(self) -> dict[str, list[float]]:
+        """Retained span durations grouped by span name."""
+        grouped: dict[str, list[float]] = {}
+        for span in self._ring:
+            grouped.setdefault(span.name, []).append(span.duration)
+        return grouped
+
+    def clear(self) -> None:
+        """Drop every retained span (open roots are kept)."""
+        self._ring.clear()
+
+
+class NullFlightRecorder:
+    """Disabled recorder: records nothing, reads as empty."""
+
+    capacity = 0
+    recorded = 0
+
+    def next_id(self) -> int:
+        return 0
+
+    def record(self, name, publication, start, end, parent_id=None) -> int:
+        return 0
+
+    def open_root(self, publication: int, start: float) -> int:
+        return 0
+
+    def root_of(self, publication: int) -> None:
+        return None
+
+    def close_root(self, publication: int, end: float) -> None:
+        return None
+
+    def spans(self) -> tuple[Span, ...]:
+        return ()
+
+    def spans_for(self, publication: int) -> tuple[Span, ...]:
+        return ()
+
+    def children_of(self, span_id: int) -> tuple[Span, ...]:
+        return ()
+
+    def stage_durations(self) -> dict[str, list[float]]:
+        return {}
+
+    def clear(self) -> None:
+        pass

@@ -81,3 +81,91 @@ class TestCollectorResidentRecords:
         result = system.query(340, 420)
         values = [record.values for record in result.records]
         assert len(values) == len(set(values))
+
+
+class _StubChecking:
+    """Checker stand-in with a fixed randomer-resident set."""
+
+    def __init__(self, pairs):
+        self._pairs = pairs
+
+    def buffered_pairs(self):
+        return list(self._pairs)
+
+
+class _StubMerger:
+    """Merger stand-in with a fixed removed-record set."""
+
+    def __init__(self, pairs):
+        self._pairs = pairs
+
+    def pending_removed(self):
+        return list(self._pairs)
+
+
+class TestMidPublicationUnion:
+    """Deterministic Section 5.3(c) coverage: a mid-publication query
+    returns collector-resident records from *both* the randomer buffer
+    and the merger's removed set (the end-to-end tests above can only
+    hit the merger path when the draw happens to remove something)."""
+
+    @staticmethod
+    def _pair(domain, publication, value, marker):
+        from repro.records.record import EncryptedRecord
+
+        leaf_offset = domain.leaf_offset(value)
+        return (
+            publication,
+            leaf_offset,
+            EncryptedRecord(leaf_offset, marker, publication=publication),
+        )
+
+    def test_union_of_randomer_and_merger_residents(self, flu_config):
+        from repro.cloud.node import FresqueCloud
+
+        domain = flu_config.domain
+        cloud = FresqueCloud(domain)
+        buffered = [
+            self._pair(domain, 0, 350, b"randomer-in-range"),
+            self._pair(domain, 0, 418, b"randomer-out-of-range"),
+        ]
+        removed = [
+            self._pair(domain, 0, 351, b"merger-in-range"),
+            self._pair(domain, 0, 419, b"merger-out-of-range"),
+        ]
+        target = CollectorAwareQueryTarget(
+            cloud, _StubChecking(buffered), _StubMerger(removed)
+        )
+        result = target.query(RangeQuery(345, 360))
+        ciphertexts = {record.ciphertext for record in result.unindexed}
+        assert b"randomer-in-range" in ciphertexts
+        assert b"merger-in-range" in ciphertexts
+        assert b"randomer-out-of-range" not in ciphertexts
+        assert b"merger-out-of-range" not in ciphertexts
+        # Nothing published, so indexed/overflow stay empty.
+        assert result.indexed == ()
+        assert result.overflow == ()
+
+    def test_union_stacks_on_cloud_unindexed(self, flu_config):
+        """Collector residents extend (not replace) the cloud's own
+        in-flight unindexed records."""
+        from repro.cloud.node import FresqueCloud
+        from repro.records.record import EncryptedRecord
+
+        domain = flu_config.domain
+        cloud = FresqueCloud(domain)
+        cloud.announce_publication(0)
+        at_cloud_offset = domain.leaf_offset(352)
+        cloud.receive_pair(
+            0,
+            at_cloud_offset,
+            EncryptedRecord(at_cloud_offset, b"at-cloud", publication=0),
+        )
+        target = CollectorAwareQueryTarget(
+            cloud,
+            _StubChecking([self._pair(domain, 0, 353, b"at-randomer")]),
+            _StubMerger([self._pair(domain, 0, 354, b"at-merger")]),
+        )
+        result = target.query(RangeQuery(345, 360))
+        ciphertexts = {record.ciphertext for record in result.unindexed}
+        assert ciphertexts >= {b"at-cloud", b"at-randomer", b"at-merger"}

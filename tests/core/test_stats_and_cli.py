@@ -3,9 +3,28 @@
 import pytest
 
 from repro.cli import build_parser, main
-from repro.core.stats import collect_stats
+from repro.core.stats import CollectorStats, collect_stats
 from repro.core.system import FresqueSystem
 from repro.datasets.flu import FluSurveyGenerator
+
+
+def _stats(**overrides):
+    """A consistent baseline snapshot, with per-test overrides."""
+    values = dict(
+        records_dispatched=500,
+        dummies_generated=40,
+        lines_parsed=500,
+        records_encrypted=540,
+        records_rejected=0,
+        pairs_checked=540,
+        dummies_passed=40,
+        records_removed=12,
+        cloud_records=540,
+        cloud_bytes=95_040,
+        publications_done=1,
+    )
+    values.update(overrides)
+    return CollectorStats(**values)
 
 
 class TestCollectorStats:
@@ -23,6 +42,29 @@ class TestCollectorStats:
         assert stats.publications_done == 1
         assert stats.cloud_records == summary.published_pairs
         assert stats.ingest_accounting_consistent()
+
+    def test_consistent_baseline(self):
+        assert _stats().ingest_accounting_consistent()
+
+    def test_violated_checked_exceeds_encrypted(self):
+        # A checker processing pairs nobody encrypted means lost or
+        # duplicated messages.
+        assert not _stats(pairs_checked=541).ingest_accounting_consistent()
+
+    def test_violated_dummies_passed_exceeds_generated(self):
+        # Dummies only enter at the dispatcher; passing more than were
+        # generated means the checker misclassified real records.
+        assert not _stats(dummies_passed=41).ingest_accounting_consistent()
+
+    def test_violated_cloud_exceeds_forwarded(self):
+        # The cloud can hold at most what the checker forwarded plus the
+        # removed records re-entering via overflow arrays.
+        assert not _stats(cloud_records=553).ingest_accounting_consistent()
+
+    def test_cloud_bound_includes_removed_records(self):
+        # Exactly at the bound (every removed record re-published) is
+        # still consistent.
+        assert _stats(cloud_records=552).ingest_accounting_consistent()
 
     def test_render_contains_counters(self, flu_config, fast_cipher):
         system = FresqueSystem(flu_config, fast_cipher, seed=78)

@@ -1,0 +1,160 @@
+"""Positive/negative fixtures for the FRQ-T5xx telemetry checkers."""
+
+from tests.devtools.conftest import codes_of, lint_source
+
+CORE_PATH = "src/repro/core/fixture.py"
+CLOUD_PATH = "src/repro/cloud/fixture.py"
+RUNTIME_PATH = "src/repro/runtime/fixture.py"
+CRYPTO_PATH = "src/repro/crypto/fixture.py"
+TELEMETRY_CLOCK_PATH = "src/repro/telemetry/clock.py"
+
+
+class TestT501WallClockReads:
+    def test_positive_time_time_in_core(self):
+        diagnostics = lint_source(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            display_path=CORE_PATH,
+        )
+        assert codes_of(diagnostics) == ["FRQ-T501"]
+
+    def test_positive_perf_counter_in_cloud(self):
+        diagnostics = lint_source(
+            """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """,
+            display_path=CLOUD_PATH,
+        )
+        assert codes_of(diagnostics) == ["FRQ-T501"]
+
+    def test_positive_monotonic_in_runtime(self):
+        diagnostics = lint_source(
+            """
+            import time
+
+            def deadline(timeout):
+                return time.monotonic() + timeout
+            """,
+            display_path=RUNTIME_PATH,
+        )
+        assert codes_of(diagnostics) == ["FRQ-T501"]
+
+    def test_positive_datetime_now(self):
+        diagnostics = lint_source(
+            """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """,
+            display_path=CORE_PATH,
+        )
+        assert codes_of(diagnostics) == ["FRQ-T501"]
+
+    def test_negative_sleep_is_not_a_clock_read(self):
+        diagnostics = lint_source(
+            """
+            import time
+
+            def backoff():
+                time.sleep(0.05)
+            """,
+            display_path=RUNTIME_PATH,
+        )
+        assert codes_of(diagnostics) == []
+
+    def test_negative_wall_clock_singleton(self):
+        diagnostics = lint_source(
+            """
+            from repro.telemetry.clock import WALL_CLOCK
+
+            def stamp():
+                return WALL_CLOCK.now()
+            """,
+            display_path=CORE_PATH,
+        )
+        assert codes_of(diagnostics) == []
+
+    def test_negative_outside_pipeline_packages(self):
+        # The telemetry clock itself is the sanctioned perf_counter site.
+        diagnostics = lint_source(
+            """
+            import time
+
+            def now():
+                return time.perf_counter()
+            """,
+            display_path=TELEMETRY_CLOCK_PATH,
+        )
+        assert codes_of(diagnostics) == []
+
+    def test_suppression_directive_honored(self):
+        diagnostics = lint_source(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # fresque-lint: disable=FRQ-T501 -- epoch needed
+            """,
+            display_path=CORE_PATH,
+        )
+        assert codes_of(diagnostics) == []
+
+
+class TestT502LibraryPrints:
+    def test_positive_print_in_core(self):
+        diagnostics = lint_source(
+            """
+            def publish(count):
+                print(f"published {count} pairs")
+            """,
+            display_path=CORE_PATH,
+        )
+        assert codes_of(diagnostics) == ["FRQ-T502"]
+
+    def test_positive_print_outside_pipeline_packages(self):
+        diagnostics = lint_source(
+            """
+            def debug(record):
+                print(record)
+            """,
+            display_path=CRYPTO_PATH,
+        )
+        assert codes_of(diagnostics) == ["FRQ-T502"]
+
+    def test_negative_cli_module(self):
+        diagnostics = lint_source(
+            """
+            def main():
+                print("usage: repro ...")
+            """,
+            display_path="src/repro/cli.py",
+        )
+        assert codes_of(diagnostics) == []
+
+    def test_negative_report_cli(self):
+        diagnostics = lint_source(
+            """
+            def main():
+                print("stage table")
+            """,
+            display_path="src/repro/telemetry/report.py",
+        )
+        assert codes_of(diagnostics) == []
+
+    def test_negative_devtools(self):
+        diagnostics = lint_source(
+            """
+            def emit(diagnostic):
+                print(diagnostic)
+            """,
+            display_path="src/repro/devtools/lint.py",
+        )
+        assert codes_of(diagnostics) == []

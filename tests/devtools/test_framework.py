@@ -85,9 +85,15 @@ class TestBaseline:
 
 
 class TestRegistry:
-    def test_four_checker_families_registered(self):
+    def test_five_checker_families_registered(self):
         families = {family for family, _ in all_codes().values()}
-        assert families == {"concurrency", "crypto", "privacy-budget", "hygiene"}
+        assert families == {
+            "concurrency",
+            "crypto",
+            "privacy-budget",
+            "hygiene",
+            "telemetry",
+        }
 
     def test_code_scheme(self):
         assert all(code.startswith("FRQ-") for code in all_codes())

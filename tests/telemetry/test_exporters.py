@@ -1,0 +1,85 @@
+"""Tests for the JSONL, Prometheus and console exporters."""
+
+import json
+
+from repro.telemetry.context import Telemetry
+from repro.telemetry.exporters import (
+    console_report,
+    prometheus_text,
+    read_jsonl,
+    write_bench_json,
+    write_jsonl,
+)
+
+
+def _sample_telemetry() -> Telemetry:
+    telemetry = Telemetry()
+    telemetry.counter("dispatcher_records_total").inc(10)
+    telemetry.gauge("inbox_depth", node="checking").set(3)
+    telemetry.open_publication(0)
+    telemetry.observe_stage("parse", 0, telemetry.now())
+    telemetry.close_publication(0)
+    return telemetry
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        telemetry = _sample_telemetry()
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, telemetry, meta={"run": "unit"})
+        meta, metrics, spans = read_jsonl(path)
+        assert meta["run"] == "unit"
+        names = {metric["name"] for metric in metrics}
+        assert "dispatcher_records_total" in names
+        assert "pipeline_stage_seconds" in names
+        assert {span["name"] for span in spans} >= {"parse", "publication"}
+
+    def test_every_line_is_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, _sample_telemetry(), meta={})
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_bench_json_envelope(self, tmp_path):
+        path = write_bench_json(
+            tmp_path / "BENCH_x.json", "x", {"rows": [[1, 2]]}
+        )
+        payload = json.loads(path.read_text())
+        assert payload["bench"] == "x"
+        assert payload["data"]["rows"] == [[1, 2]]
+        assert "format" in payload and "python" in payload
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        telemetry = _sample_telemetry()
+        text = prometheus_text(telemetry.registry)
+        assert "# TYPE dispatcher_records_total counter" in text
+        assert "dispatcher_records_total 10" in text
+        assert 'inbox_depth{node="checking"} 3' in text
+
+    def test_histogram_exposition_cumulative(self):
+        telemetry = Telemetry()
+        histogram = telemetry.histogram("h")
+        histogram.observe(0.5)
+        histogram.observe(0.5)
+        text = prometheus_text(telemetry.registry)
+        assert 'h_bucket{le="+Inf"} 2' in text
+        assert "h_count 2" in text
+        assert "h_sum 1" in text
+        # Cumulative: the +Inf bucket equals the count; buckets never
+        # decrease down the exposition.
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("h_bucket")
+        ]
+        assert counts == sorted(counts)
+
+
+class TestConsole:
+    def test_report_covers_stages_and_counters(self):
+        text = console_report(_sample_telemetry())
+        assert "parse" in text
+        assert "dispatcher_records_total" in text
+        assert "publication" in text

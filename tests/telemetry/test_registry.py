@@ -1,0 +1,130 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import threading
+
+from repro.telemetry.registry import (
+    DURATION_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c").value == 0
+
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_labels_split_instruments(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", node="cn-0")
+        b = registry.counter("c", node="cn-1")
+        assert a is not b
+        a.inc()
+        assert b.value == 0
+
+    def test_concurrent_increments_none_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        rounds = 10_000
+
+        def hammer():
+            for _ in range(rounds):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8 * rounds
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        assert gauge.value == 7
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_unset_reads_zero(self):
+        assert MetricsRegistry().gauge("depth").value == 0
+
+
+class TestHistogram:
+    def test_count_and_sum(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (0.001, 0.002, 0.003):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert abs(histogram.sum - 0.006) < 1e-12
+
+    def test_bucket_counts_monotone_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (1e-7, 1e-4, 0.5, 100.0):
+            histogram.observe(value)
+        counts = histogram.bucket_counts()
+        assert len(counts) == len(histogram.buckets) + 1  # + the +Inf bucket
+        assert sum(counts) == 4
+
+    def test_quantile_brackets_observations(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for _ in range(100):
+            histogram.observe(0.01)
+        # The quantile is bucket-approximated; it must land on a bucket
+        # boundary bracketing the true value.
+        q = histogram.quantile(0.5)
+        below = max(b for b in DURATION_BUCKETS if b <= 0.01)
+        above = min(b for b in DURATION_BUCKETS if b >= 0.01)
+        assert below <= q <= above
+
+    def test_concurrent_observations_none_lost(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        rounds = 5_000
+
+        def hammer():
+            for _ in range(rounds):
+                histogram.observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 8 * rounds
+
+
+class TestSamples:
+    def test_samples_cover_all_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(0.1)
+        kinds = {sample.kind for sample in registry.samples()}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        registry = NullRegistry()
+        assert not registry.enabled
+        registry.counter("c").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(0.5)
+        assert registry.samples() == []

@@ -1,0 +1,129 @@
+"""Tests for the flight recorder, span links, and the clocks."""
+
+from repro.simulation.events import EventLoop
+from repro.telemetry.clock import WALL_CLOCK, SimulatedClock, WallClock
+from repro.telemetry.context import NULL_TELEMETRY, Telemetry, coalesce
+from repro.telemetry.spans import (
+    PUBLICATION_SPAN,
+    STAGES,
+    FlightRecorder,
+    NullFlightRecorder,
+)
+
+
+class TestFlightRecorder:
+    def test_record_and_read_back(self):
+        recorder = FlightRecorder()
+        recorder.record("parse", 0, 1.0, 2.5)
+        (span,) = recorder.spans()
+        assert span.name == "parse"
+        assert span.publication == 0
+        assert span.duration == 1.5
+
+    def test_ring_bounded(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.record("parse", 0, float(i), float(i) + 1)
+        spans = recorder.spans()
+        assert len(spans) == 4
+        assert spans[0].start == 6.0  # oldest retained
+
+    def test_root_span_parents_stage_spans(self):
+        recorder = FlightRecorder()
+        root_id = recorder.open_root(7, 0.0)
+        recorder.record("check", 7, 0.1, 0.2, parent_id=recorder.root_of(7))
+        recorder.close_root(7, 1.0)
+        children = recorder.children_of(root_id)
+        assert [span.name for span in children] == ["check"]
+        root = next(
+            span for span in recorder.spans() if span.name == PUBLICATION_SPAN
+        )
+        assert root.span_id == root_id
+        assert root.parent_id is None
+        assert root.duration == 1.0
+
+    def test_open_root_idempotent(self):
+        recorder = FlightRecorder()
+        assert recorder.open_root(3, 0.0) == recorder.open_root(3, 5.0)
+
+    def test_close_unknown_root_is_noop(self):
+        assert FlightRecorder().close_root(99, 1.0) is None
+
+    def test_stage_durations_grouped(self):
+        recorder = FlightRecorder()
+        recorder.record("parse", 0, 0.0, 1.0)
+        recorder.record("parse", 0, 0.0, 3.0)
+        recorder.record("merge", 0, 0.0, 2.0)
+        durations = recorder.stage_durations()
+        assert sorted(durations["parse"]) == [1.0, 3.0]
+        assert durations["merge"] == [2.0]
+
+    def test_spans_for_filters_publication(self):
+        recorder = FlightRecorder()
+        recorder.record("parse", 0, 0.0, 1.0)
+        recorder.record("parse", 1, 0.0, 1.0)
+        assert all(s.publication == 1 for s in recorder.spans_for(1))
+        assert len(recorder.spans_for(1)) == 1
+
+    def test_null_recorder_is_inert(self):
+        recorder = NullFlightRecorder()
+        recorder.record("parse", 0, 0.0, 1.0)
+        recorder.open_root(0, 0.0)
+        assert recorder.spans() == ()
+
+
+class TestClocks:
+    def test_wall_clock_monotone(self):
+        clock = WallClock()
+        first = clock.now()
+        assert clock.now() >= first
+        assert WALL_CLOCK.now() >= 0.0
+
+    def test_simulated_clock_tracks_loop(self):
+        loop = EventLoop()
+        clock = SimulatedClock(loop)
+        assert clock.now() == 0.0
+        loop.schedule(2.5, lambda: None)
+        loop.run()
+        assert clock.now() == 2.5
+
+
+class TestTelemetryFacade:
+    def test_observe_stage_records_span_and_histogram(self):
+        telemetry = Telemetry()
+        telemetry.open_publication(0)
+        start = telemetry.now()
+        telemetry.observe_stage("parse", 0, start)
+        telemetry.close_publication(0)
+        names = {span.name for span in telemetry.recorder.spans()}
+        assert names == {"parse", PUBLICATION_SPAN}
+        assert telemetry.stage_histogram("parse").count == 1
+
+    def test_stage_spans_linked_to_publication_root(self):
+        telemetry = Telemetry()
+        telemetry.open_publication(5)
+        telemetry.observe_stage("encrypt", 5, telemetry.now())
+        telemetry.close_publication(5)
+        spans = telemetry.recorder.spans()
+        root = next(s for s in spans if s.name == PUBLICATION_SPAN)
+        stage = next(s for s in spans if s.name == "encrypt")
+        assert stage.parent_id == root.span_id
+
+    def test_all_stages_have_histograms(self):
+        telemetry = Telemetry()
+        for stage in STAGES:
+            assert telemetry.stage_histogram(stage) is not None
+
+    def test_simulated_clock_telemetry(self):
+        loop = EventLoop()
+        telemetry = Telemetry(clock=SimulatedClock(loop))
+        loop.schedule(4.0, lambda: None)
+        loop.run()
+        assert telemetry.now() == 4.0
+
+    def test_coalesce(self):
+        telemetry = Telemetry()
+        assert coalesce(telemetry) is telemetry
+        assert coalesce(None) is NULL_TELEMETRY
+        assert not NULL_TELEMETRY.enabled
+        assert NULL_TELEMETRY.now() == 0.0

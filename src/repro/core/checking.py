@@ -33,6 +33,7 @@ from repro.core.messages import (
     CnPublishing,
     DoneMsg,
     NewPublication,
+    NodeDown,
     Pair,
     RemovedRecord,
     TemplateMsg,
@@ -51,6 +52,9 @@ class _PublicationState:
     arrays: LeafArrays
     cn_reported: set[int] = field(default_factory=set)
     closed: bool = False
+    #: The dispatcher's own *publishing* notice arrived — needed to
+    #: finalise a publication whose only missing reports are dead nodes.
+    interval_closed: bool = False
 
 
 class CheckingNode:
@@ -79,6 +83,7 @@ class CheckingNode:
         self._publications: dict[int, _PublicationState] = {}
         self._early_pairs: dict[int, list[Pair]] = {}
         self._early_cn: dict[int, list[CnPublishing]] = {}
+        self._dead_nodes: set[int] = set()
         self.pairs_processed = 0
         self.dummies_passed = 0
         self.records_removed = 0
@@ -175,10 +180,35 @@ class CheckingNode:
         return [self._check(evicted)]
 
     def on_publishing(self, publication: int) -> list[tuple[str, object]]:
-        """The dispatcher's own *publishing* notice (informational only —
-        finalisation waits for the per-computing-node messages, which is
-        the publication-consistency condition of Section 5.3)."""
+        """The dispatcher's own *publishing* notice.
+
+        With every node live this is informational only — finalisation
+        waits for the per-computing-node messages, which is the
+        publication-consistency condition of Section 5.3.  In degraded
+        mode it marks the interval closed, which (together with the
+        dead set) can itself complete the publication.
+        """
+        state = self._publications.get(publication)
+        if state is None or state.closed:
+            return []
+        state.interval_closed = True
+        if self._complete(state):
+            return self._finalise(publication)
         return []
+
+    def _complete(self, state: _PublicationState) -> bool:
+        """The relaxed consistency condition: every *live* computing
+        node reported, and the interval is known to have ended (any
+        ``CnPublishing`` implies it; a dead node's report is replaced by
+        the dispatcher's own *publishing* notice)."""
+        if not (state.cn_reported or state.interval_closed):
+            return False
+        reported = state.cn_reported | {
+            i
+            for i in self._dead_nodes
+            if 0 <= i < self.config.num_computing_nodes
+        }
+        return len(reported) >= self.config.num_computing_nodes
 
     def on_cn_publishing(
         self, message: CnPublishing
@@ -189,9 +219,24 @@ class CheckingNode:
             self._early_cn.setdefault(message.publication, []).append(message)
             return []
         state.cn_reported.add(message.node_id)
-        if len(state.cn_reported) < self.config.num_computing_nodes:
+        if state.closed or not self._complete(state):
             return []
         return self._finalise(message.publication)
+
+    def on_node_down(self, message: NodeDown) -> list[tuple[str, object]]:
+        """A computing node died: stop waiting for its reports.
+
+        The dead set is global — it applies to the carried publication
+        and every later one.  Any open publication whose remaining
+        missing reports are all dead nodes finalises immediately.
+        """
+        self._dead_nodes.add(message.node_id)
+        out: list[tuple[str, object]] = []
+        for publication in sorted(self._publications):
+            state = self._publications[publication]
+            if not state.closed and self._complete(state):
+                out.extend(self._finalise(publication))
+        return out
 
     def _finalise(self, publication: int) -> list[tuple[str, object]]:
         """Drain the buffer, ship AL, flush to cloud, release the CNs."""
@@ -218,7 +263,9 @@ class CheckingNode:
         )
         done = DoneMsg(publication)
         out.extend(
-            (f"cn-{i}", done) for i in range(self.config.num_computing_nodes)
+            (f"cn-{i}", done)
+            for i in range(self.config.num_computing_nodes)
+            if i not in self._dead_nodes
         )
         del self._publications[publication]
         self._tel.observe_stage("publish", publication, start)

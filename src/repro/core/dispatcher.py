@@ -11,9 +11,10 @@ and immediately opens the next publication (asynchronous publishing).
 from __future__ import annotations
 
 import random
+from collections import deque
 
 from repro.core.config import FresqueConfig
-from repro.core.messages import NewPublication, PublishingMsg, RawData
+from repro.core.messages import NewPublication, NodeDown, PublishingMsg, RawData
 from repro.index.perturb import draw_noise_plan
 from repro.index.tree import IndexTree
 from repro.records.record import Record, make_dummy
@@ -45,8 +46,13 @@ class Dispatcher:
         self._tree_shape = IndexTree(config.domain, fanout=config.fanout)
         self._publication = -1
         self._next_cn = 0
-        self._dummy_schedule: list[tuple[float, Record]] = []
+        # A deque: due_dummies pops from the front as the interval
+        # advances, and list.pop(0) would shift the whole schedule per
+        # dummy (O(n²) across one publication).
+        self._dummy_schedule: deque[tuple[float, Record]] = deque()
+        self._dead_nodes: set[int] = set()
         self.records_dispatched = 0
+        self.records_rerouted = 0
         self.dummies_generated = 0
         self._tel = coalesce(telemetry)
         self._records_counter = self._tel.counter("dispatcher_records_total")
@@ -90,9 +96,11 @@ class Dispatcher:
         dummies = self._make_dummies(plan)
         self.dummies_generated += len(dummies)
         self._dummies_counter.inc(len(dummies))
-        self._dummy_schedule = sorted(
-            ((self._rng.random(), dummy) for dummy in dummies),
-            key=lambda item: item[0],
+        self._dummy_schedule = deque(
+            sorted(
+                ((self._rng.random(), dummy) for dummy in dummies),
+                key=lambda item: item[0],
+            )
         )
         return [("checking", NewPublication(self._publication, plan))]
 
@@ -100,7 +108,7 @@ class Dispatcher:
         """Dispatch every dummy scheduled before ``fraction`` of the interval."""
         out: list[tuple[str, object]] = []
         while self._dummy_schedule and self._dummy_schedule[0][0] <= fraction:
-            _, dummy = self._dummy_schedule.pop(0)
+            _, dummy = self._dummy_schedule.popleft()
             out.append(self._dispatch_record(dummy))
         return out
 
@@ -109,10 +117,51 @@ class Dispatcher:
         """Dummies not yet released into the stream."""
         return len(self._dummy_schedule)
 
+    @property
+    def dead_nodes(self) -> frozenset[int]:
+        """Computing nodes reported down (skipped by the round robin)."""
+        return frozenset(self._dead_nodes)
+
+    @property
+    def live_computing_nodes(self) -> list[int]:
+        """Computing nodes still in the rotation."""
+        return [
+            i
+            for i in range(self.config.num_computing_nodes)
+            if i not in self._dead_nodes
+        ]
+
+    def mark_node_down(self, node_id: int) -> list[tuple[str, object]]:
+        """Take a crashed computing node out of the rotation.
+
+        Degraded mode: shared-nothing means the surviving nodes can
+        absorb the dead node's share of the stream.  Returns the
+        :class:`NodeDown` notice for the checking node so publication
+        finalisation stops waiting for the dead node (idempotent).
+        """
+        if node_id in self._dead_nodes:
+            return []
+        if not 0 <= node_id < self.config.num_computing_nodes:
+            raise ValueError(f"unknown computing node {node_id}")
+        self._dead_nodes.add(node_id)
+        if len(self._dead_nodes) >= self.config.num_computing_nodes:
+            raise RuntimeError("every computing node is down")
+        return [("checking", NodeDown(self._publication, node_id))]
+
+    def redispatch(self, message: RawData) -> list[tuple[str, object]]:
+        """Re-route a record whose computing node died before reading it."""
+        self.records_rerouted += 1
+        return [(self._next_node(), message)]
+
     def _next_node(self) -> str:
-        node = f"cn-{self._next_cn}"
-        self._next_cn = (self._next_cn + 1) % self.config.num_computing_nodes
-        return node
+        for _ in range(self.config.num_computing_nodes):
+            node_id = self._next_cn
+            self._next_cn = (
+                self._next_cn + 1
+            ) % self.config.num_computing_nodes
+            if node_id not in self._dead_nodes:
+                return f"cn-{node_id}"
+        raise RuntimeError("every computing node is down")
 
     def _dispatch_record(self, record: Record) -> tuple[str, object]:
         start = self._tel.now()
@@ -142,8 +191,6 @@ class Dispatcher:
         """
         out = self.due_dummies(1.0)
         message = PublishingMsg(self._publication)
-        out.extend(
-            (f"cn-{i}", message) for i in range(self.config.num_computing_nodes)
-        )
+        out.extend((f"cn-{i}", message) for i in self.live_computing_nodes)
         out.append(("checking", message))
         return out

@@ -108,6 +108,20 @@ class CnPublishing:
 
 
 @dataclass(frozen=True)
+class NodeDown:
+    """Dispatcher → checking node: a computing node died mid-publication.
+
+    Degraded mode (shared-nothing lets the survivors absorb the load):
+    the checking node stops waiting for the dead node's *publishing*
+    message — for the carried publication and every later one — so the
+    publication-consistency condition is evaluated over live nodes only.
+    """
+
+    publication: int
+    node_id: int
+
+
+@dataclass(frozen=True)
 class AlSnapshot:
     """Checking node → merger: the final AL of the publication."""
 

@@ -10,6 +10,7 @@ or timing, so tests can assert end-to-end correctness deterministically.
 from __future__ import annotations
 
 import random
+import threading
 from collections import deque
 from dataclasses import dataclass
 
@@ -28,6 +29,7 @@ from repro.core.messages import (
     DoneMsg,
     MergedPublication,
     NewPublication,
+    NodeDown,
     Pair,
     PublishingMsg,
     RawData,
@@ -37,15 +39,22 @@ from repro.core.messages import (
 )
 from repro.crypto.cipher import RecordCipher
 from repro.records.record import EncryptedRecord
+from repro.telemetry.clock import WALL_CLOCK
 from repro.telemetry.context import coalesce
 
 
 class CloudAdapter:
-    """Adapts the protocol messages onto :class:`FresqueCloud` calls."""
+    """Adapts the protocol messages onto :class:`FresqueCloud` calls.
+
+    Receipt arrival is signalled through a :class:`threading.Condition`
+    so a driver thread can block in :meth:`wait_for_receipt` instead of
+    busy-polling :attr:`receipts`.
+    """
 
     def __init__(self, cloud: FresqueCloud):
         self.cloud = cloud
         self.receipts = []
+        self._receipts_cond = threading.Condition()
 
     def handle(self, message) -> list[tuple[str, object]]:
         """Apply one protocol message to the cloud."""
@@ -61,7 +70,7 @@ class CloudAdapter:
                     message.publication, leaf_offset, encrypted
                 )
         elif isinstance(message, MergedPublication):
-            self.receipts.append(
+            self._deliver_receipt(
                 self.cloud.receive_publication(
                     message.publication, message.tree, message.overflow
                 )
@@ -69,6 +78,41 @@ class CloudAdapter:
         else:
             raise TypeError(f"cloud cannot handle {type(message).__name__}")
         return []
+
+    def _deliver_receipt(self, receipt) -> None:
+        with self._receipts_cond:
+            self.receipts.append(receipt)
+            self._receipts_cond.notify_all()
+
+    def receipt_for(self, publication: int):
+        """The matching receipt of ``publication``, or ``None``."""
+        with self._receipts_cond:
+            return next(
+                (r for r in self.receipts if r.publication == publication),
+                None,
+            )
+
+    def wait_for_receipt(self, publication: int, timeout: float):
+        """Block until ``publication``'s receipt arrives (or ``timeout``
+        elapses — returns ``None``).  Wakes promptly on delivery; no
+        polling."""
+        deadline = WALL_CLOCK.now() + timeout
+        with self._receipts_cond:
+            while True:
+                receipt = next(
+                    (
+                        r
+                        for r in self.receipts
+                        if r.publication == publication
+                    ),
+                    None,
+                )
+                if receipt is not None:
+                    return receipt
+                remaining = deadline - WALL_CLOCK.now()
+                if remaining <= 0:
+                    return None
+                self._receipts_cond.wait(remaining)
 
 
 class CollectorAwareQueryTarget:
@@ -184,6 +228,8 @@ class FresqueSystem:
                 return self.checking.on_publishing(message.publication)
             if isinstance(message, CnPublishing):
                 return self.checking.on_cn_publishing(message)
+            if isinstance(message, NodeDown):
+                return self.checking.on_node_down(message)
         elif destination == "merger":
             if isinstance(message, TemplateMsg):
                 return self.merger.on_template(message)

@@ -9,7 +9,15 @@ from repro.devtools.checkers import (
     crypto,
     hygiene,
     privacy,
+    runtime,
     telemetry,
 )
 
-__all__ = ["concurrency", "crypto", "hygiene", "privacy", "telemetry"]
+__all__ = [
+    "concurrency",
+    "crypto",
+    "hygiene",
+    "privacy",
+    "runtime",
+    "telemetry",
+]

@@ -25,6 +25,7 @@ from repro.core.messages import (
     CnPublishing,
     DoneMsg,
     NewPublication,
+    NodeDown,
     Pair,
     PublishingMsg,
     RawData,
@@ -54,6 +55,12 @@ class ThreadedFresque:
         Optional :class:`~repro.telemetry.Telemetry` shared by every
         component; adds per-inbox queue-depth gauges and a routed
         message counter on top of the component instrumentation.
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan` consulted on
+        every routed message: dropped messages never reach the inbox,
+        duplicated ones are enqueued twice, delayed ones arrive through
+        a timer thread.  ``sever`` has no meaning for in-process
+        channels and is ignored.
     """
 
     def __init__(
@@ -62,6 +69,7 @@ class ThreadedFresque:
         cipher: RecordCipher,
         seed: int | None = None,
         telemetry=None,
+        fault_plan=None,
     ):
         self.config = config
         self.cipher = cipher
@@ -82,6 +90,7 @@ class ThreadedFresque:
         )
         self.cloud = FresqueCloud(config.domain, telemetry=telemetry)
         self.cloud_adapter = CloudAdapter(self.cloud)
+        self._fault_plan = fault_plan
         self._tracker = InFlightTracker()
         self._inboxes: dict[str, Inbox] = {}
         self._depth_gauges: dict[str, object] = {}
@@ -116,6 +125,8 @@ class ThreadedFresque:
             return self.checking.on_publishing(message.publication)
         if isinstance(message, CnPublishing):
             return self.checking.on_cn_publishing(message)
+        if isinstance(message, NodeDown):
+            return self.checking.on_node_down(message)
         raise TypeError(f"checking cannot handle {type(message).__name__}")
 
     def _handle_merger(self, message):
@@ -132,12 +143,41 @@ class ThreadedFresque:
     # ------------------------------------------------------------------
 
     def _send(self, destination: str, message) -> None:
-        self._tracker.increment()
+        copies = 1
+        if self._fault_plan is not None:
+            decision = self._fault_plan.on_send(destination)
+            if decision.faulted:
+                if decision.drop:
+                    return
+                copies += decision.duplicates
+                if decision.delay > 0:
+                    # Count the in-flight messages *now* so quiescence
+                    # waits for the delayed delivery, then enqueue from
+                    # a timer thread.
+                    for _ in range(copies):
+                        self._tracker.increment()
+                    timer = threading.Timer(
+                        decision.delay,
+                        self._deliver_delayed,
+                        args=(destination, message, copies),
+                    )
+                    timer.daemon = True
+                    timer.start()
+                    return
+        for _ in range(copies):
+            self._tracker.increment()
+            self._deliver(destination, message)
+
+    def _deliver(self, destination: str, message) -> None:
         inbox = self._inboxes[destination]
         inbox.put(message)
         if self.telemetry.enabled:
             self._messages_counter.inc()
             self._depth_gauges[destination].set(inbox.qsize())
+
+    def _deliver_delayed(self, destination: str, message, copies: int) -> None:
+        for _ in range(copies):
+            self._deliver(destination, message)
 
     def _pump_outbox(self, outbox) -> None:
         for destination, message in outbox:

@@ -93,6 +93,7 @@ def _build_handler(role: str, config, cipher, seeds: dict):
         from repro.core.messages import (
             CnPublishing,
             NewPublication,
+            NodeDown,
             Pair,
             PublishingMsg,
         )
@@ -108,6 +109,8 @@ def _build_handler(role: str, config, cipher, seeds: dict):
                 return node.on_publishing(message.publication)
             if isinstance(message, CnPublishing):
                 return node.on_cn_publishing(message)
+            if isinstance(message, NodeDown):
+                return node.on_node_down(message)
             raise TypeError(type(message).__name__)
 
         return handle, node
@@ -282,6 +285,7 @@ class ProcessCluster:
         for role, port in self._spec["ports"].items():
             while True:
                 try:
+                    # fresque-lint: disable=FRQ-R601 -- liveness probe; failure is the expected signal
                     socket.create_connection(("127.0.0.1", port), 0.2).close()
                     break
                 except OSError:
@@ -318,7 +322,9 @@ class ProcessCluster:
             return None
         try:
             port = int(port_file.read_text())
+            # fresque-lint: disable=FRQ-R601 -- one-shot control request; the caller polls
             connection = socket.create_connection(("127.0.0.1", port), 5)
+        # fresque-lint: disable=FRQ-R602 -- None signals "cloud not up yet" to the polling caller
         except (OSError, ValueError):
             return None
         with connection:

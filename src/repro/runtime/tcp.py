@@ -8,6 +8,27 @@ interface and exchanges the wire-encoded protocol frames of
 (actor-style, like :class:`~repro.runtime.cluster.ThreadedFresque`), but
 nothing is shared between nodes except bytes on sockets, so the same code
 splits across processes or machines by changing the address book.
+
+Fault tolerance
+---------------
+The runtime survives transient transport faults instead of timing out:
+
+* :class:`Router` evicts dead cached sockets and reconnects with capped
+  exponential backoff + jitter (:class:`RetryPolicy`), raising
+  :class:`PeerUnavailable` only once the budget is exhausted;
+* :class:`TcpNode` supervises its reader threads (transport failures and
+  torn frames are recorded in :attr:`TcpNode.errors`, not swallowed),
+  tracks accepted connections so shutdown closes every fd, and reports
+  :meth:`TcpNode.health`;
+* :class:`TcpFresqueCluster` degrades around a dead computing node —
+  the dispatcher reroutes its share of the stream to the survivors
+  (shared-nothing makes that safe) and a :class:`NodeDown` notice lets
+  the checking node finalise without the dead node's report; a missed
+  deadline raises :class:`ClusterTimeout` carrying a per-node health
+  report instead of a bare ``TimeoutError``.
+
+Faults themselves can be injected deterministically through
+:class:`repro.runtime.faults.FaultPlan`.
 """
 
 from __future__ import annotations
@@ -17,6 +38,8 @@ import random
 import socket
 import threading
 import time
+from collections import deque
+from dataclasses import dataclass
 
 from repro.client.query_client import QueryClient
 from repro.cloud.node import FresqueCloud
@@ -30,6 +53,7 @@ from repro.core.messages import (
     CnPublishing,
     DoneMsg,
     NewPublication,
+    NodeDown,
     Pair,
     PublishingMsg,
     RawData,
@@ -38,56 +62,218 @@ from repro.core.messages import (
 )
 from repro.core.system import CloudAdapter
 from repro.crypto.cipher import RecordCipher
-from repro.runtime.wire import decode_message, encode_message, read_frames
+from repro.runtime.faults import RESTART
+from repro.runtime.wire import WireError, decode_message, encode_message, read_frames
 from repro.telemetry.clock import WALL_CLOCK
 from repro.telemetry.context import coalesce
 
 _STOP = object()
 
 
-class Router:
-    """Outbound connections to every peer, by node name."""
+class TransportError(ConnectionError):
+    """A node-side transport failure (reader died, accept loop died)."""
 
-    def __init__(self, address_book: dict[str, int], telemetry=None):
+
+class TornFrame(WireError):
+    """A connection closed mid-frame, losing the partial tail.
+
+    Recorded in :attr:`TcpNode.errors` so the loss is visible, but
+    recoverable at cluster level: a sender that failed mid-write retries
+    the *whole* frame on a fresh connection, so the torn tail on the
+    dying connection duplicates nothing and loses nothing.
+    """
+
+
+class PeerUnavailable(ConnectionError):
+    """Every reconnect attempt to a destination failed."""
+
+    def __init__(self, destination: str, attempts: int, cause: BaseException):
+        super().__init__(
+            f"peer {destination!r} unavailable after {attempts} send "
+            f"attempts: {cause!r}"
+        )
+        self.destination = destination
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for :class:`Router` send retries.
+
+    Attempt ``n`` (1-based) that fails sleeps
+    ``min(max_delay, base_delay * 2**(n-1))`` scaled by a random jitter
+    in ``[1, 1 + jitter]`` before redialing; after ``max_attempts``
+    failures the send raises :class:`PeerUnavailable`.
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 0.02
+    max_delay: float = 0.5
+    jitter: float = 0.5
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Sleep duration after failed attempt ``attempt`` (1-based)."""
+        delay = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        return delay * (1.0 + self.jitter * rng.random())
+
+
+class Router:
+    """Outbound connections to every peer, by node name.
+
+    A failed write evicts the dead cached socket (a peer restart or
+    broken pipe must not poison the cache forever) and the send is
+    retried against a fresh connection under ``retry_policy``.
+
+    Parameters
+    ----------
+    address_book:
+        Node name → loopback port.
+    telemetry:
+        Optional telemetry; counts frames/bytes, retries, reconnects
+        and backoff sleeps.
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan` consulted once
+        per outbound frame.
+    retry_policy:
+        Reconnect/backoff budget (:class:`RetryPolicy` default).
+    seed:
+        Seed for the backoff jitter.
+    """
+
+    def __init__(
+        self,
+        address_book: dict[str, int],
+        telemetry=None,
+        fault_plan=None,
+        retry_policy: RetryPolicy | None = None,
+        seed: int = 0,
+    ):
         self._addresses = address_book
         self._connections: dict[str, socket.socket] = {}
         self._locks: dict[str, threading.Lock] = {}
         self._guard = threading.Lock()
+        self._fault_plan = fault_plan
+        self._retry = retry_policy if retry_policy is not None else RetryPolicy()
+        self._rng = random.Random(seed)
+        #: Sends that succeeded after at least one failed attempt.
+        self.reconnects = 0
+        #: Failed attempts that were retried (evict + backoff + redial).
+        self.retries = 0
         tel = coalesce(telemetry)
         self._sent_bytes = tel.counter("tcp_sent_bytes_total")
         self._sent_frames = tel.counter("tcp_sent_frames_total")
+        self._retries_counter = tel.counter("tcp_send_retries_total")
+        self._reconnects_counter = tel.counter("tcp_reconnects_total")
+        self._dropped_counter = tel.counter("tcp_frames_dropped_total")
+        self._backoff_histogram = tel.histogram("tcp_backoff_seconds")
 
     def send(self, destination: str, message) -> None:
-        """Frame and transmit one message to ``destination``."""
+        """Frame and transmit one message to ``destination``,
+        reconnecting (with backoff) around transport failures."""
         frame = encode_message(destination, message)
-        self._sent_bytes.inc(len(frame))
-        self._sent_frames.inc()
+        copies = 1
+        if self._fault_plan is not None:
+            decision = self._fault_plan.on_send(destination)
+            if decision.faulted:
+                if decision.sever:
+                    self._poison(destination)
+                if decision.drop:
+                    self._dropped_counter.inc()
+                    return
+                if decision.delay > 0:
+                    time.sleep(decision.delay)
+                copies += decision.duplicates
+        for _ in range(copies):
+            self._transmit(destination, frame)
+            self._sent_bytes.inc(len(frame))
+            self._sent_frames.inc()
+
+    def _transmit(self, destination: str, frame: bytes) -> None:
+        attempt = 0
+        while True:
+            attempt += 1
+            connection = None
+            try:
+                connection, lock = self._connect(destination)
+                with lock:
+                    # The per-connection lock exists precisely to serialize
+                    # frame writes on this socket, so the blocking send is
+                    # intentional.
+                    connection.sendall(frame)  # fresque-lint: disable=FRQ-C102
+            except OSError as exc:
+                if connection is not None:
+                    self.evict(destination, connection)
+                if attempt >= self._retry.max_attempts:
+                    raise PeerUnavailable(destination, attempt, exc) from exc
+                with self._guard:
+                    self.retries += 1
+                self._retries_counter.inc()
+                delay = self._retry.backoff(attempt, self._rng)
+                self._backoff_histogram.observe(delay)
+                time.sleep(delay)
+                continue
+            if attempt > 1:
+                with self._guard:
+                    self.reconnects += 1
+                self._reconnects_counter.inc()
+            return
+
+    def _connect(
+        self, destination: str
+    ) -> tuple[socket.socket, threading.Lock]:
+        """The cached connection to ``destination``, dialing if absent."""
         with self._guard:
             connection = self._connections.get(destination)
             lock = self._locks.get(destination)
-        if connection is None:
-            # Dial outside the guard: a slow connect to one destination
-            # must not block every other sender on the shared guard lock.
-            dialed = socket.create_connection(
-                ("127.0.0.1", self._addresses[destination]), timeout=10
-            )
-            with self._guard:
-                connection = self._connections.get(destination)
-                if connection is None:
-                    connection = dialed
-                    self._connections[destination] = connection
-                    self._locks[destination] = threading.Lock()
-                lock = self._locks[destination]
-            if connection is not dialed:
-                # Another sender won the dial race; drop the spare socket.
-                try:
-                    dialed.close()
-                except OSError:
-                    pass
-        with lock:
-            # The per-connection lock exists precisely to serialize frame
-            # writes on this socket, so the blocking send is intentional.
-            connection.sendall(frame)  # fresque-lint: disable=FRQ-C102
+        if connection is not None:
+            return connection, lock
+        # Dial outside the guard: a slow connect to one destination
+        # must not block every other sender on the shared guard lock.
+        dialed = socket.create_connection(
+            ("127.0.0.1", self._addresses[destination]), timeout=10
+        )
+        with self._guard:
+            connection = self._connections.get(destination)
+            if connection is None:
+                connection = dialed
+                self._connections[destination] = connection
+            lock = self._locks.setdefault(destination, threading.Lock())
+        if connection is not dialed:
+            # Another sender won the dial race; drop the spare socket.
+            try:
+                dialed.close()
+            except OSError:
+                pass
+        return connection, lock
+
+    def evict(
+        self, destination: str, connection: socket.socket | None = None
+    ) -> None:
+        """Drop the cached socket to ``destination`` (dead-peer
+        eviction).  With ``connection`` given, evict only if it is still
+        the cached one — a racing sender may already have redialed."""
+        with self._guard:
+            cached = self._connections.get(destination)
+            if cached is None:
+                return
+            if connection is not None and cached is not connection:
+                return
+            del self._connections[destination]
+        try:
+            cached.close()
+        except OSError:
+            pass
+
+    def _poison(self, destination: str) -> None:
+        """Fault injection: kill the cached socket *without* evicting it,
+        so the next write fails exactly like a peer dying underneath."""
+        with self._guard:
+            connection = self._connections.get(destination)
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:
+                pass
 
     def close(self) -> None:
         """Tear down every outbound connection."""
@@ -114,9 +300,20 @@ class TcpNode:
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry`; counts received
         bytes and tracks the inbox depth per node.
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan` consulted once
+        per inbox frame (node crash/restart injection).
+
+    Supervision: reader-thread failures and torn frames are recorded in
+    :attr:`errors` (surfaced by the driver), accepted connections are
+    tracked and closed on :meth:`stop`, and :meth:`health` reports a
+    heartbeat snapshot.
     """
 
-    def __init__(self, name: str, handler, router: Router, telemetry=None):
+    def __init__(
+        self, name: str, handler, router: Router, telemetry=None,
+        fault_plan=None,
+    ):
         self.name = name
         self.handler = handler
         self.router = router
@@ -125,17 +322,26 @@ class TcpNode:
             "tcp_recv_bytes_total", node=name
         )
         self._depth_gauge = self._tel.gauge("tcp_inbox_depth", node=name)
+        self._fault_plan = fault_plan
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._server.bind(("127.0.0.1", 0))
         self._server.listen(32)
         self.port = self._server.getsockname()[1]
         self._inbox: queue.Queue = queue.Queue()
-        self._threads: list[threading.Thread] = []
+        self._acceptor: threading.Thread | None = None
+        self._worker: threading.Thread | None = None
+        self._readers: list[threading.Thread] = []
+        self._connections: list[socket.socket] = []
         self._running = False
+        self._closing = False
+        self.crashed = False
+        self.restarts = 0
+        self.dropped_frames: list[bytes] = []
         self.errors: list[BaseException] = []
         self._lock = threading.Lock()
         self._handled = 0
+        self._last_seen = 0.0
 
     @property
     def handled(self) -> int:
@@ -147,22 +353,32 @@ class TcpNode:
         """Spawn the acceptor and worker threads."""
         self._running = True
         acceptor = threading.Thread(
-            target=self._accept_loop, name=f"tcp-accept-{self.name}",
-            daemon=True,
+            target=self._accept_loop, args=(self._server,),
+            name=f"tcp-accept-{self.name}", daemon=True,
         )
         worker = threading.Thread(
             target=self._worker_loop, name=f"tcp-worker-{self.name}",
             daemon=True,
         )
-        self._threads = [acceptor, worker]
+        self._acceptor = acceptor
+        self._worker = worker
         acceptor.start()
         worker.start()
 
-    def _accept_loop(self) -> None:
-        while self._running:
+    def _record_error(self, error: BaseException) -> None:
+        self.errors.append(error)
+
+    def _accept_loop(self, server: socket.socket) -> None:
+        while True:
             try:
-                connection, _ = self._server.accept()
-            except OSError:
+                connection, _ = server.accept()
+            except OSError as exc:
+                if self._running and not self._closing:
+                    self._record_error(
+                        TransportError(
+                            f"{self.name}: accept loop failed: {exc!r}"
+                        )
+                    )
                 return
             reader = threading.Thread(
                 target=self._read_loop,
@@ -170,7 +386,19 @@ class TcpNode:
                 name=f"tcp-read-{self.name}",
                 daemon=True,
             )
-            self._threads.append(reader)
+            with self._lock:
+                registered = self._running
+                if registered:
+                    self._connections.append(connection)
+                    self._readers.append(reader)
+            if not registered:
+                # stop() raced us; it already closed everything it knew
+                # about, so this late connection is ours to close.
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+                return
             reader.start()
 
     def _read_loop(self, connection: socket.socket) -> None:
@@ -178,14 +406,32 @@ class TcpNode:
         while True:
             try:
                 chunk = connection.recv(65536)
-            except OSError:
+            except OSError as exc:
+                if self._running and not self._closing:
+                    self._record_error(
+                        TransportError(
+                            f"{self.name}: reader failed: {exc!r}"
+                        )
+                    )
                 return
             if not chunk:
+                if buffer and self._running and not self._closing:
+                    self._record_error(
+                        TornFrame(
+                            f"{self.name}: peer closed mid-frame, "
+                            f"dropping {len(buffer)} bytes of a partial "
+                            f"frame"
+                        )
+                    )
                 return
             buffer.extend(chunk)
             self._recv_bytes.inc(len(chunk))
-            for frame in read_frames(buffer):
-                self._inbox.put(frame)
+            try:
+                for frame in read_frames(buffer):
+                    self._inbox.put(frame)
+            except WireError as exc:
+                self._record_error(exc)
+                return
             if self._tel.enabled:
                 self._depth_gauge.set(self._inbox.qsize())
 
@@ -194,6 +440,12 @@ class TcpNode:
             item = self._inbox.get()
             if item is _STOP:
                 return
+            if self._fault_plan is not None:
+                action = self._fault_plan.on_node_frame(self.name)
+                if action is not None:
+                    if self._enact_crash(item, restart=action == RESTART):
+                        continue
+                    return
             try:
                 destination, message = decode_message(item)
                 if destination != self.name:
@@ -204,30 +456,157 @@ class TcpNode:
                     self.router.send(out_destination, out_message)
                 with self._lock:
                     self._handled += 1
+                    self._last_seen = WALL_CLOCK.now()
             except BaseException as exc:  # surfaced by the driver
                 self.errors.append(exc)
+
+    def _enact_crash(self, pending_frame, restart: bool) -> bool:
+        """Fault injection: die like a crashed machine.
+
+        Closes the server and every accepted connection (peers see the
+        node go away), drops the pending frame and the rest of the
+        inbox, and either stays dead or — with ``restart`` — rebinds the
+        same port with a fresh acceptor and an empty inbox.  Returns
+        whether the node restarted.
+        """
+        with self._lock:
+            self.crashed = True
+            self._closing = True
+            self._running = False
+            connections = list(self._connections)
+            self._connections.clear()
+            readers = list(self._readers)
+            self._readers.clear()
+        self._shutdown_socket(self._server)
+        for connection in connections:
+            self._shutdown_socket(connection)
+        for reader in readers:
+            reader.join(timeout=2)
+        dropped = [pending_frame]
+        while True:
+            try:
+                item = self._inbox.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                dropped.append(item)
+        with self._lock:
+            self.dropped_frames = self.dropped_frames + dropped
+        if not restart:
+            return False
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", self.port))
+        server.listen(32)
+        acceptor = threading.Thread(
+            target=self._accept_loop, args=(server,),
+            name=f"tcp-accept-{self.name}", daemon=True,
+        )
+        with self._lock:
+            self._server = server
+            self._acceptor = acceptor
+            self.restarts += 1
+            self.crashed = False
+            self._closing = False
+            self._running = True
+        acceptor.start()
+        return True
+
+    @staticmethod
+    def _shutdown_socket(sock: socket.socket) -> None:
+        try:
+            # shutdown() wakes a thread blocked in accept()/recv();
+            # close() alone can leave it hanging until traffic arrives.
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
 
     @property
     def pending(self) -> int:
         """Frames queued but not yet handled."""
         return self._inbox.qsize()
 
+    def dropped_messages(self) -> list:
+        """Decoded messages lost to an injected crash (for accounting)."""
+        with self._lock:
+            frames = list(self.dropped_frames)
+        return [decode_message(frame)[1] for frame in frames]
+
+    def health(self) -> dict:
+        """Heartbeat snapshot for supervision and timeout reports."""
+        with self._lock:
+            handled = self._handled
+            last_seen = self._last_seen
+            dropped = len(self.dropped_frames)
+        worker = self._worker
+        return {
+            "name": self.name,
+            "alive": (
+                worker is not None and worker.is_alive() and not self.crashed
+            ),
+            "crashed": self.crashed,
+            "restarts": self.restarts,
+            "handled": handled,
+            "pending": self.pending,
+            "dropped_frames": dropped,
+            "errors": len(self.errors),
+            "last_seen": last_seen,
+        }
+
     def stop(self) -> None:
-        """Shut the node down."""
-        self._running = False
-        try:
-            # shutdown() wakes a thread blocked in accept(); close() alone
-            # can leave it hanging until a connection arrives.
-            self._server.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        try:
-            self._server.close()
-        except OSError:
-            pass
+        """Shut the node down: close the server and every accepted
+        connection, then join the acceptor, worker and reader threads."""
+        with self._lock:
+            self._closing = True
+            self._running = False
+            connections = list(self._connections)
+            self._connections.clear()
+            readers = list(self._readers)
+            self._readers.clear()
+        self._shutdown_socket(self._server)
+        for connection in connections:
+            self._shutdown_socket(connection)
         self._inbox.put(_STOP)
-        for thread in self._threads[:2]:
-            thread.join(timeout=2)
+        for thread in (self._acceptor, self._worker, *readers):
+            if thread is not None and thread.is_alive():
+                thread.join(timeout=2)
+
+
+class ClusterTimeout(TimeoutError):
+    """A publication missed its deadline.
+
+    Carries :attr:`health_report` (per-node heartbeat snapshots, router
+    retry/reconnect totals and the degraded-mode dead set) and renders
+    it in the message, so the failure is diagnosable instead of a bare
+    ``TimeoutError``.
+    """
+
+    def __init__(self, publication: int, timeout: float, report: dict):
+        self.publication = publication
+        self.health_report = report
+        lines = [
+            f"publication {publication} never matched within {timeout:.1f}s"
+        ]
+        for entry in report.get("nodes", ()):
+            lines.append(
+                "  {name}: alive={alive} crashed={crashed} "
+                "handled={handled} pending={pending} "
+                "dropped={dropped_frames} errors={errors}".format(**entry)
+            )
+        router = report.get("router", {})
+        if router:
+            lines.append(
+                "  router: retries={retries} "
+                "reconnects={reconnects}".format(**router)
+            )
+        dead = report.get("dead_nodes")
+        if dead:
+            lines.append(f"  degraded around dead nodes: {sorted(dead)}")
+        super().__init__("\n".join(lines))
 
 
 class TcpFresqueCluster:
@@ -236,6 +615,16 @@ class TcpFresqueCluster:
     The dispatcher runs on the driver thread (it is the cluster's entry
     point); computing nodes, the checking node, the merger and the cloud
     are :class:`TcpNode` servers reachable only through their sockets.
+
+    Parameters
+    ----------
+    config, cipher, seed, telemetry:
+        As for :class:`~repro.core.system.FresqueSystem`.
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan` wired into the
+        router and every node.
+    retry_policy:
+        Router reconnect budget (:class:`RetryPolicy` default).
     """
 
     def __init__(
@@ -244,6 +633,8 @@ class TcpFresqueCluster:
         cipher: RecordCipher,
         seed: int | None = None,
         telemetry=None,
+        fault_plan=None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.config = config
         self.cipher = cipher
@@ -265,10 +656,22 @@ class TcpFresqueCluster:
         self.cloud = FresqueCloud(config.domain, telemetry=telemetry)
         self.cloud_adapter = CloudAdapter(self.cloud)
         self._address_book: dict[str, int] = {}
-        self.router = Router(self._address_book, telemetry=telemetry)
+        self._fault_plan = fault_plan
+        self.router = Router(
+            self._address_book,
+            telemetry=telemetry,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+        )
         self._nodes: list[TcpNode] = []
+        self._dead: set[str] = set()
         self._telemetry_arg = telemetry
         self._started = False
+
+    @property
+    def dead_nodes(self) -> frozenset[str]:
+        """Names of computing nodes the cluster degraded around."""
+        return frozenset(self._dead)
 
     def _make_nodes(self) -> None:
         def cn_handler(node):
@@ -292,6 +695,8 @@ class TcpFresqueCluster:
                 return self.checking.on_publishing(message.publication)
             if isinstance(message, CnPublishing):
                 return self.checking.on_cn_publishing(message)
+            if isinstance(message, NodeDown):
+                return self.checking.on_node_down(message)
             raise TypeError(type(message).__name__)
 
         def merger_handler(message):
@@ -311,18 +716,25 @@ class TcpFresqueCluster:
                     cn_handler(node),
                     self.router,
                     telemetry=telemetry,
+                    fault_plan=self._fault_plan,
                 )
             )
         self._nodes.append(
-            TcpNode("checking", checking_handler, self.router, telemetry=telemetry)
+            TcpNode(
+                "checking", checking_handler, self.router,
+                telemetry=telemetry, fault_plan=self._fault_plan,
+            )
         )
         self._nodes.append(
-            TcpNode("merger", merger_handler, self.router, telemetry=telemetry)
+            TcpNode(
+                "merger", merger_handler, self.router,
+                telemetry=telemetry, fault_plan=self._fault_plan,
+            )
         )
         self._nodes.append(
             TcpNode(
                 "cloud", self.cloud_adapter.handle, self.router,
-                telemetry=telemetry,
+                telemetry=telemetry, fault_plan=self._fault_plan,
             )
         )
         for node in self._nodes:
@@ -339,12 +751,42 @@ class TcpFresqueCluster:
         self._send_outbox(self.dispatcher.start_publication())
 
     def _send_outbox(self, outbox) -> None:
-        for destination, message in outbox:
-            self.router.send(destination, message)
+        pending = deque(outbox)
+        while pending:
+            destination, message = pending.popleft()
+            if destination in self._dead:
+                # Degraded mode: records shift to the survivors; control
+                # messages for the dead node are moot.
+                if isinstance(message, RawData):
+                    pending.extend(self.dispatcher.redispatch(message))
+                continue
+            try:
+                self.router.send(destination, message)
+            except PeerUnavailable:
+                if not destination.startswith("cn-"):
+                    raise
+                self._mark_node_down(destination)
+                if isinstance(message, RawData):
+                    pending.extend(self.dispatcher.redispatch(message))
+
+    def _mark_node_down(self, name: str) -> None:
+        """Degrade around computing node ``name``: take it out of the
+        rotation and tell the checking node to stop waiting for it."""
+        if name in self._dead:
+            return
+        self._dead.add(name)
+        self._send_outbox(self.dispatcher.mark_node_down(int(name[3:])))
 
     def run_publication(self, lines: list[str], timeout: float = 60.0) -> int:
         """Ingest ``lines``, close the publication, wait for the cloud to
-        match it.  Returns the matched pair count."""
+        match it.  Returns the matched pair count.
+
+        The wait blocks on the cloud adapter's receipt condition (woken
+        by delivery, not polled), waking every 250 ms to supervise node
+        health; a computing node found crashed mid-publication is
+        absorbed in degraded mode.  A missed deadline raises
+        :class:`ClusterTimeout` with the full health report.
+        """
         if not self._started:
             self.start()
         publication = self.dispatcher.publication
@@ -357,28 +799,66 @@ class TcpFresqueCluster:
         self._send_outbox(self.dispatcher.end_publication())
         self._send_outbox(self.dispatcher.start_publication())
         deadline = WALL_CLOCK.now() + timeout
-        while WALL_CLOCK.now() < deadline:
-            receipt = next(
-                (
-                    r
-                    for r in self.cloud_adapter.receipts
-                    if r.publication == publication
-                ),
-                None,
+        while True:
+            self._supervise()
+            remaining = deadline - WALL_CLOCK.now()
+            if remaining <= 0:
+                raise ClusterTimeout(
+                    publication, timeout, self.health_report()
+                )
+            receipt = self.cloud_adapter.wait_for_receipt(
+                publication, timeout=min(0.25, remaining)
             )
             if receipt is not None:
-                self._raise_errors()
+                self._supervise()
                 return receipt.records_matched
-            self._raise_errors()
-            time.sleep(0.005)
-        raise TimeoutError(f"publication {publication} never matched")
+
+    def _supervise(self) -> None:
+        """Absorb computing-node crashes; raise anything else.
+
+        A crashed computing node is marked down (degraded mode).  A
+        crashed trusted node — checking, merger, cloud — cannot be
+        degraded around and fails the publication, as does any recorded
+        worker/reader error on a live node.
+        """
+        for node in self._nodes:
+            if node.name in self._dead:
+                continue
+            if node.crashed:
+                if node.name.startswith("cn-"):
+                    self._mark_node_down(node.name)
+                    continue
+                raise RuntimeError(
+                    f"trusted node {node.name} crashed — the cluster "
+                    f"cannot degrade around the checking node, merger "
+                    f"or cloud"
+                )
+            fatal = [
+                error
+                for error in node.errors
+                if not isinstance(error, TornFrame)
+            ]
+            if fatal:
+                node.errors = []
+                raise RuntimeError(
+                    f"node {node.name} failed"
+                ) from fatal[0]
 
     def _raise_errors(self) -> None:
-        for node in self._nodes:
-            if node.errors:
-                error = node.errors[0]
-                node.errors = []
-                raise RuntimeError(f"node {node.name} failed") from error
+        """Backwards-compatible alias for :meth:`_supervise`."""
+        self._supervise()
+
+    def health_report(self) -> dict:
+        """Diagnosable cluster snapshot: per-node heartbeats, router
+        retry/reconnect totals, and the degraded-mode dead set."""
+        return {
+            "nodes": [node.health() for node in self._nodes],
+            "router": {
+                "retries": self.router.retries,
+                "reconnects": self.router.reconnects,
+            },
+            "dead_nodes": sorted(self._dead),
+        }
 
     def make_client(self) -> QueryClient:
         """Query client over the cluster's cloud (call between runs)."""

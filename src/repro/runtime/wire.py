@@ -22,6 +22,7 @@ from repro.core.messages import (
     DoneMsg,
     MergedPublication,
     NewPublication,
+    NodeDown,
     Pair,
     PublishingMsg,
     RawData,
@@ -179,6 +180,7 @@ _ENCODERS = {
     },
     PublishingMsg: lambda m: {"pub": m.publication},
     CnPublishing: lambda m: {"pub": m.publication, "node": m.node_id},
+    NodeDown: lambda m: {"pub": m.publication, "node": m.node_id},
     AlSnapshot: lambda m: {"pub": m.publication, "al": list(m.al)},
     BufferFlush: lambda m: {
         "pub": m.publication,
@@ -215,6 +217,7 @@ _DECODERS = {
     ),
     "PublishingMsg": lambda p: PublishingMsg(p["pub"]),
     "CnPublishing": lambda p: CnPublishing(p["pub"], p["node"]),
+    "NodeDown": lambda p: NodeDown(p["pub"], p["node"]),
     "AlSnapshot": lambda p: AlSnapshot(p["pub"], tuple(p["al"])),
     "BufferFlush": lambda p: BufferFlush(
         p["pub"],

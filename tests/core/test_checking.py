@@ -184,3 +184,71 @@ class TestFinalisation:
         removed = [m for _, m in out if isinstance(m, RemovedRecord)]
         assert len(flush.pairs) + len(removed) == 1  # only pub 0's pair
         assert len(checking.state_of(1).randomer) == 1
+
+
+class TestDegradedMode:
+    def _node_down(self, publication, node_id):
+        from repro.core.messages import NodeDown
+
+        return NodeDown(publication, node_id)
+
+    def test_node_down_substitutes_for_cn_report(
+        self, checking, flu_config, plan
+    ):
+        """With cn-1 dead, reports from the survivors plus the NodeDown
+        notice finalise the publication."""
+        checking.on_new_publication(NewPublication(0, plan))
+        checking.on_pair(_pair(2))
+        assert checking.on_cn_publishing(CnPublishing(0, 0)) == []
+        assert checking.on_node_down(self._node_down(0, 1)) == []
+        out = checking.on_cn_publishing(CnPublishing(0, 2))
+        assert any(isinstance(m, BufferFlush) for _, m in out)
+        assert any(isinstance(m, AlSnapshot) for _, m in out)
+
+    def test_node_down_after_last_survivor_finalises(
+        self, checking, flu_config, plan
+    ):
+        """NodeDown arriving last sweeps the already-complete
+        publication immediately."""
+        checking.on_new_publication(NewPublication(0, plan))
+        assert checking.on_cn_publishing(CnPublishing(0, 0)) == []
+        assert checking.on_cn_publishing(CnPublishing(0, 2)) == []
+        out = checking.on_node_down(self._node_down(0, 1))
+        assert any(isinstance(m, BufferFlush) for _, m in out)
+
+    def test_done_broadcast_skips_dead_nodes(self, checking, flu_config, plan):
+        checking.on_new_publication(NewPublication(0, plan))
+        checking.on_node_down(self._node_down(0, 1))
+        out = []
+        for node_id in (0, 2):
+            out.extend(checking.on_cn_publishing(CnPublishing(0, node_id)))
+        done_destinations = {
+            dest for dest, m in out if isinstance(m, DoneMsg)
+        }
+        assert done_destinations == {"cn-0", "cn-2"}
+
+    def test_dead_set_applies_to_later_publications(
+        self, checking, flu_config, plan
+    ):
+        """The dead set is global: publication n+1 also completes on the
+        survivors without a second NodeDown."""
+        checking.on_new_publication(NewPublication(0, plan))
+        checking.on_node_down(self._node_down(0, 1))
+        _finalise(checking, flu_config)  # pub 0 done (reports 0..2)
+        checking.on_new_publication(NewPublication(1, plan))
+        assert checking.on_cn_publishing(CnPublishing(1, 0)) == []
+        out = checking.on_cn_publishing(CnPublishing(1, 2))
+        assert any(isinstance(m, BufferFlush) for _, m in out)
+
+    def test_all_dead_requires_interval_close(self, checking, flu_config, plan):
+        """Dead-node notices alone never finalise a publication whose
+        interval hasn't ended: without any CnPublishing the dispatcher's
+        own publishing notice is required."""
+        checking.on_new_publication(NewPublication(0, plan))
+        checking.on_pair(_pair(1))
+        assert checking.on_node_down(self._node_down(0, 0)) == []
+        assert checking.on_node_down(self._node_down(0, 1)) == []
+        assert checking.on_node_down(self._node_down(0, 2)) == []
+        assert not checking.state_of(0).closed
+        out = checking.on_publishing(0)
+        assert any(isinstance(m, BufferFlush) for _, m in out)

@@ -95,3 +95,69 @@ class TestDummySchedule:
         raw = [m for _, m in out if isinstance(m, RawData)]
         assert len(raw) == 0 or all(m.record.is_dummy for m in raw)
         assert dispatcher.pending_dummies == 0
+
+
+class TestDegradedMode:
+    def test_mark_node_down_notifies_checking(self, dispatcher):
+        from repro.core.messages import NodeDown
+
+        dispatcher.start_publication()
+        out = dispatcher.mark_node_down(1)
+        assert out == [("checking", NodeDown(0, 1))]
+        assert dispatcher.dead_nodes == {1}
+        assert dispatcher.live_computing_nodes == [0, 2]
+        # Idempotent: a second report changes nothing and sends nothing.
+        assert dispatcher.mark_node_down(1) == []
+
+    def test_mark_unknown_node_rejected(self, dispatcher):
+        dispatcher.start_publication()
+        with pytest.raises(ValueError):
+            dispatcher.mark_node_down(7)
+
+    def test_round_robin_skips_dead_node(self, dispatcher, flu_config):
+        dispatcher.start_publication()
+        dispatcher.mark_node_down(1)
+        destinations = [dispatcher.on_raw(f"l{i}")[0][0] for i in range(8)]
+        assert "cn-1" not in destinations
+        assert set(destinations) == {"cn-0", "cn-2"}
+
+    def test_redispatch_reroutes_and_counts(self, dispatcher):
+        from repro.core.messages import RawData as Raw
+
+        dispatcher.start_publication()
+        dispatcher.mark_node_down(0)
+        message = Raw(0, line="orphan")
+        (destination, routed), = dispatcher.redispatch(message)
+        assert destination in {"cn-1", "cn-2"}
+        assert routed is message
+        assert dispatcher.records_rerouted == 1
+
+    def test_all_nodes_down_raises(self, dispatcher):
+        dispatcher.start_publication()
+        dispatcher.mark_node_down(0)
+        dispatcher.mark_node_down(1)
+        with pytest.raises(RuntimeError):
+            dispatcher.mark_node_down(2)
+
+    def test_end_publication_skips_dead_node(self, dispatcher):
+        dispatcher.start_publication()
+        dispatcher.mark_node_down(2)
+        out = dispatcher.end_publication()
+        publishing_dests = {
+            dest for dest, msg in out if isinstance(msg, PublishingMsg)
+        }
+        assert publishing_dests == {"cn-0", "cn-1", "checking"}
+
+
+class TestDummyScheduleComplexity:
+    def test_due_dummies_drains_from_the_front(self, dispatcher):
+        """The schedule is a deque: partial drains pop from the front
+        without reshuffling what remains."""
+        from collections import deque
+
+        dispatcher.start_publication()
+        schedule = dispatcher._dummy_schedule
+        assert isinstance(schedule, deque)
+        before = list(schedule)
+        released = dispatcher.due_dummies(0.3)
+        assert list(schedule) == before[len(released):]

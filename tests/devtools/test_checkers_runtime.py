@@ -1,0 +1,153 @@
+"""Positive/negative fixtures for the FRQ-R6xx runtime checkers."""
+
+from tests.devtools.conftest import codes_of, lint_source
+
+RUNTIME_PATH = "src/repro/runtime/fixture.py"
+CORE_PATH = "src/repro/core/fixture.py"
+
+
+class TestR601RawDials:
+    def test_positive_dial_outside_router(self):
+        diagnostics = lint_source(
+            """
+            import socket
+
+            def probe(port):
+                return socket.create_connection(("127.0.0.1", port), 1)
+            """,
+            display_path=RUNTIME_PATH,
+        )
+        assert "FRQ-R601" in codes_of(diagnostics)
+
+    def test_negative_dial_inside_router(self):
+        diagnostics = lint_source(
+            """
+            import socket
+
+            class Router:
+                def _connect(self, destination, port):
+                    return socket.create_connection(("127.0.0.1", port), 1)
+            """,
+            display_path=RUNTIME_PATH,
+        )
+        assert "FRQ-R601" not in codes_of(diagnostics)
+
+    def test_negative_outside_runtime_package(self):
+        diagnostics = lint_source(
+            """
+            import socket
+
+            def probe(port):
+                return socket.create_connection(("127.0.0.1", port), 1)
+            """,
+            display_path=CORE_PATH,
+        )
+        assert "FRQ-R601" not in codes_of(diagnostics)
+
+    def test_suppressed_with_justification(self):
+        diagnostics = lint_source(
+            """
+            import socket
+
+            def probe(port):
+                # fresque-lint: disable=FRQ-R601 -- liveness probe only
+                return socket.create_connection(("127.0.0.1", port), 1)
+            """,
+            display_path=RUNTIME_PATH,
+        )
+        assert "FRQ-R601" not in codes_of(diagnostics)
+
+
+class TestR602SwallowedTransportErrors:
+    def test_positive_bare_return(self):
+        diagnostics = lint_source(
+            """
+            def read_loop(connection):
+                try:
+                    return connection.recv(65536)
+                except OSError:
+                    return
+            """,
+            display_path=RUNTIME_PATH,
+        )
+        assert "FRQ-R602" in codes_of(diagnostics)
+
+    def test_positive_pass_in_tuple_catch(self):
+        diagnostics = lint_source(
+            """
+            def read_loop(connection):
+                try:
+                    return connection.recv(65536)
+                except (ValueError, ConnectionResetError):
+                    pass
+            """,
+            display_path=RUNTIME_PATH,
+        )
+        assert "FRQ-R602" in codes_of(diagnostics)
+
+    def test_negative_error_recorded(self):
+        diagnostics = lint_source(
+            """
+            def read_loop(node, connection):
+                try:
+                    return connection.recv(65536)
+                except OSError as exc:
+                    node.errors.append(exc)
+                    return
+            """,
+            display_path=RUNTIME_PATH,
+        )
+        assert "FRQ-R602" not in codes_of(diagnostics)
+
+    def test_negative_cleanup_exempt(self):
+        diagnostics = lint_source(
+            """
+            def drop(connection):
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+            """,
+            display_path=RUNTIME_PATH,
+        )
+        assert "FRQ-R602" not in codes_of(diagnostics)
+
+    def test_negative_non_transport_exception(self):
+        diagnostics = lint_source(
+            """
+            def parse(text):
+                try:
+                    return int(text)
+                except ValueError:
+                    return
+            """,
+            display_path=RUNTIME_PATH,
+        )
+        assert "FRQ-R602" not in codes_of(diagnostics)
+
+    def test_negative_outside_runtime_package(self):
+        diagnostics = lint_source(
+            """
+            def read_loop(connection):
+                try:
+                    return connection.recv(65536)
+                except OSError:
+                    return
+            """,
+            display_path=CORE_PATH,
+        )
+        assert "FRQ-R602" not in codes_of(diagnostics)
+
+    def test_suppressed_with_justification(self):
+        diagnostics = lint_source(
+            """
+            def read_loop(connection):
+                try:
+                    return connection.recv(65536)
+                # fresque-lint: disable=FRQ-R602 -- probe failure expected
+                except OSError:
+                    return
+            """,
+            display_path=RUNTIME_PATH,
+        )
+        assert "FRQ-R602" not in codes_of(diagnostics)

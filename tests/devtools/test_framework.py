@@ -85,7 +85,7 @@ class TestBaseline:
 
 
 class TestRegistry:
-    def test_five_checker_families_registered(self):
+    def test_six_checker_families_registered(self):
         families = {family for family, _ in all_codes().values()}
         assert families == {
             "concurrency",
@@ -93,6 +93,7 @@ class TestRegistry:
             "privacy-budget",
             "hygiene",
             "telemetry",
+            "runtime",
         }
 
     def test_code_scheme(self):

@@ -136,3 +136,240 @@ class TestRouter:
         assert sorted(received) == sorted(
             [0] + [base + i for base in range(1000, 9000, 1000) for i in range(25)]
         )
+
+
+class TestRouterEviction:
+    """The dead-cached-socket bug: a peer that dies and comes back must
+    not leave the router wedged on its stale connection."""
+
+    def test_send_recovers_after_peer_restart(self):
+        import socket
+        import threading
+        import time
+
+        from repro.core.messages import PublishingMsg
+        from repro.runtime.tcp import RetryPolicy, Router
+        from repro.runtime.wire import decode_message, read_frames
+
+        received: list[int] = []
+
+        class Peer:
+            def __init__(self, port: int = 0):
+                self.server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                self.server.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+                )
+                self.server.bind(("127.0.0.1", port))
+                self.server.listen(4)
+                self.port = self.server.getsockname()[1]
+                self.accepted: list[socket.socket] = []
+                threading.Thread(target=self._serve, daemon=True).start()
+
+            def _serve(self) -> None:
+                while True:
+                    try:
+                        connection, _ = self.server.accept()
+                    except OSError:
+                        return
+                    self.accepted.append(connection)
+                    buffer = bytearray()
+                    while True:
+                        try:
+                            chunk = connection.recv(65536)
+                        except OSError:
+                            break
+                        if not chunk:
+                            break
+                        buffer.extend(chunk)
+                        for frame in read_frames(buffer):
+                            received.append(
+                                decode_message(frame)[1].publication
+                            )
+
+            def kill(self) -> None:
+                self.server.close()
+                for connection in self.accepted:
+                    try:
+                        connection.close()
+                    except OSError:
+                        pass
+
+        first = Peer()
+        port = first.port
+        router = Router(
+            {"peer": port},
+            retry_policy=RetryPolicy(max_attempts=8, base_delay=0.01,
+                                     max_delay=0.05),
+        )
+        try:
+            router.send("peer", PublishingMsg(0))
+            deadline = time.monotonic() + 5
+            while not received and time.monotonic() < deadline:
+                time.sleep(0.01)
+            # Kill the peer, then restart it on the same port: the
+            # cached socket is now dead and must be evicted, not reused
+            # forever.
+            first.kill()
+            time.sleep(0.05)
+            second = Peer(port)
+            try:
+                for i in range(1, 9):
+                    router.send("peer", PublishingMsg(i))
+                    time.sleep(0.05)
+                deadline = time.monotonic() + 5
+                while len(received) < 7 and time.monotonic() < deadline:
+                    time.sleep(0.01)
+            finally:
+                second.kill()
+        finally:
+            router.close()
+        # A frame or two may vanish into the dead socket's kernel buffer
+        # before the RST surfaces; once the failed write is observed the
+        # router must evict, reconnect, and deliver every later frame to
+        # the restarted peer instead of wedging forever.
+        assert 0 in received
+        assert set(received) >= {6, 7, 8}
+        assert len(received) >= 7
+        assert router.reconnects >= 1
+
+
+class TestNodeLifecycle:
+    def test_stop_closes_connections_and_joins_readers(self):
+        import socket
+        import threading
+        import time
+
+        from repro.runtime.tcp import Router, TcpNode
+
+        router = Router({})
+        node = TcpNode("solo", lambda message: [], router)
+        node.start()
+        client = socket.create_connection(("127.0.0.1", node.port), 5)
+        deadline = time.monotonic() + 5
+        while not node._connections and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert len(node._connections) == 1
+        readers = list(node._readers)
+        assert len(readers) == 1
+        node.stop()
+        for reader in readers:
+            assert not reader.is_alive()
+        assert node._connections == []
+        # The node closed its side: our end sees EOF promptly.
+        client.settimeout(5)
+        assert client.recv(1) == b""
+        client.close()
+        router.close()
+        # Idempotent.
+        node.stop()
+
+    def test_torn_frame_recorded_as_node_error(self):
+        import socket
+        import struct
+        import time
+
+        from repro.runtime.tcp import Router, TcpNode, TornFrame
+
+        router = Router({})
+        node = TcpNode("victim", lambda message: [], router)
+        node.start()
+        try:
+            client = socket.create_connection(("127.0.0.1", node.port), 5)
+            # A frame header promising 100 bytes, then only 10, then EOF.
+            client.sendall(struct.pack("<I", 100) + b"x" * 10)
+            client.close()
+            deadline = time.monotonic() + 5
+            while not node.errors and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            node.stop()
+            router.close()
+        assert len(node.errors) == 1
+        assert isinstance(node.errors[0], TornFrame)
+        assert "mid-frame" in str(node.errors[0])
+
+    def test_oversized_frame_recorded_as_node_error(self):
+        import socket
+        import struct
+        import time
+
+        from repro.runtime.tcp import Router, TcpNode
+        from repro.runtime.wire import WireError
+
+        router = Router({})
+        node = TcpNode("victim", lambda message: [], router)
+        node.start()
+        try:
+            client = socket.create_connection(("127.0.0.1", node.port), 5)
+            client.sendall(struct.pack("<I", 2**31) + b"x" * 16)
+            deadline = time.monotonic() + 5
+            while not node.errors and time.monotonic() < deadline:
+                time.sleep(0.01)
+            client.close()
+        finally:
+            node.stop()
+            router.close()
+        assert node.errors and isinstance(node.errors[0], WireError)
+
+    def test_repeated_cycles_leak_no_fds_or_threads(
+        self, flu_config, fast_cipher
+    ):
+        """20 start/shutdown cycles (with traffic) must not grow the
+        process's fd table or thread count — the stop() leak regression."""
+        import os
+        import threading
+
+        from repro.datasets.flu import FluSurveyGenerator
+        from repro.runtime.tcp import TcpFresqueCluster
+
+        def fd_count() -> int:
+            return len(os.listdir("/proc/self/fd"))
+
+        lines = list(FluSurveyGenerator(seed=88).raw_lines(30))
+        # Warm-up cycle absorbs lazy imports and interpreter caches.
+        with TcpFresqueCluster(flu_config, fast_cipher, seed=0) as cluster:
+            cluster.run_publication(lines, timeout=30.0)
+        fds_before = fd_count()
+        threads_before = threading.active_count()
+        for cycle in range(20):
+            with TcpFresqueCluster(
+                flu_config, fast_cipher, seed=cycle
+            ) as cluster:
+                cluster.run_publication(lines, timeout=30.0)
+        assert fd_count() <= fds_before + 2
+        assert threading.active_count() <= threads_before + 2
+
+
+class TestReceiptCondition:
+    def test_wait_for_receipt_wakes_promptly(self):
+        """run_publication's wait is condition-signalled: a receipt
+        delivered mid-wait wakes the waiter immediately, not at the next
+        poll tick."""
+        import threading
+        import time
+
+        from repro.cloud.node import FresqueCloud
+        from repro.core.system import CloudAdapter
+        from repro.index.domain import AttributeDomain
+
+        class _Receipt:
+            publication = 7
+            records_matched = 123
+
+        adapter = CloudAdapter(FresqueCloud(AttributeDomain(0, 100, 10)))
+        timer = threading.Timer(0.1, adapter._deliver_receipt, args=(_Receipt(),))
+        timer.daemon = True
+        started = time.monotonic()
+        timer.start()
+        receipt = adapter.wait_for_receipt(7, timeout=10.0)
+        elapsed = time.monotonic() - started
+        assert receipt is not None and receipt.records_matched == 123
+        assert elapsed < 1.0  # woke on the signal, far before the timeout
+
+    def test_wait_for_receipt_times_out(self):
+        from repro.cloud.node import FresqueCloud
+        from repro.core.system import CloudAdapter
+        from repro.index.domain import AttributeDomain
+
+        adapter = CloudAdapter(FresqueCloud(AttributeDomain(0, 100, 10)))
+        assert adapter.wait_for_receipt(0, timeout=0.05) is None

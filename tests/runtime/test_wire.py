@@ -14,6 +14,7 @@ from repro.core.messages import (
     DoneMsg,
     MergedPublication,
     NewPublication,
+    NodeDown,
     Pair,
     PublishingMsg,
     RawData,
@@ -66,6 +67,7 @@ MESSAGES = [
     ("merger", RemovedRecord(0, 5, _encrypted())),
     ("cn-0", PublishingMsg(2)),
     ("checking", CnPublishing(2, 1)),
+    ("checking", NodeDown(2, 1)),
     ("merger", AlSnapshot(2, (1, 2, 3, 4))),
     ("cloud", BufferFlush(2, ((0, _encrypted()), (1, _encrypted())))),
     ("cn-2", DoneMsg(2)),

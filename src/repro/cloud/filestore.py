@@ -6,10 +6,24 @@ publication to a file on disk — one append-only file per publication, the
 record layout being ``length (uint32) | ciphertext`` — so durability,
 re-opening, and real read-back I/O can be exercised.  It implements the
 same interface, making it a drop-in for :class:`FresqueCloud`.
+
+Durable mode (``durable=True``) adds the crash discipline the plain mode
+lacks:
+
+* **atomic create** — a new publication is written to
+  ``publication-<id>.dat.tmp`` and only renamed to its final name by
+  :meth:`commit` (after fsync), so a half-written publication can never
+  be mistaken for a published one.  Leftover ``.tmp`` files found when
+  the store re-opens are discarded: the recovered collector replays the
+  publication from its journal.
+* **fsync on publish** — :meth:`commit` flushes and ``fsync``'s the
+  file before the rename, and :meth:`close` syncs dirty handles instead
+  of silently dropping buffered tail bytes.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 import struct
 
@@ -27,23 +41,43 @@ class FileBackedStore:
     directory:
         Directory holding one ``publication-<id>.dat`` file per
         publication; created if missing.
+    durable:
+        Enable the atomic-create + fsync-on-publish discipline.  Opening
+        a durable store discards uncommitted ``.tmp`` publications left
+        by a crash.
     """
 
-    def __init__(self, directory: str | pathlib.Path):
+    def __init__(self, directory: str | pathlib.Path, *, durable: bool = False):
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.durable = durable
         self._handles: dict[int, object] = {}
         self._sizes: dict[int, int] = {}
+        #: File ids written since their last flush-to-disk.
+        self._dirty: set[int] = set()
+        #: File ids still living under their ``.tmp`` create path.
+        self._uncommitted: set[int] = set()
         self.bytes_written = 0
         self.bytes_read = 0
         self.write_ops = 0
         self.read_ops = 0
+        self.discarded_tmp_files = 0
+        if durable:
+            for stale in self.directory.glob("publication-*.dat.tmp"):
+                stale.unlink()
+                self.discarded_tmp_files += 1
 
     def _path(self, file_id: int) -> pathlib.Path:
         return self.directory / f"publication-{file_id}.dat"
 
+    def _tmp_path(self, file_id: int) -> pathlib.Path:
+        return self.directory / f"publication-{file_id}.dat.tmp"
+
     def create_file(self, file_id: int) -> None:
         """Open a fresh publication file.
+
+        In durable mode the file is created under its ``.tmp`` name and
+        only reaches the final name via :meth:`commit`.
 
         Raises
         ------
@@ -52,7 +86,12 @@ class FileBackedStore:
         """
         if file_id in self._handles or self._path(file_id).exists():
             raise StorageError(f"file {file_id} already exists")
-        self._handles[file_id] = open(self._path(file_id), "w+b")
+        if self.durable:
+            self._uncommitted.add(file_id)
+            path = self._tmp_path(file_id)
+        else:
+            path = self._path(file_id)
+        self._handles[file_id] = open(path, "w+b")
         self._sizes[file_id] = 0
 
     def _handle(self, file_id: int):
@@ -76,11 +115,80 @@ class FileBackedStore:
         payload = _LENGTH.pack(len(record.ciphertext)) + record.ciphertext
         handle.write(payload)
         self._sizes[file_id] = offset + len(payload)
+        self._dirty.add(file_id)
         self.bytes_written += len(record.ciphertext)
         self.write_ops += 1
         return PhysicalAddress(
             file_id=file_id, offset=offset, length=len(record.ciphertext)
         )
+
+    def commit(self, file_id: int) -> None:
+        """Make one publication file crash-proof (durable mode).
+
+        Flush + fsync the handle; if the file was created in this
+        process, atomically rename it from ``.tmp`` to its final name
+        and fsync the directory so the rename itself is durable.  A
+        replayed publication therefore either fully exists under its
+        final name or not at all — never as a torn hybrid.
+        """
+        handle = self._handle(file_id)
+        handle.flush()
+        if not self.durable:
+            return
+        os.fsync(handle.fileno())
+        self._dirty.discard(file_id)
+        if file_id in self._uncommitted:
+            os.replace(self._tmp_path(file_id), self._path(file_id))
+            directory = os.open(self.directory, os.O_RDONLY)
+            try:
+                os.fsync(directory)
+            finally:
+                os.close(directory)
+            self._uncommitted.discard(file_id)
+
+    def discard_file(self, file_id: int) -> None:
+        """Drop one publication file entirely (crash-recovery replay)."""
+        handle = self._handles.pop(file_id, None)
+        if handle is not None:
+            handle.close()
+        self._sizes.pop(file_id, None)
+        self._dirty.discard(file_id)
+        for path in (self._tmp_path(file_id), self._path(file_id)):
+            if path.exists():
+                path.unlink()
+        self._uncommitted.discard(file_id)
+
+    def truncate_records(self, file_id: int, count: int) -> int:
+        """Trim ``file_id`` to its first ``count`` records.
+
+        Returns the number of records dropped.
+        """
+        handle = self._handle(file_id)
+        handle.flush()
+        offset = 0
+        size = self._sizes[file_id]
+        seen = 0
+        while offset < size and seen < count:
+            handle.seek(offset)
+            (length,) = _LENGTH.unpack(handle.read(_LENGTH.size))
+            offset += _LENGTH.size + length
+            seen += 1
+        if seen < count:
+            raise StorageError(
+                f"cannot truncate file {file_id} to {count} records: "
+                f"only {seen} stored"
+            )
+        dropped = 0
+        scan_offset = offset
+        while scan_offset < size:
+            handle.seek(scan_offset)
+            (length,) = _LENGTH.unpack(handle.read(_LENGTH.size))
+            scan_offset += _LENGTH.size + length
+            dropped += 1
+        handle.truncate(offset)
+        self._sizes[file_id] = offset
+        self._dirty.add(file_id)
+        return dropped
 
     def read(self, address: PhysicalAddress) -> EncryptedRecord:
         """Read one record back from disk.
@@ -135,10 +243,20 @@ class FileBackedStore:
         return self.bytes_written
 
     def close(self) -> None:
-        """Close every open file handle."""
-        for handle in self._handles.values():
+        """Close every open file handle.
+
+        Dirty handles are flushed first (and fsync'd in durable mode) so
+        closing can never lose tail bytes that :meth:`write` reported as
+        stored.
+        """
+        for file_id, handle in self._handles.items():
+            if file_id in self._dirty:
+                handle.flush()
+                if self.durable:
+                    os.fsync(handle.fileno())
             handle.close()
         self._handles.clear()
+        self._dirty.clear()
 
     def __enter__(self) -> "FileBackedStore":
         return self

@@ -18,6 +18,9 @@ class MetadataCache:
     def __init__(self, publication: int):
         self.publication = publication
         self._by_leaf: dict[int, list[PhysicalAddress]] = {}
+        # Arrival order, kept so crash recovery can trim the cache back
+        # to a checkpoint's pair count (truncate()).
+        self._log: list[tuple[int, PhysicalAddress]] = []
         self._entries = 0
         self._destroyed = False
 
@@ -36,7 +39,26 @@ class MetadataCache:
         if self._destroyed:
             raise RuntimeError("metadata cache already destroyed")
         self._by_leaf.setdefault(leaf_offset, []).append(address)
+        self._log.append((leaf_offset, address))
         self._entries += 1
+
+    def truncate(self, count: int) -> int:
+        """Keep only the first ``count`` arrivals; return entries dropped.
+
+        Used by crash recovery to roll an in-flight publication's cache
+        back to the collector checkpoint it resumes from.
+        """
+        if count < 0 or count > len(self._log):
+            raise ValueError(
+                f"cannot truncate {len(self._log)} cached entries to {count}"
+            )
+        dropped = len(self._log) - count
+        self._log = self._log[:count]
+        self._by_leaf = {}
+        for leaf_offset, address in self._log:
+            self._by_leaf.setdefault(leaf_offset, []).append(address)
+        self._entries = count
+        return dropped
 
     def addresses_for(self, leaf_offset: int) -> list[PhysicalAddress]:
         """Locations cached for ``leaf_offset`` (empty list if none)."""
@@ -55,4 +77,5 @@ class MetadataCache:
     def destroy(self) -> None:
         """Drop the cache (after the matching process completes)."""
         self._by_leaf.clear()
+        self._log.clear()
         self._destroyed = True

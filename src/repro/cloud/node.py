@@ -50,25 +50,85 @@ class CloudError(RuntimeError):
 
 
 class _BaseCloud:
-    """State shared by both cloud variants."""
+    """State shared by both cloud variants.
 
-    def __init__(self, domain: AttributeDomain, telemetry=None):
+    Parameters
+    ----------
+    domain:
+        The indexed attribute's domain.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`.
+    store:
+        Record store; the in-memory :class:`EncryptedStore` by default, a
+        :class:`~repro.cloud.filestore.FileBackedStore` (ideally in
+        durable mode) for deployments that must survive a cloud restart.
+
+    Redelivery semantics: a crashed-and-recovered collector replays its
+    journal, so the cloud may see a publication *again*.  Publication
+    numbers are monotonic and never reused, which makes dedupe trivial:
+    anything arriving for an already-*published* number is dropped (and
+    counted), turning the collector's at-least-once replay into
+    exactly-once publication.
+    """
+
+    def __init__(self, domain: AttributeDomain, telemetry=None, store=None):
         self.domain = domain
-        self.store = EncryptedStore()
+        self.store = store if store is not None else EncryptedStore()
         self.engine = CloudQueryEngine(domain, self.store)
         self._active: set[int] = set()
         self._done: set[int] = set()
+        self._receipts: dict[int, PublicationReceipt] = {}
+        #: Redelivered messages dropped by the dedupe (monitoring).
+        self.duplicate_publications = 0
+        self.duplicate_pairs = 0
         self._tel = coalesce(telemetry)
         self._pairs_counter = self._tel.counter("cloud_pairs_total")
         self._bytes_counter = self._tel.counter("cloud_bytes_total")
+        self._duplicates_counter = self._tel.counter(
+            "cloud_duplicates_dropped_total"
+        )
 
     def announce_publication(self, publication: int) -> None:
-        """Handle a new publication number: open a fresh storage file."""
-        if publication in self._active or publication in self._done:
+        """Handle a new publication number: open a fresh storage file.
+
+        A re-announcement of an already-*published* number is a replay
+        artefact and is dropped; re-announcing an *active* one is a
+        protocol violation (numbers are handed out monotonically by one
+        dispatcher) and still raises.
+        """
+        if publication in self._done:
+            self.duplicate_publications += 1
+            self._duplicates_counter.inc()
+            return
+        if publication in self._active:
             raise CloudError(f"publication {publication} already announced")
         self._active.add(publication)
         self.store.create_file(publication)
         self.engine.open_publication(publication)
+
+    def is_published(self, publication: int) -> bool:
+        """Whether ``publication`` has completed its matching process."""
+        return publication in self._done
+
+    def receipt_for(self, publication: int) -> PublicationReceipt | None:
+        """The stored receipt of a published publication, if any."""
+        return self._receipts.get(publication)
+
+    def reset_publication(self, publication: int) -> bool:
+        """Discard every trace of an *in-flight* publication.
+
+        Crash recovery calls this before replaying a publication from
+        its journalled start, so replayed pairs append into a fresh file
+        instead of duplicating the pre-crash partial ones.  Returns
+        ``False`` (and does nothing) if the publication already
+        published — the replay is then deduped instead.
+        """
+        if publication in self._done:
+            return False
+        self._active.discard(publication)
+        self.store.discard_file(publication)
+        self.engine.discard_publication(publication)
+        return True
 
     def _require_active(self, publication: int) -> None:
         if publication not in self._active:
@@ -91,11 +151,18 @@ class _BaseCloud:
                 file_id=publication,
             )
         )
+        commit = getattr(self.store, "commit", None)
+        if commit is not None:
+            # Durable stores make the publication's file crash-proof the
+            # moment the index is installed (fsync + atomic rename).
+            commit(publication)
         self._active.discard(publication)
         self._done.add(publication)
-        return PublicationReceipt(
+        receipt = PublicationReceipt(
             publication=publication, records_matched=stats.records, stats=stats
         )
+        self._receipts[publication] = receipt
+        return receipt
 
     def query(self, query: RangeQuery) -> QueryResult:
         """Serve a client range query."""
@@ -105,18 +172,52 @@ class _BaseCloud:
 class FresqueCloud(_BaseCloud):
     """Cloud in FRESQUE mode: leaf-offset pairs and metadata matching."""
 
-    def __init__(self, domain: AttributeDomain, telemetry=None):
-        super().__init__(domain, telemetry=telemetry)
+    def __init__(self, domain: AttributeDomain, telemetry=None, store=None):
+        super().__init__(domain, telemetry=telemetry, store=store)
         self._metadata: dict[int, MetadataCache] = {}
 
     def announce_publication(self, publication: int) -> None:
         super().announce_publication(publication)
-        self._metadata[publication] = MetadataCache(publication)
+        if publication in self._active:
+            self._metadata[publication] = MetadataCache(publication)
+
+    def reset_publication(self, publication: int) -> bool:
+        if not super().reset_publication(publication):
+            return False
+        self._metadata.pop(publication, None)
+        return True
+
+    def pair_count(self, publication: int) -> int:
+        """Pairs received so far for an in-flight publication."""
+        self._require_active(publication)
+        return self._metadata[publication].entry_count
+
+    def truncate_publication(self, publication: int, count: int) -> int:
+        """Trim an in-flight publication to its first ``count`` pairs.
+
+        Crash recovery's mid-publication path: the collector checkpoint
+        proves exactly ``count`` pairs were delivered before the
+        snapshot; anything beyond is pre-crash work the replay will
+        regenerate.  Returns the number of pairs dropped.
+        """
+        self._require_active(publication)
+        dropped = self._metadata[publication].truncate(count)
+        self.store.truncate_records(publication, count)
+        self.engine.truncate_unindexed(publication, count)
+        return dropped
 
     def receive_pair(
         self, publication: int, leaf_offset: int, record: EncryptedRecord
-    ) -> PhysicalAddress:
-        """Store one arriving pair and cache its metadata."""
+    ) -> PhysicalAddress | None:
+        """Store one arriving pair and cache its metadata.
+
+        Pairs of an already-published publication are replay duplicates:
+        dropped, counted, ``None`` returned.
+        """
+        if publication in self._done:
+            self.duplicate_pairs += 1
+            self._duplicates_counter.inc()
+            return None
         self._require_active(publication)
         address = self.store.write(publication, record)
         self._metadata[publication].add(leaf_offset, address)
@@ -131,7 +232,15 @@ class FresqueCloud(_BaseCloud):
         tree: IndexTree,
         overflow: dict[int, OverflowArray],
     ) -> PublicationReceipt:
-        """Match the arriving secure index against the metadata cache."""
+        """Match the arriving secure index against the metadata cache.
+
+        A redelivered publication (same monotonic number) is deduped:
+        the stored receipt is returned and nothing is re-matched.
+        """
+        if publication in self._done:
+            self.duplicate_publications += 1
+            self._duplicates_counter.inc()
+            return self._receipts[publication]
         start = self._tel.now()
         self._require_active(publication)
         cache = self._metadata.pop(publication)
@@ -145,13 +254,20 @@ class FresqueCloud(_BaseCloud):
 class MatchingTableCloud(_BaseCloud):
     """Cloud in PINED-RQ++ mode: random tags and read-back matching."""
 
-    def __init__(self, domain: AttributeDomain, telemetry=None):
-        super().__init__(domain, telemetry=telemetry)
+    def __init__(self, domain: AttributeDomain, telemetry=None, store=None):
+        super().__init__(domain, telemetry=telemetry, store=store)
         self._tags: dict[int, dict[int, PhysicalAddress]] = {}
 
     def announce_publication(self, publication: int) -> None:
         super().announce_publication(publication)
-        self._tags[publication] = {}
+        if publication in self._active:
+            self._tags[publication] = {}
+
+    def reset_publication(self, publication: int) -> bool:
+        if not super().reset_publication(publication):
+            return False
+        self._tags.pop(publication, None)
+        return True
 
     def receive_tagged(
         self, publication: int, tag: int, record: EncryptedRecord

@@ -123,6 +123,27 @@ class CloudQueryEngine:
         self._published.append(dataset)
         self._in_flight.pop(dataset.publication, None)
 
+    def discard_publication(self, publication: int) -> None:
+        """Drop an in-flight publication's unindexed pairs entirely
+        (crash recovery replays the publication from scratch)."""
+        self._in_flight.pop(publication, None)
+
+    def truncate_unindexed(self, publication: int, count: int) -> int:
+        """Trim an in-flight publication to its first ``count`` pairs."""
+        in_flight = self._in_flight.get(publication)
+        if in_flight is None:
+            if count == 0:
+                return 0
+            raise KeyError(f"publication {publication} is not in flight")
+        if count < 0 or count > len(in_flight.pairs):
+            raise ValueError(
+                f"cannot truncate {len(in_flight.pairs)} unindexed pairs "
+                f"to {count}"
+            )
+        dropped = len(in_flight.pairs) - count
+        in_flight.pairs = in_flight.pairs[:count]
+        return dropped
+
     def query(self, query: RangeQuery) -> QueryResult:
         """Evaluate a range query over everything the cloud holds."""
         indexed: list[EncryptedRecord] = []

@@ -87,6 +87,26 @@ class PublicationFile:
                 record,
             )
 
+    def truncate(self, count: int) -> int:
+        """Keep only the first ``count`` records; return records dropped.
+
+        Crash recovery trims an in-flight publication back to the pairs
+        covered by the collector's checkpoint, so replayed records append
+        without duplication.
+        """
+        if count < 0 or count > len(self._records):
+            raise StorageError(
+                f"cannot truncate file {self.file_id} to {count} of "
+                f"{len(self._records)} records"
+            )
+        dropped = len(self._records) - count
+        self._records = self._records[:count]
+        self._offsets = self._offsets[:count]
+        self._size = (
+            self._offsets[-1] + len(self._records[-1]) if count else 0
+        )
+        return dropped
+
 
 class EncryptedStore:
     """All publication files at the cloud, plus I/O accounting."""
@@ -134,6 +154,16 @@ class EncryptedStore:
         self.bytes_read += len(record)
         self.read_ops += 1
         return record
+
+    def discard_file(self, file_id: int) -> None:
+        """Drop ``file_id`` entirely (crash recovery: an uncheckpointed
+        in-flight publication is replayed from its journalled start, so
+        its partial contents are discarded and the file re-created)."""
+        self._files.pop(file_id, None)
+
+    def truncate_records(self, file_id: int, count: int) -> int:
+        """Trim ``file_id`` to its first ``count`` records."""
+        return self.file(file_id).truncate(count)
 
     @property
     def total_bytes(self) -> int:

@@ -41,7 +41,26 @@ from repro.core.messages import (
 )
 from repro.core.randomer import Randomer
 from repro.index.template import LeafArrays
+from repro.records.codec import decode_encrypted, encode_encrypted
 from repro.telemetry.context import coalesce
+
+
+def _encode_pair(pair: Pair) -> dict:
+    return {
+        "pub": pair.publication,
+        "leaf": pair.leaf_offset,
+        "enc": encode_encrypted(pair.encrypted),
+        "dummy": pair.dummy,
+    }
+
+
+def _decode_pair(payload: dict) -> Pair:
+    return Pair(
+        payload["pub"],
+        payload["leaf"],
+        decode_encrypted(payload["enc"]),
+        dummy=payload["dummy"],
+    )
 
 
 @dataclass
@@ -178,6 +197,81 @@ class CheckingNode:
         if evicted is None:
             return []
         return [self._check(evicted)]
+
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of per-publication progress.
+
+        Captures, per open publication, the AL/ALN arrays, the randomer's
+        resident pairs and the boundary bookkeeping, plus the early
+        buffers and the dead set — everything a restarted checking node
+        needs to continue mid-publication without reprocessing the
+        records already released downstream.
+        """
+        return {
+            "publications": {
+                str(publication): {
+                    "arrays": state.arrays.state(),
+                    "residents": [
+                        _encode_pair(pair)
+                        for pair in state.randomer.residents
+                    ],
+                    "released": state.randomer.released,
+                    "cn_reported": sorted(state.cn_reported),
+                    "closed": state.closed,
+                    "interval_closed": state.interval_closed,
+                }
+                for publication, state in self._publications.items()
+            },
+            "early_pairs": {
+                str(publication): [_encode_pair(pair) for pair in pairs]
+                for publication, pairs in self._early_pairs.items()
+            },
+            "early_cn": {
+                str(publication): [
+                    [message.publication, message.node_id]
+                    for message in messages
+                ]
+                for publication, messages in self._early_cn.items()
+            },
+            "dead_nodes": sorted(self._dead_nodes),
+            "pairs_processed": self.pairs_processed,
+            "dummies_passed": self.dummies_passed,
+            "records_removed": self.records_removed,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot` (crash recovery)."""
+        self._publications = {}
+        for key, saved in state["publications"].items():
+            randomer = Randomer(
+                self.config.randomer_buffer_size, rng=self._rng
+            )
+            randomer.restore(
+                [_decode_pair(payload) for payload in saved["residents"]],
+                released=saved["released"],
+            )
+            self._publications[int(key)] = _PublicationState(
+                randomer=randomer,
+                arrays=LeafArrays.from_state(saved["arrays"]),
+                cn_reported=set(saved["cn_reported"]),
+                closed=saved["closed"],
+                interval_closed=saved["interval_closed"],
+            )
+        self._early_pairs = {
+            int(key): [_decode_pair(payload) for payload in pairs]
+            for key, pairs in state["early_pairs"].items()
+        }
+        self._early_cn = {
+            int(key): [
+                CnPublishing(publication, node_id)
+                for publication, node_id in messages
+            ]
+            for key, messages in state["early_cn"].items()
+        }
+        self._dead_nodes = set(state["dead_nodes"])
+        self.pairs_processed = state["pairs_processed"]
+        self.dummies_passed = state["dummies_passed"]
+        self.records_removed = state["records_removed"]
 
     def on_publishing(self, publication: int) -> list[tuple[str, object]]:
         """The dispatcher's own *publishing* notice.

@@ -15,9 +15,10 @@ from collections import deque
 
 from repro.core.config import FresqueConfig
 from repro.core.messages import NewPublication, NodeDown, PublishingMsg, RawData
-from repro.index.perturb import draw_noise_plan
+from repro.index.perturb import NoisePlan, draw_noise_plan
 from repro.index.tree import IndexTree
 from repro.records.record import Record, make_dummy
+from repro.records.codec import decode_record, encode_record
 from repro.telemetry.context import coalesce
 
 
@@ -81,18 +82,27 @@ class Dispatcher:
                 dummies.append(make_dummy(self.config.schema, value))
         return dummies
 
-    def start_publication(self) -> list[tuple[str, object]]:
+    def start_publication(
+        self, plan: NoisePlan | None = None
+    ) -> list[tuple[str, object]]:
         """Open a new publication: draw the template, schedule the dummies.
 
         Dummy records are assigned release times *uniformly at random* over
         the interval (Section 5.2) — exposed as fractions in [0, 1) so the
         driver can map them to wall-clock or record-count positions.
+
+        ``plan`` injects a pre-drawn noise plan instead of drawing one
+        here — the durable driver journals the plan before opening the
+        publication, and crash recovery replays the journaled plan so the
+        rebuilt publication spends the exact ε (and schedules the exact
+        dummy counts) of the original.
         """
         self._publication += 1
         self._tel.open_publication(self._publication)
-        plan = draw_noise_plan(
-            self._tree_shape, self.config.epsilon, rng=self._rng
-        )
+        if plan is None:
+            plan = draw_noise_plan(
+                self._tree_shape, self.config.epsilon, rng=self._rng
+            )
         dummies = self._make_dummies(plan)
         self.dummies_generated += len(dummies)
         self._dummies_counter.inc(len(dummies))
@@ -182,6 +192,39 @@ class Dispatcher:
         routed = [(self._next_node(), RawData(self._publication, line=line))]
         self._tel.observe_stage("dispatch", self._publication, start)
         return routed
+
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of the dispatcher's durable state.
+
+        Captures everything replay cannot re-derive: the publication
+        counter, the round-robin cursor, the dead set, the not-yet-
+        released dummy schedule and the ingest counters.
+        """
+        return {
+            "publication": self._publication,
+            "next_cn": self._next_cn,
+            "dead_nodes": sorted(self._dead_nodes),
+            "dummy_schedule": [
+                [fraction, encode_record(dummy)]
+                for fraction, dummy in self._dummy_schedule
+            ],
+            "records_dispatched": self.records_dispatched,
+            "records_rerouted": self.records_rerouted,
+            "dummies_generated": self.dummies_generated,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot` (crash recovery)."""
+        self._publication = state["publication"]
+        self._next_cn = state["next_cn"]
+        self._dead_nodes = set(state["dead_nodes"])
+        self._dummy_schedule = deque(
+            (fraction, decode_record(payload))
+            for fraction, payload in state["dummy_schedule"]
+        )
+        self.records_dispatched = state["records_dispatched"]
+        self.records_rerouted = state["records_rerouted"]
+        self.dummies_generated = state["dummies_generated"]
 
     def end_publication(self) -> list[tuple[str, object]]:
         """Broadcast *publishing*; the caller immediately starts the next.

@@ -29,6 +29,12 @@ from repro.index.overflow import OverflowArray
 from repro.index.perturb import NoisePlan
 from repro.index.template import IndexTemplate, merge_template_and_counts
 from repro.records.record import EncryptedRecord
+from repro.records.codec import (
+    decode_encrypted,
+    decode_plan,
+    encode_encrypted,
+    encode_plan,
+)
 from repro.records.serialize import DummyRecordSerializer
 from repro.telemetry.context import coalesce
 
@@ -122,6 +128,65 @@ class Merger:
             message.encrypted
         )
         return []
+
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of per-publication merge material.
+
+        Captures each unfinished publication's template plan and the
+        removed records buffered for its overflow arrays, plus the
+        early-arrival buffer.
+        """
+
+        def _encode_removed(message: RemovedRecord) -> dict:
+            return {
+                "leaf": message.leaf_offset,
+                "enc": encode_encrypted(message.encrypted),
+            }
+
+        return {
+            "publications": {
+                str(publication): {
+                    "plan": encode_plan(state.plan),
+                    "removed": {
+                        str(leaf): [
+                            encode_encrypted(record) for record in records
+                        ]
+                        for leaf, records in state.removed.items()
+                    },
+                }
+                for publication, state in self._states.items()
+            },
+            "early_removed": {
+                str(publication): [
+                    _encode_removed(message) for message in messages
+                ]
+                for publication, messages in self._early_removed.items()
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot` (crash recovery)."""
+        self._states = {}
+        for key, saved in state["publications"].items():
+            merge_state = _MergeState(plan=decode_plan(saved["plan"]))
+            merge_state.removed = {
+                int(leaf): [
+                    decode_encrypted(payload) for payload in records
+                ]
+                for leaf, records in saved["removed"].items()
+            }
+            self._states[int(key)] = merge_state
+        self._early_removed = {
+            int(key): [
+                RemovedRecord(
+                    int(key),
+                    payload["leaf"],
+                    decode_encrypted(payload["enc"]),
+                )
+                for payload in messages
+            ]
+            for key, messages in state["early_removed"].items()
+        }
 
     def _encrypted_dummy(self, leaf_offset: int, publication: int):
         low, high = self.config.domain.leaf_range(leaf_offset)

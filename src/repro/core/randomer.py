@@ -73,6 +73,20 @@ class Randomer:
         self.released += 1
         return victim
 
+    def restore(self, pairs: list[Pair], released: int = 0) -> None:
+        """Reload buffered residents from a checkpoint (crash recovery).
+
+        The mixing rng restarts fresh — eviction choices after a restart
+        differ from the lost process's would-have-been draws, which is
+        fine: any uniform eviction sequence satisfies Section 5.2.
+        """
+        if len(pairs) > self.capacity:
+            raise ValueError(
+                f"{len(pairs)} residents exceed capacity {self.capacity}"
+            )
+        self._buffer = list(pairs)
+        self.released = released
+
     def flush(self) -> list[Pair]:
         """Shuffle and empty the buffer (end-of-interval publication)."""
         self._rng.shuffle(self._buffer)

@@ -175,6 +175,11 @@ class FresqueSystem:
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` shared by every
         component; when omitted telemetry is disabled (null facade).
+    cloud:
+        Pre-built cloud node to drive instead of a fresh in-memory
+        :class:`FresqueCloud` — e.g. one backed by a durable
+        :class:`~repro.cloud.filestore.FileBackedStore`, or the
+        surviving cloud of a crashed collector during recovery.
     """
 
     def __init__(
@@ -183,6 +188,7 @@ class FresqueSystem:
         cipher: RecordCipher,
         seed: int | None = None,
         telemetry=None,
+        cloud: FresqueCloud | None = None,
     ):
         self.config = config
         self.cipher = cipher
@@ -201,7 +207,11 @@ class FresqueSystem:
         self.merger = Merger(
             config, cipher, rng=random.Random(rng.random()), telemetry=telemetry
         )
-        self.cloud = FresqueCloud(config.domain, telemetry=telemetry)
+        self.cloud = (
+            cloud
+            if cloud is not None
+            else FresqueCloud(config.domain, telemetry=telemetry)
+        )
         self._cloud_adapter = CloudAdapter(self.cloud)
         self._queue: deque[tuple[str, object]] = deque()
         self._started = False

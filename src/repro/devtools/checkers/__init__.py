@@ -7,6 +7,7 @@ registry in :mod:`repro.devtools.registry`.
 from repro.devtools.checkers import (
     concurrency,
     crypto,
+    durability,
     hygiene,
     privacy,
     runtime,
@@ -16,6 +17,7 @@ from repro.devtools.checkers import (
 __all__ = [
     "concurrency",
     "crypto",
+    "durability",
     "hygiene",
     "privacy",
     "runtime",

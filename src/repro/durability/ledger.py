@@ -1,0 +1,147 @@
+"""The durable two-phase privacy-budget ledger.
+
+The DP guarantee survives a crash only if the collector can never
+*forget* spent ε: a restart that re-grants a publication's share would
+double-spend the budget — exactly the budget-exhaustion failure mode
+PINED-RQ's per-publication ε split exists to prevent.  The ledger makes
+:meth:`~repro.privacy.accountant.PublicationAccountant.grant` a
+two-phase append:
+
+1. **intent** — written (and ``fsync``'d) *before* the in-memory budget
+   is touched or any noise is drawn;
+2. **commit** — written once the cloud acknowledged the publication.
+
+Recovery replays the ledger and treats *every* intent as spent,
+committed or not — the safe direction: a crash between grant and
+publish wastes at most one publication's share, it can never reuse it.
+
+Entries share the journal's CRC framing, so a torn tail truncates
+cleanly and a bit flip is detected, never silently mis-counted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.durability.journal import JournalCorrupt, _frame, scan_frames
+
+INTENT, COMMIT = "intent", "commit"
+
+
+@dataclass
+class LedgerState:
+    """Everything a replayed ledger says about past grants.
+
+    Parameters
+    ----------
+    intents:
+        ``publication → ε`` for every grant ever intended (all of it
+        counts as spent).
+    committed:
+        Publications whose grant was followed by a successful publish.
+    """
+
+    intents: dict[int, float] = field(default_factory=dict)
+    committed: set[int] = field(default_factory=set)
+
+    @property
+    def spent_epsilon(self) -> float:
+        """Total ε the ledger proves was (at least intended to be) spent."""
+        return sum(self.intents.values())
+
+    @property
+    def uncommitted(self) -> set[int]:
+        """Grants with no matching commit — in-flight at the last crash."""
+        return set(self.intents) - self.committed
+
+
+class BudgetLedger:
+    """Append-only ε-grant ledger with fsync-per-entry durability.
+
+    Parameters
+    ----------
+    path:
+        Ledger file; created if missing.  Opening truncates a torn tail
+        (an interrupted append is an un-made grant — nothing was spent
+        in memory yet, because the intent write happens first).
+    """
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self.path.exists():
+            self.path.touch()
+        data = self.path.read_bytes()
+        _, valid = scan_frames(data)
+        if valid < len(data):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._handle = open(self.path, "ab")
+
+    def _append(self, entry: dict) -> None:
+        self._handle.write(
+            _frame(json.dumps(entry, separators=(",", ":")).encode("utf-8"))
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append_intent(self, publication: int, epsilon: float) -> None:
+        """Durably record the *intent* to spend ``epsilon`` — called
+        before the in-memory budget moves."""
+        self._append({"t": INTENT, "pub": publication, "eps": epsilon})
+
+    def append_commit(self, publication: int) -> None:
+        """Durably record that the granted publication was published."""
+        self._append({"t": COMMIT, "pub": publication})
+
+    def replay(self) -> LedgerState:
+        """Fold the ledger into a :class:`LedgerState`.
+
+        Raises
+        ------
+        JournalCorrupt
+            On a CRC failure or a malformed/contradictory entry (an
+            intent replayed twice for one publication, a commit without
+            an intent) — ε accounting never guesses.
+        """
+        self._handle.flush()
+        payloads, _ = scan_frames(self.path.read_bytes())
+        state = LedgerState()
+        for payload in payloads:
+            try:
+                entry = json.loads(payload.decode("utf-8"))
+                kind, publication = entry["t"], entry["pub"]
+            except (KeyError, ValueError) as exc:
+                raise JournalCorrupt(
+                    f"malformed ledger entry: {exc}"
+                ) from exc
+            if kind == INTENT:
+                if publication in state.intents:
+                    raise JournalCorrupt(
+                        f"duplicate intent for publication {publication}"
+                    )
+                state.intents[publication] = entry["eps"]
+            elif kind == COMMIT:
+                if publication not in state.intents:
+                    raise JournalCorrupt(
+                        f"commit without intent for publication {publication}"
+                    )
+                state.committed.add(publication)
+            else:
+                raise JournalCorrupt(f"unknown ledger entry type {kind!r}")
+        return state
+
+    def close(self) -> None:
+        """Close the append handle."""
+        self._handle.close()
+
+    def __enter__(self) -> "BudgetLedger":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

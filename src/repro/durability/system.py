@@ -1,0 +1,295 @@
+"""The journaling (crash-safe) synchronous FRESQUE driver.
+
+:class:`DurableFresqueSystem` wraps the ordinary
+:class:`~repro.core.system.FresqueSystem` pipeline with the durability
+protocol of docs/DURABILITY.md:
+
+* every raw line is appended to the :class:`WriteAheadJournal` *before*
+  the dispatcher sees it (the ``FRQ-D701`` ordering), so a crash at any
+  point can lose at most work the journal can replay;
+* publication opens are journalled *with* their noise plan and granted
+  ε, after the :class:`~repro.privacy.accountant.PublicationAccountant`
+  fsync'd its ledger intent — replay rebuilds the publication with the
+  exact noise and the exact spend of the original;
+* publication closes and cloud acknowledgements are journalled so
+  recovery knows which publications completed;
+* between pump steps (quiescent points) the driver periodically saves an
+  atomic checkpoint — dispatcher/checking/merger snapshots plus the
+  per-publication count of pairs already delivered to the cloud — which
+  bounds how much journal suffix recovery must replay.
+
+Crash injection: a :class:`~repro.runtime.faults.FaultPlan` with a
+``crash_collector`` rule makes :meth:`ingest` raise
+:class:`CollectorCrash` *after* the journal append and *before* the
+dispatch — the worst-case window recovery must close.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.cloud.node import FresqueCloud
+from repro.core.config import FresqueConfig
+from repro.core.system import FresqueSystem, PublicationSummary
+from repro.crypto.cipher import RecordCipher
+from repro.durability.checkpoint import CheckpointStore
+from repro.durability.journal import WriteAheadJournal
+from repro.durability.ledger import BudgetLedger
+from repro.index.perturb import NoisePlan, draw_noise_plan
+from repro.index.tree import IndexTree
+from repro.privacy.accountant import PublicationAccountant
+
+
+class CollectorCrash(RuntimeError):
+    """Raised by the fault-injected driver to simulate a process crash."""
+
+
+class DurableFresqueSystem(FresqueSystem):
+    """A FRESQUE collector whose state survives a crash of the process.
+
+    Parameters
+    ----------
+    config, cipher, seed, telemetry:
+        As for :class:`~repro.core.system.FresqueSystem`.
+    data_dir:
+        Directory for the collector's durable state: ``journal.wal``,
+        ``epsilon.ledger`` and ``checkpoints/``.
+    cloud:
+        Pre-built cloud (it is a *different* machine and survives a
+        collector crash); a fresh in-memory one when omitted.
+    horizon:
+        Publications the ε budget must last for (accountant horizon).
+    total_epsilon:
+        Overall budget; defaults to ``config.epsilon * horizon`` so each
+        granted share equals the ``config.epsilon`` the plain driver
+        spends per publication.
+    accountant:
+        Pre-restored accountant (recovery path); freshly built over the
+        data dir's ledger when omitted.
+    checkpoint_every:
+        Take a checkpoint after this many journalled raw records
+        (``0`` disables periodic checkpoints; publication boundaries
+        always checkpoint).
+    sync_every:
+        Journal fsync cadence, see :class:`WriteAheadJournal`.
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan`; its
+        ``crash_collector`` rule is consulted once per ingested record.
+    """
+
+    def __init__(
+        self,
+        config: FresqueConfig,
+        cipher: RecordCipher,
+        data_dir,
+        seed: int | None = None,
+        telemetry=None,
+        cloud: FresqueCloud | None = None,
+        horizon: int = 52,
+        total_epsilon: float | None = None,
+        accountant: PublicationAccountant | None = None,
+        checkpoint_every: int = 32,
+        sync_every: int = 256,
+        fault_plan=None,
+    ):
+        super().__init__(config, cipher, seed=seed, telemetry=telemetry, cloud=cloud)
+        self.data_dir = pathlib.Path(data_dir)
+        self.journal = WriteAheadJournal(
+            self.data_dir / "journal.wal",
+            sync_every=sync_every,
+            telemetry=telemetry,
+        )
+        self.checkpoints = CheckpointStore(self.data_dir / "checkpoints")
+        if accountant is None:
+            ledger = BudgetLedger(self.data_dir / "epsilon.ledger")
+            accountant = PublicationAccountant(
+                total_epsilon
+                if total_epsilon is not None
+                else config.epsilon * horizon,
+                horizon,
+                ledger=ledger,
+            )
+        self.accountant = accountant
+        self.checkpoint_every = checkpoint_every
+        self.fault_plan = fault_plan
+        self._tree_shape = IndexTree(config.domain, fanout=config.fanout)
+        #: Journal seq of the last record applied to the pipeline.
+        self._last_seq = -1
+        self._records_since_checkpoint = 0
+        #: Publications opened but not yet cloud-acknowledged.
+        self._open_publications: set[int] = set()
+        self._checkpoints_counter = self.telemetry.counter(
+            "durability_checkpoints_total"
+        )
+
+    # ------------------------------------------------------------------
+    # Durable publication lifecycle
+    # ------------------------------------------------------------------
+
+    def _open_publication(self) -> None:
+        """Grant ε, journal the open (plan included), start the interval.
+
+        Ordering is the whole point: ledger intent (inside
+        :meth:`~repro.privacy.accountant.PublicationAccountant.grant`),
+        then journal ``open``, then any in-memory pipeline state.
+        """
+        grant = self.accountant.grant()
+        plan = draw_noise_plan(
+            self._tree_shape, grant.epsilon, rng=self.dispatcher._rng
+        )
+        self._last_seq = self.journal.append_open(
+            grant.publication, plan, grant.epsilon
+        )
+        self._open_publications.add(grant.publication)
+        self._pump(self.dispatcher.start_publication(plan))
+        if self.dispatcher.publication != grant.publication:
+            raise RuntimeError(
+                f"grant {grant.publication} does not match dispatcher "
+                f"publication {self.dispatcher.publication}"
+            )
+
+    def start(self) -> None:
+        """Open the first publication (journalled)."""
+        if self._started:
+            raise RuntimeError("system already started")
+        self._started = True
+        self._open_publication()
+
+    def ingest(self, line: str) -> None:
+        """Journal one raw line, then feed it to the pipeline.
+
+        The journal append happens strictly before any pipeline state
+        changes; the optional fault hook fires in between, modelling the
+        worst crash point (durably ingested, never dispatched).
+        """
+        if not self._started:
+            raise RuntimeError("call start() first")
+        self._last_seq = self.journal.append_raw(
+            self.dispatcher.publication, line
+        )
+        if self.fault_plan is not None and self.fault_plan.on_collector_record():
+            raise CollectorCrash(
+                f"injected crash after journal seq {self._last_seq}"
+            )
+        self._pump(self.dispatcher.on_raw(line))
+        self._records_since_checkpoint += 1
+        if (
+            self.checkpoint_every
+            and self._records_since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+
+    def finish_publication(self):
+        """Close the current publication and open the next one.
+
+        Journals ``close``, flushes the pipeline, and — once the cloud's
+        receipt is in — commits the ε grant (ledger second phase) and
+        journals ``commit``.  Returns the receipt (``None`` if the
+        publication could not complete, e.g. under injected faults).
+        """
+        publication = self.dispatcher.publication
+        self._last_seq = self.journal.append_close(publication)
+        self._pump(self.dispatcher.end_publication())
+        receipt = self._cloud_adapter.receipt_for(publication)
+        if receipt is not None:
+            self._commit_publication(publication)
+        self._open_publication()
+        self.checkpoint()
+        return receipt
+
+    def _commit_publication(self, publication: int) -> None:
+        self.accountant.commit(publication)
+        self._last_seq = self.journal.append_commit(publication)
+        self._open_publications.discard(publication)
+
+    def run_publication(self, lines: list[str]) -> PublicationSummary:
+        """Durable counterpart of the base driver's interval loop."""
+        if not self._started:
+            self.start()
+        publication = self.dispatcher.publication
+        dummies_before = self.checking.dummies_passed
+        removed_before = self.checking.records_removed
+        total = max(1, len(lines))
+        for position, line in enumerate(lines):
+            self._pump(
+                self.dispatcher.due_dummies((position + 1) / (total + 1))
+            )
+            self.ingest(line)
+        receipt = self.finish_publication()
+        return PublicationSummary(
+            publication=publication,
+            real_records=len(lines),
+            dummies=self.checking.dummies_passed - dummies_before,
+            removed=self.checking.records_removed - removed_before,
+            published_pairs=receipt.records_matched,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Save an atomic snapshot of the collector's progress.
+
+        Called only at quiescent points (the pump loop has drained), so
+        the snapshot is a consistent cut: every journalled record with
+        ``seq <= watermark`` is fully reflected in it, every later one
+        not at all.
+        """
+        pairs_sent = {
+            str(pub): self.cloud.pair_count(pub)
+            for pub in self._open_publications
+            if not self.cloud.is_published(pub)
+        }
+        self.checkpoints.save(
+            {
+                "watermark": self._last_seq,
+                "open_publications": sorted(self._open_publications),
+                "pairs_sent": pairs_sent,
+                "dispatcher": self.dispatcher.snapshot(),
+                "checking": self.checking.snapshot(),
+                "merger": self.merger.snapshot(),
+            }
+        )
+        self._records_since_checkpoint = 0
+        self._checkpoints_counter.inc()
+
+    def close(self) -> None:
+        """Sync and close the durable files (not the cloud)."""
+        self.journal.close()
+        ledger = getattr(self.accountant, "_ledger", None)
+        if ledger is not None:
+            ledger.close()
+        store_close = getattr(self.cloud.store, "close", None)
+        if store_close is not None:
+            store_close()
+
+    # ------------------------------------------------------------------
+    # Replay hooks (used by RecoveryManager)
+    # ------------------------------------------------------------------
+
+    def _replay_open(self, publication: int, plan: NoisePlan) -> None:
+        """Re-open a journalled publication without granting new ε."""
+        self._started = True
+        self._open_publications.add(publication)
+        self._pump(self.dispatcher.start_publication(plan))
+        if self.dispatcher.publication != publication:
+            from repro.durability.journal import JournalCorrupt
+
+            raise JournalCorrupt(
+                f"journalled open of publication {publication} replayed as "
+                f"{self.dispatcher.publication}"
+            )
+
+    def _replay_raw(self, line: str) -> None:
+        """Re-dispatch one journalled raw line."""
+        self._pump(self.dispatcher.on_raw(line))
+
+    def _replay_close(self, publication: int) -> None:
+        """Re-run a journalled interval end; commit if the cloud acked."""
+        self._pump(self.dispatcher.end_publication())
+        receipt = self._cloud_adapter.receipt_for(publication)
+        if receipt is None and self.cloud.is_published(publication):
+            receipt = self.cloud.receipt_for(publication)
+        if receipt is not None:
+            self._commit_publication(publication)

@@ -141,6 +141,22 @@ class LeafArrays:
         """Copy of AL, as shipped to the merger at publishing time."""
         return list(self.al)
 
+    def state(self) -> dict:
+        """All three arrays, for collector checkpoints."""
+        return {
+            "al": list(self.al),
+            "aln": list(self.aln),
+            "removed": list(self._removed),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LeafArrays":
+        """Rebuild mid-publication arrays from :meth:`state` output."""
+        arrays = cls(state["aln"])
+        arrays.al = list(state["al"])
+        arrays._removed = list(state["removed"])
+        return arrays
+
 
 def merge_template_and_counts(
     template: IndexTemplate, true_leaf_counts: list[int]

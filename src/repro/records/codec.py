@@ -1,0 +1,70 @@
+"""JSON-able payload codecs for records and noise plans.
+
+Shared by the TCP wire format (:mod:`repro.runtime.wire`), the
+durability journal and the collector checkpoints — living here, below
+both the core pipeline and the runtime, so any layer can serialise
+records without importing the transport.
+"""
+
+from __future__ import annotations
+
+import base64
+
+from repro.index.perturb import NoisePlan
+from repro.records.record import EncryptedRecord, Record
+
+
+def _b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+def encode_encrypted(record: EncryptedRecord) -> dict:
+    """Serialise one encrypted record as a JSON-able dict."""
+    return {
+        "leaf": record.leaf_offset,
+        "ct": _b64(record.ciphertext),
+        "tag": record.tag,
+        "pub": record.publication,
+    }
+
+
+def decode_encrypted(payload: dict) -> EncryptedRecord:
+    """Inverse of :func:`encode_encrypted`."""
+    return EncryptedRecord(
+        leaf_offset=payload["leaf"],
+        ciphertext=_unb64(payload["ct"]),
+        tag=payload["tag"],
+        publication=payload["pub"],
+    )
+
+
+def encode_plan(plan: NoisePlan) -> dict:
+    """Serialise one noise plan as a JSON-able dict."""
+    return {
+        "noise": [list(level) for level in plan.node_noise],
+        "epsilon": plan.epsilon,
+        "scale": plan.per_level_scale,
+    }
+
+
+def decode_plan(payload: dict) -> NoisePlan:
+    """Inverse of :func:`encode_plan`."""
+    return NoisePlan(
+        node_noise=tuple(tuple(level) for level in payload["noise"]),
+        epsilon=payload["epsilon"],
+        per_level_scale=payload["scale"],
+    )
+
+
+def encode_record(record: Record) -> dict:
+    """Serialise one plaintext record as a JSON-able dict."""
+    return {"values": list(record.values), "flag": record.flag}
+
+
+def decode_record(payload: dict) -> Record:
+    """Inverse of :func:`encode_record`."""
+    return Record(tuple(payload["values"]), flag=payload["flag"])

@@ -14,7 +14,11 @@ node supervision) can be exercised reproducibly.  The plan plugs into
   frames, dropping whatever its inbox still holds — like a machine
   going down mid-publication;
 * :class:`~repro.runtime.cluster.ThreadedFresque` — the same send-side
-  decisions applied to in-memory channels.
+  decisions applied to in-memory channels;
+* :class:`~repro.durability.DurableFresqueSystem` — consulted once per
+  journalled raw record (:meth:`FaultPlan.on_collector_record`): the
+  whole collector process can crash after ingesting a chosen number of
+  records, exercising journal replay and checkpointed recovery.
 
 Determinism
 -----------
@@ -180,6 +184,16 @@ class FaultPlan:
         self._node_rules[name] = _NodeRule(after_handled, restart)
         return self
 
+    def crash_collector(self, *, after_records: int) -> "FaultPlan":
+        """Crash the whole collector process once it has ingested
+        ``after_records`` raw records.  The durable driver raises
+        :class:`~repro.durability.system.CollectorCrash` *after*
+        journalling the triggering record but before dispatching it —
+        the worst case recovery must handle: durable state says the
+        record exists, volatile pipeline state never saw it."""
+        self._node_rules["collector"] = _NodeRule(after_records)
+        return self
+
     def _add_send_rule(self, destination: str, rule: _SendRule) -> None:
         self._send_rules.setdefault(destination, []).append(rule)
 
@@ -241,3 +255,21 @@ class FaultPlan:
             action = RESTART if rule.restart else CRASH
             self.schedule.append(FaultEvent("node", name, index, action))
             return action
+
+    def on_collector_record(self) -> bool:
+        """Decide whether the collector survives its next raw record.
+
+        Counts records ingested (0-based, target ``"collector"``); a
+        :meth:`crash_collector` rule with ``after_records=n`` lets ``n``
+        records through and crashes on the ``n+1``-th.  Returns ``True``
+        when the collector must crash now.
+        """
+        with self._lock:
+            index = self._frame_counts.get("collector", 0)
+            self._frame_counts["collector"] = index + 1
+            rule = self._node_rules.get("collector")
+            if rule is None or rule.fired or index < rule.after_handled:
+                return False
+            rule.fired = True
+            self.schedule.append(FaultEvent("node", "collector", index, CRASH))
+            return True

@@ -10,7 +10,6 @@ Frame layout: ``length (uint32, little endian) | utf-8 JSON``.
 
 from __future__ import annotations
 
-import base64
 import json
 import struct
 
@@ -32,9 +31,15 @@ from repro.core.messages import (
 )
 from repro.index.domain import AttributeDomain
 from repro.index.overflow import OverflowArray
-from repro.index.perturb import NoisePlan
 from repro.index.tree import IndexTree
-from repro.records.record import EncryptedRecord, Record
+from repro.records.codec import (  # noqa: F401  (re-exported API)
+    decode_encrypted,
+    decode_plan,
+    decode_record,
+    encode_encrypted,
+    encode_plan,
+    encode_record,
+)
 
 _FRAME_HEADER = struct.Struct("<I")
 
@@ -47,58 +52,10 @@ class WireError(ValueError):
 
 
 # ---------------------------------------------------------------------------
-# Payload helpers
+# Payload helpers (record/plan codecs live in repro.records.codec — a leaf
+# module — so the core pipeline and the durability journal can use them
+# without importing the transport; re-exported above for wire users)
 # ---------------------------------------------------------------------------
-
-
-def _b64(data: bytes) -> str:
-    return base64.b64encode(data).decode("ascii")
-
-
-def _unb64(text: str) -> bytes:
-    return base64.b64decode(text.encode("ascii"))
-
-
-def _encode_encrypted(record: EncryptedRecord) -> dict:
-    return {
-        "leaf": record.leaf_offset,
-        "ct": _b64(record.ciphertext),
-        "tag": record.tag,
-        "pub": record.publication,
-    }
-
-
-def _decode_encrypted(payload: dict) -> EncryptedRecord:
-    return EncryptedRecord(
-        leaf_offset=payload["leaf"],
-        ciphertext=_unb64(payload["ct"]),
-        tag=payload["tag"],
-        publication=payload["pub"],
-    )
-
-
-def _encode_plan(plan: NoisePlan) -> dict:
-    return {
-        "noise": [list(level) for level in plan.node_noise],
-        "epsilon": plan.epsilon,
-        "scale": plan.per_level_scale,
-    }
-
-
-def _decode_plan(payload: dict) -> NoisePlan:
-    return NoisePlan(
-        node_noise=tuple(tuple(level) for level in payload["noise"]),
-        epsilon=payload["epsilon"],
-        per_level_scale=payload["scale"],
-    )
-
-
-def _encode_record(record: Record) -> dict:
-    return {"values": list(record.values), "flag": record.flag}
-
-
-def _decode_record(payload: dict) -> Record:
-    return Record(tuple(payload["values"]), flag=payload["flag"])
 
 
 def encode_tree(tree: IndexTree) -> dict:
@@ -131,7 +88,7 @@ def _encode_overflow(overflow: dict[int, OverflowArray]) -> list:
         {
             "leaf": array.leaf_offset,
             "capacity": array.capacity,
-            "entries": [_encode_encrypted(entry) for entry in array.entries],
+            "entries": [encode_encrypted(entry) for entry in array.entries],
         }
         for array in overflow.values()
     ]
@@ -143,7 +100,7 @@ def _decode_overflow(payload: list) -> dict[int, OverflowArray]:
         array = OverflowArray(item["leaf"], capacity=item["capacity"])
         # Reconstruct the sealed array verbatim (contents already padded
         # and shuffled by the sender).
-        array._entries = [_decode_encrypted(e) for e in item["entries"]]
+        array._entries = [decode_encrypted(e) for e in item["entries"]]
         array._sealed = True
         overflow[item["leaf"]] = array
     return overflow
@@ -154,29 +111,29 @@ def _decode_overflow(payload: list) -> dict[int, OverflowArray]:
 # ---------------------------------------------------------------------------
 
 _ENCODERS = {
-    NewPublication: lambda m: {"pub": m.publication, "plan": _encode_plan(m.plan)},
-    TemplateMsg: lambda m: {"pub": m.publication, "plan": _encode_plan(m.plan)},
+    NewPublication: lambda m: {"pub": m.publication, "plan": encode_plan(m.plan)},
+    TemplateMsg: lambda m: {"pub": m.publication, "plan": encode_plan(m.plan)},
     AnnouncePublication: lambda m: {"pub": m.publication},
     RawData: lambda m: {
         "pub": m.publication,
         "line": m.line,
-        "record": None if m.record is None else _encode_record(m.record),
+        "record": None if m.record is None else encode_record(m.record),
     },
     Pair: lambda m: {
         "pub": m.publication,
         "leaf": m.leaf_offset,
-        "enc": _encode_encrypted(m.encrypted),
+        "enc": encode_encrypted(m.encrypted),
         "dummy": m.dummy,
     },
     ToCloudPair: lambda m: {
         "pub": m.publication,
         "leaf": m.leaf_offset,
-        "enc": _encode_encrypted(m.encrypted),
+        "enc": encode_encrypted(m.encrypted),
     },
     RemovedRecord: lambda m: {
         "pub": m.publication,
         "leaf": m.leaf_offset,
-        "enc": _encode_encrypted(m.encrypted),
+        "enc": encode_encrypted(m.encrypted),
     },
     PublishingMsg: lambda m: {"pub": m.publication},
     CnPublishing: lambda m: {"pub": m.publication, "node": m.node_id},
@@ -185,7 +142,7 @@ _ENCODERS = {
     BufferFlush: lambda m: {
         "pub": m.publication,
         "pairs": [
-            {"leaf": leaf, "enc": _encode_encrypted(enc)}
+            {"leaf": leaf, "enc": encode_encrypted(enc)}
             for leaf, enc in m.pairs
         ],
     },
@@ -198,22 +155,22 @@ _ENCODERS = {
 }
 
 _DECODERS = {
-    "NewPublication": lambda p: NewPublication(p["pub"], _decode_plan(p["plan"])),
-    "TemplateMsg": lambda p: TemplateMsg(p["pub"], _decode_plan(p["plan"])),
+    "NewPublication": lambda p: NewPublication(p["pub"], decode_plan(p["plan"])),
+    "TemplateMsg": lambda p: TemplateMsg(p["pub"], decode_plan(p["plan"])),
     "AnnouncePublication": lambda p: AnnouncePublication(p["pub"]),
     "RawData": lambda p: RawData(
         p["pub"],
         line=p["line"],
-        record=None if p["record"] is None else _decode_record(p["record"]),
+        record=None if p["record"] is None else decode_record(p["record"]),
     ),
     "Pair": lambda p: Pair(
-        p["pub"], p["leaf"], _decode_encrypted(p["enc"]), dummy=p["dummy"]
+        p["pub"], p["leaf"], decode_encrypted(p["enc"]), dummy=p["dummy"]
     ),
     "ToCloudPair": lambda p: ToCloudPair(
-        p["pub"], p["leaf"], _decode_encrypted(p["enc"])
+        p["pub"], p["leaf"], decode_encrypted(p["enc"])
     ),
     "RemovedRecord": lambda p: RemovedRecord(
-        p["pub"], p["leaf"], _decode_encrypted(p["enc"])
+        p["pub"], p["leaf"], decode_encrypted(p["enc"])
     ),
     "PublishingMsg": lambda p: PublishingMsg(p["pub"]),
     "CnPublishing": lambda p: CnPublishing(p["pub"], p["node"]),
@@ -222,7 +179,7 @@ _DECODERS = {
     "BufferFlush": lambda p: BufferFlush(
         p["pub"],
         tuple(
-            (item["leaf"], _decode_encrypted(item["enc"]))
+            (item["leaf"], decode_encrypted(item["enc"]))
             for item in p["pairs"]
         ),
     ),

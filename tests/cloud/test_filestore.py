@@ -72,6 +72,82 @@ class TestFileBackedStore:
         assert (tmp_path / "publication-1.dat").exists()
 
 
+class TestDurableMode:
+    def test_uncommitted_file_lives_under_tmp_name(self, tmp_path):
+        with FileBackedStore(tmp_path, durable=True) as store:
+            store.write(0, _record(1))
+            assert (tmp_path / "publication-0.dat.tmp").exists()
+            assert not (tmp_path / "publication-0.dat").exists()
+
+    def test_commit_renames_and_survives_reopen(self, tmp_path):
+        store = FileBackedStore(tmp_path, durable=True)
+        address = store.write(0, _record(7))
+        store.commit(0)
+        store.close()
+        assert (tmp_path / "publication-0.dat").exists()
+        with FileBackedStore(tmp_path, durable=True) as reopened:
+            assert reopened.read(address).ciphertext == _record(7).ciphertext
+            assert reopened.discarded_tmp_files == 0
+
+    def test_crash_regression_uncommitted_file_discarded_on_reopen(
+        self, tmp_path
+    ):
+        """Crash before commit: the half-written publication must not be
+        mistaken for a published one, and its id must be reusable by the
+        recovery replay."""
+        store = FileBackedStore(tmp_path, durable=True)
+        store.write(0, _record(1))
+        store.write(0, _record(2))
+        # Simulated crash: no commit, no close.
+        reopened = FileBackedStore(tmp_path, durable=True)
+        assert reopened.discarded_tmp_files == 1
+        assert list(tmp_path.glob("publication-0.dat*")) == []
+        reopened.create_file(0)  # replay re-creates the publication
+        reopened.write(0, _record(3))
+        reopened.commit(0)
+        reopened.close()
+        assert (tmp_path / "publication-0.dat").exists()
+
+    def test_close_flushes_dirty_handles(self, tmp_path):
+        store = FileBackedStore(tmp_path, durable=True)
+        store.write(0, _record(5, size=128))
+        store.commit(0)
+        store.write(0, _record(6, size=128))  # dirty again after commit
+        store.close()
+        with FileBackedStore(tmp_path, durable=True) as reopened:
+            assert sum(1 for _ in reopened.scan(0)) == 2
+
+    def test_discard_file_removes_both_paths(self, tmp_path):
+        with FileBackedStore(tmp_path, durable=True) as store:
+            store.write(0, _record(1))
+            store.discard_file(0)
+            assert list(tmp_path.glob("publication-0.dat*")) == []
+            store.create_file(0)  # id usable again
+
+    def test_truncate_records(self, tmp_path):
+        with FileBackedStore(tmp_path) as store:
+            for fill in range(5):
+                store.write(0, _record(fill))
+            dropped = store.truncate_records(0, 2)
+            assert dropped == 3
+            assert [r.ciphertext[0] for _, r in store.scan(0)] == [0, 1]
+            # Appends continue cleanly after the truncation point.
+            store.write(0, _record(9))
+            assert [r.ciphertext[0] for _, r in store.scan(0)] == [0, 1, 9]
+
+    def test_truncate_beyond_contents_rejected(self, tmp_path):
+        with FileBackedStore(tmp_path) as store:
+            store.write(0, _record(1))
+            with pytest.raises(StorageError):
+                store.truncate_records(0, 5)
+
+    def test_commit_without_durable_is_a_flush(self, tmp_path):
+        with FileBackedStore(tmp_path) as store:
+            store.write(0, _record(1))
+            store.commit(0)  # no rename: plain mode creates final names
+            assert (tmp_path / "publication-0.dat").exists()
+
+
 class TestDropInForCloud:
     def test_fresque_cloud_runs_on_real_files(self, tmp_path, flu_config,
                                               fast_cipher):

@@ -140,3 +140,101 @@ class TestMatchingTableCloud:
         result = cloud.query(RangeQuery(0, 100))
         assert result.unindexed == ()
         assert result.indexed == ()
+
+
+class TestExactlyOncePublication:
+    """Redelivery after a collector crash is deduped by publication
+    number — at-least-once replay becomes exactly-once publication."""
+
+    def _publish(self, cloud, domain, publication=0, pairs=10):
+        cloud.announce_publication(publication)
+        for i in range(pairs):
+            cloud.receive_pair(publication, i % 10, _record(i, publication))
+        return cloud.receive_publication(
+            publication, _tree(domain, [1] * 10), _sealed_overflow(domain)
+        )
+
+    def test_reannounce_of_published_is_counted_noop(self, domain):
+        cloud = FresqueCloud(domain)
+        self._publish(cloud, domain)
+        cloud.announce_publication(0)  # replay artefact, no CloudError
+        assert cloud.duplicate_publications == 1
+        assert len(cloud.engine.published) == 1
+
+    def test_redelivered_pairs_dropped_and_counted(self, domain):
+        cloud = FresqueCloud(domain)
+        self._publish(cloud, domain)
+        assert cloud.receive_pair(0, 3, _record(3)) is None
+        assert cloud.duplicate_pairs == 1
+        assert cloud.store.file(0).record_count == 10
+
+    def test_redelivered_publication_returns_stored_receipt(self, domain):
+        cloud = FresqueCloud(domain)
+        receipt = self._publish(cloud, domain)
+        again = cloud.receive_publication(
+            0, _tree(domain, [1] * 10), _sealed_overflow(domain)
+        )
+        assert again is receipt
+        assert cloud.duplicate_publications == 1
+        assert len(cloud.engine.published) == 1
+
+    def test_is_published_and_receipt_for(self, domain):
+        cloud = FresqueCloud(domain)
+        assert not cloud.is_published(0)
+        assert cloud.receipt_for(0) is None
+        receipt = self._publish(cloud, domain)
+        assert cloud.is_published(0)
+        assert cloud.receipt_for(0) is receipt
+
+
+class TestCrashReconciliation:
+    def test_reset_discards_inflight_publication(self, domain):
+        cloud = FresqueCloud(domain)
+        cloud.announce_publication(0)
+        cloud.receive_pair(0, 3, _record(1))
+        assert cloud.reset_publication(0)
+        # The replay re-announces and re-streams from scratch.
+        cloud.announce_publication(0)
+        assert cloud.pair_count(0) == 0
+        assert cloud.engine.in_flight_pairs() == []
+
+    def test_reset_of_published_refused(self, domain):
+        cloud = FresqueCloud(domain)
+        cloud.announce_publication(0)
+        for i in range(3):
+            cloud.receive_pair(0, i, _record(i))
+        cloud.receive_publication(
+            0, _tree(domain, [1, 1, 1, 0, 0, 0, 0, 0, 0, 0]),
+            _sealed_overflow(domain),
+        )
+        assert not cloud.reset_publication(0)
+        assert len(cloud.engine.published) == 1
+
+    def test_truncate_trims_store_metadata_and_engine(self, domain):
+        cloud = FresqueCloud(domain)
+        cloud.announce_publication(0)
+        for i in range(8):
+            cloud.receive_pair(0, i % 10, _record(i))
+        dropped = cloud.truncate_publication(0, 5)
+        assert dropped == 3
+        assert cloud.pair_count(0) == 5
+        assert cloud.store.file(0).record_count == 5
+        assert len(cloud.engine.in_flight_pairs()) == 5
+        # The stream resumes exactly where the checkpoint left it.
+        cloud.receive_pair(0, 5, _record(5))
+        receipt = cloud.receive_publication(
+            0, _tree(domain, [1] * 10), _sealed_overflow(domain)
+        )
+        assert receipt.records_matched == 6
+
+    def test_matching_table_cloud_reset(self, domain):
+        cloud = MatchingTableCloud(domain)
+        cloud.announce_publication(0)
+        cloud.receive_tagged(0, 42, _record(5))
+        assert cloud.reset_publication(0)
+        cloud.announce_publication(0)
+        cloud.receive_tagged(0, 43, _record(6))
+        receipt = cloud.receive_publication(
+            0, _tree(domain, [0, 1] + [0] * 8), {}, {43: 1}
+        )
+        assert receipt.records_matched == 1

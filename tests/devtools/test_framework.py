@@ -85,11 +85,12 @@ class TestBaseline:
 
 
 class TestRegistry:
-    def test_six_checker_families_registered(self):
+    def test_checker_families_registered(self):
         families = {family for family, _ in all_codes().values()}
         assert families == {
             "concurrency",
             "crypto",
+            "durability",
             "privacy-budget",
             "hygiene",
             "telemetry",

@@ -1,0 +1,1 @@
+"""Durability subsystem tests."""

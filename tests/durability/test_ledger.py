@@ -1,0 +1,142 @@
+"""Durable ε-ledger tests: two-phase grants, crash restore, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.durability.journal import JournalCorrupt, _frame
+from repro.durability.ledger import BudgetLedger
+from repro.privacy.accountant import PublicationAccountant
+from repro.privacy.budget import BudgetExhausted
+
+
+class TestLedgerReplay:
+    def test_intent_then_commit(self, tmp_path):
+        with BudgetLedger(tmp_path / "eps.ledger") as ledger:
+            ledger.append_intent(0, 0.25)
+            ledger.append_commit(0)
+            ledger.append_intent(1, 0.25)
+            state = ledger.replay()
+        assert state.intents == {0: 0.25, 1: 0.25}
+        assert state.committed == {0}
+        assert state.uncommitted == {1}
+        assert state.spent_epsilon == pytest.approx(0.5)
+
+    def test_torn_tail_is_an_unmade_grant(self, tmp_path):
+        path = tmp_path / "eps.ledger"
+        with BudgetLedger(path) as ledger:
+            ledger.append_intent(0, 0.5)
+        frame = _frame(b'{"t":"intent","pub":1,"eps":0.5}')
+        with open(path, "ab") as handle:
+            handle.write(frame[:-4])
+        with BudgetLedger(path) as reopened:
+            assert reopened.replay().intents == {0: 0.5}
+
+    def test_commit_without_intent_raises(self, tmp_path):
+        with BudgetLedger(tmp_path / "eps.ledger") as ledger:
+            ledger.append_commit(3)
+            with pytest.raises(JournalCorrupt):
+                ledger.replay()
+
+    def test_duplicate_intent_raises(self, tmp_path):
+        with BudgetLedger(tmp_path / "eps.ledger") as ledger:
+            ledger.append_intent(0, 0.5)
+            ledger.append_intent(0, 0.5)
+            with pytest.raises(JournalCorrupt):
+                ledger.replay()
+
+
+class TestDurableAccountant:
+    def test_grant_is_ledgered_before_commit(self, tmp_path):
+        ledger = BudgetLedger(tmp_path / "eps.ledger")
+        accountant = PublicationAccountant(2.0, 4, ledger=ledger)
+        grant = accountant.grant()
+        assert ledger.replay().intents == {0: grant.epsilon}
+        assert ledger.replay().committed == set()
+        accountant.commit(grant.publication)
+        assert ledger.replay().committed == {0}
+
+    def test_crash_between_grant_and_publish_never_double_spends(
+        self, tmp_path
+    ):
+        """The acceptance property: ε after restore equals ε before the
+        crash — never higher — and the lost grant is not re-issued."""
+        ledger = BudgetLedger(tmp_path / "eps.ledger")
+        accountant = PublicationAccountant(2.0, 4, ledger=ledger)
+        accountant.grant()  # crash before publish: no commit
+        before = accountant.remaining_epsilon
+        ledger.close()
+
+        restored = PublicationAccountant.restore(
+            2.0, 4, BudgetLedger(tmp_path / "eps.ledger")
+        )
+        assert restored.remaining_epsilon == pytest.approx(before)
+        assert restored.publications_granted == 1
+        assert restored.uncommitted_grants() == {0}
+        # The next grant moves on to publication 1 — 0's share is gone.
+        assert restored.grant().publication == 1
+
+    def test_restore_reflects_commits(self, tmp_path):
+        ledger = BudgetLedger(tmp_path / "eps.ledger")
+        accountant = PublicationAccountant(2.0, 4, ledger=ledger)
+        accountant.grant()
+        accountant.commit(0)
+        accountant.grant()
+        ledger.close()
+        restored = PublicationAccountant.restore(
+            2.0, 4, BudgetLedger(tmp_path / "eps.ledger")
+        )
+        assert restored.committed_publications == frozenset({0})
+        assert restored.uncommitted_grants() == {1}
+
+    def test_commit_of_ungranted_publication_rejected(self, tmp_path):
+        accountant = PublicationAccountant(2.0, 4)
+        with pytest.raises(ValueError):
+            accountant.commit(0)
+
+    def test_commit_is_idempotent(self, tmp_path):
+        ledger = BudgetLedger(tmp_path / "eps.ledger")
+        accountant = PublicationAccountant(2.0, 4, ledger=ledger)
+        accountant.grant()
+        accountant.commit(0)
+        accountant.commit(0)
+        assert ledger.replay().committed == {0}
+
+
+class TestConcurrentGrants:
+    def test_total_granted_never_exceeds_budget(self, tmp_path):
+        """Satellite: grant() is check-then-act; hammer it from many
+        threads and assert the horizon check never double-passes."""
+        total_epsilon, horizon = 4.0, 16
+        ledger = BudgetLedger(tmp_path / "eps.ledger")
+        accountant = PublicationAccountant(
+            total_epsilon, horizon, ledger=ledger
+        )
+        grants, errors = [], []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            while True:
+                try:
+                    grants.append(accountant.grant())
+                except BudgetExhausted:
+                    errors.append(1)
+                    return
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(grants) == horizon
+        granted = sum(grant.epsilon for grant in grants)
+        assert granted <= total_epsilon + 1e-9
+        # Every grant got a distinct publication number.
+        assert len({grant.publication for grant in grants}) == horizon
+        assert accountant.remaining_epsilon == pytest.approx(0.0)
+        # And the ledger agrees with memory.
+        state = ledger.replay()
+        assert len(state.intents) == horizon
+        assert state.spent_epsilon == pytest.approx(total_epsilon)

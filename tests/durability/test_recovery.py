@@ -1,0 +1,336 @@
+"""Crash/restart drills: journal replay, checkpointed recovery, dedupe.
+
+The acceptance property throughout: after killing the collector
+mid-publication and recovering, the published dataset and the remaining
+ε budget are *identical* to a run that never crashed — no lost records,
+no duplicate cloud rows, never more budget than the crash-free run.
+"""
+
+import pytest
+
+from repro.cloud.filestore import FileBackedStore
+from repro.cloud.node import FresqueCloud
+from repro.durability.recovery import RecoveryManager
+from repro.durability.system import CollectorCrash, DurableFresqueSystem
+from repro.runtime.faults import FaultPlan
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture
+def lines(flu_generator):
+    return list(flu_generator.raw_lines(400))
+
+
+def _run_to_crash(system, lines):
+    """Feed ``lines`` until the injected crash; return lines journalled."""
+    system.start()
+    total = max(1, len(lines))
+    fed = 0
+    try:
+        for position, line in enumerate(lines):
+            system._pump(
+                system.dispatcher.due_dummies((position + 1) / (total + 1))
+            )
+            system.ingest(line)
+            fed += 1
+    except CollectorCrash:
+        # The crashing record was journalled but never dispatched.
+        return fed + 1
+    raise AssertionError("fault plan never fired")
+
+
+def _finish_after_recovery(system, lines, journaled):
+    """Resume the interval with the lines the journal never saw."""
+    total = max(1, len(lines))
+    for position, line in enumerate(lines[journaled:], start=journaled):
+        system._pump(
+            system.dispatcher.due_dummies((position + 1) / (total + 1))
+        )
+        system.ingest(line)
+    return system.finish_publication()
+
+
+def _baseline(config, cipher, tmp_path, lines):
+    system = DurableFresqueSystem(config, cipher, tmp_path / "base", seed=101)
+    summary = system.run_publication(lines)
+    return summary, system.accountant.remaining_epsilon
+
+
+class TestCrashDrill:
+    @pytest.mark.parametrize("crash_after", [3, 120, 399])
+    def test_recovery_matches_crash_free_run(
+        self, flu_config, fast_cipher, tmp_path, lines, crash_after
+    ):
+        summary, baseline_eps = _baseline(
+            flu_config, fast_cipher, tmp_path, lines
+        )
+
+        plan = FaultPlan(seed=5).crash_collector(after_records=crash_after)
+        crashed = DurableFresqueSystem(
+            flu_config,
+            fast_cipher,
+            tmp_path / "crash",
+            seed=101,
+            fault_plan=plan,
+            checkpoint_every=64,
+        )
+        cloud = crashed.cloud  # a different machine: survives the crash
+        journaled = _run_to_crash(crashed, lines)
+        assert plan.schedule[-1].target == "collector"
+
+        recovered, report = RecoveryManager(
+            flu_config,
+            fast_cipher,
+            tmp_path / "crash",
+            cloud=cloud,
+            seed=202,
+            checkpoint_every=64,
+        ).recover()
+        receipt = _finish_after_recovery(recovered, lines, journaled)
+
+        # Zero lost records, zero duplicate rows.
+        assert receipt.records_matched == summary.published_pairs
+        assert cloud.pair_count(1) == 0  # next interval opened clean
+        # ε identical to the crash-free run — and in particular never
+        # higher (the double-spend direction).
+        assert recovered.accountant.remaining_epsilon == pytest.approx(
+            baseline_eps
+        )
+        assert report.replayed_raw > 0
+
+    def test_drill_is_deterministic(
+        self, flu_config, fast_cipher, tmp_path, lines
+    ):
+        def drill(root):
+            plan = FaultPlan(seed=5).crash_collector(after_records=200)
+            system = DurableFresqueSystem(
+                flu_config,
+                fast_cipher,
+                root,
+                seed=101,
+                fault_plan=plan,
+                checkpoint_every=64,
+            )
+            journaled = _run_to_crash(system, lines)
+            recovered, report = RecoveryManager(
+                flu_config,
+                fast_cipher,
+                root,
+                cloud=system.cloud,
+                seed=202,
+                checkpoint_every=64,
+            ).recover()
+            receipt = _finish_after_recovery(recovered, lines, journaled)
+            return (
+                journaled,
+                report.watermark,
+                report.replayed_raw,
+                receipt.records_matched,
+                recovered.accountant.remaining_epsilon,
+            )
+
+        assert drill(tmp_path / "one") == drill(tmp_path / "two")
+
+    def test_recovery_without_checkpoint_replays_from_scratch(
+        self, flu_config, fast_cipher, tmp_path, lines
+    ):
+        summary, baseline_eps = _baseline(
+            flu_config, fast_cipher, tmp_path, lines
+        )
+        plan = FaultPlan(seed=5).crash_collector(after_records=150)
+        crashed = DurableFresqueSystem(
+            flu_config,
+            fast_cipher,
+            tmp_path / "crash",
+            seed=101,
+            fault_plan=plan,
+            checkpoint_every=0,  # no periodic checkpoints at all
+        )
+        cloud = crashed.cloud
+        journaled = _run_to_crash(crashed, lines)
+
+        recovered, report = RecoveryManager(
+            flu_config,
+            fast_cipher,
+            tmp_path / "crash",
+            cloud=cloud,
+            seed=202,
+            checkpoint_every=0,
+        ).recover()
+        assert not report.checkpoint_used
+        assert report.reset_publications == [0]
+        assert report.replayed_raw == journaled
+
+        receipt = _finish_after_recovery(recovered, lines, journaled)
+        assert receipt.records_matched == summary.published_pairs
+        assert recovered.accountant.remaining_epsilon == pytest.approx(
+            baseline_eps
+        )
+
+    def test_queries_work_after_recovery(
+        self, flu_config, fast_cipher, tmp_path, lines
+    ):
+        plan = FaultPlan(seed=5).crash_collector(after_records=250)
+        crashed = DurableFresqueSystem(
+            flu_config,
+            fast_cipher,
+            tmp_path / "crash",
+            seed=101,
+            fault_plan=plan,
+        )
+        journaled = _run_to_crash(crashed, lines)
+        recovered, _ = RecoveryManager(
+            flu_config,
+            fast_cipher,
+            tmp_path / "crash",
+            cloud=crashed.cloud,
+            seed=202,
+        ).recover()
+        _finish_after_recovery(recovered, lines, journaled)
+        result = recovered.query(340, 420)
+        assert len(result.records) > 0
+
+
+class TestCommittedPublicationsSurvive:
+    def test_crash_in_second_interval_leaves_first_untouched(
+        self, flu_config, fast_cipher, tmp_path, flu_generator
+    ):
+        first = list(flu_generator.raw_lines(200))
+        second = list(flu_generator.raw_lines(200))
+        plan = FaultPlan(seed=5).crash_collector(after_records=300)
+        system = DurableFresqueSystem(
+            flu_config,
+            fast_cipher,
+            tmp_path / "crash",
+            seed=101,
+            fault_plan=plan,
+            checkpoint_every=64,
+        )
+        cloud = system.cloud
+        summary_one = system.run_publication(first)
+        with pytest.raises(CollectorCrash):
+            for line in second:
+                system.ingest(line)
+
+        recovered, report = RecoveryManager(
+            flu_config,
+            fast_cipher,
+            tmp_path / "crash",
+            cloud=cloud,
+            seed=202,
+            checkpoint_every=64,
+        ).recover()
+        # Publication 0 was committed before the crash: untouched.
+        assert cloud.is_published(0)
+        assert (
+            cloud.receipt_for(0).records_matched == summary_one.published_pairs
+        )
+        assert 0 not in report.reset_publications
+        assert recovered.accountant.committed_publications == frozenset({0})
+        # The second interval resumes where the journal ends.
+        assert recovered.dispatcher.publication == 1
+
+    def test_lost_acknowledgement_is_healed_from_receipt(
+        self, flu_config, fast_cipher, tmp_path, flu_generator
+    ):
+        """Crash exactly between the cloud's receipt and the collector's
+        commit: recovery commits from the surviving receipt instead of
+        replaying the whole publication."""
+        lines = list(flu_generator.raw_lines(150))
+        system = DurableFresqueSystem(
+            flu_config, fast_cipher, tmp_path / "crash", seed=101
+        )
+        cloud = system.cloud
+        system.start()
+        for line in lines:
+            system.ingest(line)
+        # Hand-run finish_publication up to the receipt, then "crash"
+        # before commit/checkpoint.
+        publication = system.dispatcher.publication
+        system.journal.append_close(publication)
+        system._pump(system.dispatcher.end_publication())
+        assert cloud.is_published(publication)
+
+        recovered, report = RecoveryManager(
+            flu_config,
+            fast_cipher,
+            tmp_path / "crash",
+            cloud=cloud,
+            seed=202,
+        ).recover()
+        assert report.committed_publications == [0]
+        assert recovered.accountant.committed_publications == frozenset({0})
+        # Exactly-once: nothing was re-stored at the cloud.
+        assert cloud.store.file(0).record_count == (
+            cloud.receipt_for(0).records_matched
+        )
+
+
+class TestDurableStoreIntegration:
+    def test_drill_with_durable_file_store(
+        self, flu_config, fast_cipher, tmp_path, lines
+    ):
+        store = FileBackedStore(tmp_path / "cloud", durable=True)
+        cloud = FresqueCloud(flu_config.domain, store=store)
+        plan = FaultPlan(seed=5).crash_collector(after_records=250)
+        system = DurableFresqueSystem(
+            flu_config,
+            fast_cipher,
+            tmp_path / "collector",
+            seed=101,
+            cloud=cloud,
+            fault_plan=plan,
+            checkpoint_every=64,
+        )
+        journaled = _run_to_crash(system, lines)
+        recovered, _ = RecoveryManager(
+            flu_config,
+            fast_cipher,
+            tmp_path / "collector",
+            cloud=cloud,
+            seed=202,
+            checkpoint_every=64,
+        ).recover()
+        receipt = _finish_after_recovery(recovered, lines, journaled)
+        # The published file was committed: final name, fsync'd contents.
+        assert (tmp_path / "cloud" / "publication-0.dat").exists()
+        records = sum(1 for _ in store.scan(0))
+        assert records == receipt.records_matched
+
+
+class TestRecoveryTelemetry:
+    def test_counters_and_histogram(
+        self, flu_config, fast_cipher, tmp_path, lines
+    ):
+        telemetry = Telemetry()
+        plan = FaultPlan(seed=5).crash_collector(after_records=100)
+        system = DurableFresqueSystem(
+            flu_config,
+            fast_cipher,
+            tmp_path / "crash",
+            seed=101,
+            telemetry=telemetry,
+            fault_plan=plan,
+            checkpoint_every=64,
+        )
+        journaled = _run_to_crash(system, lines)
+        assert telemetry.registry.counter(
+            "durability_journal_records"
+        ).value > 0
+        assert telemetry.registry.counter("durability_journal_bytes").value > 0
+
+        _, report = RecoveryManager(
+            flu_config,
+            fast_cipher,
+            tmp_path / "crash",
+            cloud=system.cloud,
+            seed=202,
+            telemetry=telemetry,
+            checkpoint_every=64,
+        ).recover()
+        assert telemetry.registry.counter(
+            "recovery_replayed_records_total"
+        ).value == report.replayed_records
+        assert telemetry.registry.counter("recovery_runs_total").value == 1
+        assert telemetry.registry.histogram("recovery_seconds").count == 1
+        assert journaled > 0

@@ -368,3 +368,22 @@ class TestThreadedFaults:
             runtime.run_publication(lines)
         assert runtime.checking.pairs_processed > 0
         assert len([e for e in plan.schedule if e.action == "delay"]) == 3
+
+
+class TestCollectorCrashRule:
+    def test_fires_once_after_threshold(self):
+        plan = FaultPlan(seed=1).crash_collector(after_records=3)
+        decisions = [plan.on_collector_record() for _ in range(6)]
+        assert decisions == [False, False, False, True, False, False]
+
+    def test_recorded_in_schedule(self):
+        plan = FaultPlan(seed=1).crash_collector(after_records=0)
+        assert plan.on_collector_record()
+        event = plan.schedule[-1]
+        assert (event.site, event.target, event.action) == (
+            "node", "collector", CRASH,
+        )
+
+    def test_no_rule_never_fires(self):
+        plan = FaultPlan(seed=1)
+        assert not any(plan.on_collector_record() for _ in range(10))

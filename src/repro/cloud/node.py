@@ -226,6 +226,38 @@ class FresqueCloud(_BaseCloud):
         self._bytes_counter.inc(len(record.ciphertext))
         return address
 
+    def receive_pairs(
+        self, publication: int, pairs
+    ) -> list[PhysicalAddress | None]:
+        """Store a batch of ``(leaf offset, e-record)`` pairs in order.
+
+        One message-level entry point per :class:`ToCloudBatch` /
+        :class:`BufferFlush`; the per-pair bookkeeping (store write,
+        metadata cache, unindexed query coverage, duplicate dedupe) is
+        exactly :meth:`receive_pair`'s, with the publication checks and
+        attribute lookups hoisted out of the loop.
+        """
+        if publication in self._done:
+            count = len(pairs)
+            self.duplicate_pairs += count
+            self._duplicates_counter.inc(count)
+            return [None] * count
+        self._require_active(publication)
+        write = self.store.write
+        add_metadata = self._metadata[publication].add
+        add_unindexed = self.engine.add_unindexed
+        addresses = []
+        total_bytes = 0
+        for leaf_offset, record in pairs:
+            address = write(publication, record)
+            add_metadata(leaf_offset, address)
+            add_unindexed(publication, leaf_offset, record)
+            total_bytes += len(record.ciphertext)
+            addresses.append(address)
+        self._pairs_counter.inc(len(addresses))
+        self._bytes_counter.inc(total_bytes)
+        return addresses
+
     def receive_publication(
         self,
         publication: int,

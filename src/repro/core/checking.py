@@ -35,8 +35,10 @@ from repro.core.messages import (
     NewPublication,
     NodeDown,
     Pair,
+    PairBatch,
     RemovedRecord,
     TemplateMsg,
+    ToCloudBatch,
     ToCloudPair,
 )
 from repro.core.randomer import Randomer
@@ -144,6 +146,8 @@ class CheckingNode:
         ]
         # Replay anything that raced ahead of this announcement (possible
         # under the threaded runtime, where channels are per-sender).
+        # Early batches were unpacked into individual pairs on arrival, so
+        # replaying per pair reproduces the original arrival order exactly.
         for pair in self._early_pairs.pop(message.publication, ()):
             out.extend(self.on_pair(pair))
         for early in self._early_cn.pop(message.publication, ()):
@@ -197,6 +201,90 @@ class CheckingNode:
         if evicted is None:
             return []
         return [self._check(evicted)]
+
+    def _check_bulk(
+        self, publication: int, state: _PublicationState, pairs: list[Pair]
+    ) -> tuple[list[tuple[str, object]], list[tuple[int, object]]]:
+        """Checker + updater over a batch of released pairs.
+
+        Returns ``(merger messages, released cloud items)``.  Dummies
+        never touch the arrays, so the non-dummy subsequence is updated
+        through one :meth:`LeafArrays.check_and_update_bulk` call — the
+        per-pair decisions (and the resulting streams, in order) are
+        exactly what per-pair :meth:`_check` calls would produce.
+        """
+        tel = self._tel
+        start = tel.now()
+        arrays = state.arrays
+        real_offsets = [p.leaf_offset for p in pairs if not p.dummy]
+        removed_flags = iter(
+            arrays.check_and_update_bulk(real_offsets) if real_offsets else ()
+        )
+        merger_out: list[tuple[str, object]] = []
+        cloud_items: list[tuple[int, object]] = []
+        dummies = removed = 0
+        for pair in pairs:
+            if pair.dummy:
+                dummies += 1
+                cloud_items.append((pair.leaf_offset, pair.encrypted))
+            elif next(removed_flags):
+                removed += 1
+                merger_out.append(
+                    (
+                        "merger",
+                        RemovedRecord(
+                            publication, pair.leaf_offset, pair.encrypted
+                        ),
+                    )
+                )
+            else:
+                cloud_items.append((pair.leaf_offset, pair.encrypted))
+        self.pairs_processed += len(pairs)
+        if dummies:
+            self.dummies_passed += dummies
+            self._dummies_counter.inc(dummies)
+        if removed:
+            self.records_removed += removed
+            self._removed_counter.inc(removed)
+        tel.observe_stage("check", publication, start)
+        return merger_out, cloud_items
+
+    def on_pair_batch(self, message: PairBatch) -> list[tuple[str, object]]:
+        """Buffer one batch; bulk-check everything the randomer releases.
+
+        The pairs pass through the randomer strictly in batch order —
+        each insert makes its own eviction draw, so the released stream
+        (and therefore the final cloud state) is identical to delivering
+        the same pairs one at a time.  Everything released to the cloud
+        leaves as a single :class:`ToCloudBatch`; removed records still
+        go to the merger individually (they are rare by construction —
+        at most the negative leaf noise).
+        """
+        publication = message.publication
+        state = self._publications.get(publication)
+        if state is None:
+            self._early_pairs.setdefault(publication, []).extend(message.pairs)
+            return []
+        if state.closed:
+            released = list(message.pairs)
+        else:
+            randomer = state.randomer
+            insert = randomer.insert
+            released = [
+                evicted
+                for evicted in map(insert, message.pairs)
+                if evicted is not None
+            ]
+            if self._tel.enabled:
+                self._occupancy_gauge.set(len(randomer))
+        if not released:
+            return []
+        out, cloud_items = self._check_bulk(publication, state, released)
+        if cloud_items:
+            out.append(
+                ("cloud", ToCloudBatch(publication, tuple(cloud_items)))
+            )
+        return out
 
     def snapshot(self) -> dict:
         """JSON-able snapshot of per-publication progress.
@@ -337,14 +425,9 @@ class CheckingNode:
         start = self._tel.now()
         state = self._publications[publication]
         state.closed = True
-        out: list[tuple[str, object]] = []
-        flush_pairs: list[tuple[int, object]] = []
-        for pair in state.randomer.flush():
-            destination, message = self._check(pair)
-            if destination == "merger":
-                out.append((destination, message))
-            else:
-                flush_pairs.append((message.leaf_offset, message.encrypted))
+        out, flush_pairs = self._check_bulk(
+            publication, state, state.randomer.flush()
+        )
         # The flush must be enqueued to the cloud *before* the AL reaches
         # the merger: the cloud's FIFO inbox then guarantees every pair is
         # stored (and its metadata cached) before the merger's publication

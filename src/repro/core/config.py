@@ -47,6 +47,13 @@ class FresqueConfig:
         Index branching factor (paper: 16).
     publish_interval:
         Publishing time interval in seconds (paper: 60).
+    batch_size:
+        Records the dispatcher accumulates before forwarding one
+        :class:`~repro.core.messages.RawBatch` (1 = per-record
+        dispatch, today's behaviour, through the same code path).
+    max_batch_delay:
+        Seconds a partially filled batch may wait before it is flushed
+        anyway, bounding the ingest latency batching adds.
     """
 
     schema: Schema
@@ -58,6 +65,8 @@ class FresqueConfig:
     delta_prime: float = 0.99
     fanout: int = 16
     publish_interval: float = 60.0
+    batch_size: int = 1
+    max_batch_delay: float = 0.05
     _height: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
@@ -74,6 +83,14 @@ class FresqueConfig:
             raise ConfigError("delta and delta_prime must lie in (0, 1)")
         if self.publish_interval <= 0:
             raise ConfigError("publish interval must be positive")
+        if self.batch_size < 1:
+            raise ConfigError(
+                f"batch_size must be at least 1, got {self.batch_size}"
+            )
+        if self.max_batch_delay <= 0:
+            raise ConfigError(
+                f"max_batch_delay must be positive, got {self.max_batch_delay}"
+            )
         object.__setattr__(
             self,
             "_height",

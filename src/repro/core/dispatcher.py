@@ -6,6 +6,16 @@ what lets FRESQUE's intake scale.  At the start of each publishing time
 interval the dispatcher creates the index template (noise plan), the dummy
 records and the publication number; at the end it broadcasts *publishing*
 and immediately opens the next publication (asynchronous publishing).
+
+Forwarding is batched (docs/BATCHING.md): arriving records — raw lines
+and released dummies alike — accumulate, in order, in a single in-flight
+batch that is flushed to the next computing node as one
+:class:`~repro.core.messages.RawBatch` when it reaches
+``config.batch_size`` records (*size*), when it has waited longer than
+``config.max_batch_delay`` seconds (*delay*), or when the publication
+interval closes (*close*) — the close flush is what guarantees a batch
+never straddles a publication boundary.  ``batch_size=1`` degenerates to
+per-record dispatch through the exact same path.
 """
 
 from __future__ import annotations
@@ -14,12 +24,28 @@ import random
 from collections import deque
 
 from repro.core.config import FresqueConfig
-from repro.core.messages import NewPublication, NodeDown, PublishingMsg, RawData
+from repro.core.messages import (
+    NewPublication,
+    NodeDown,
+    PublishingMsg,
+    RawBatch,
+    RawData,
+)
 from repro.index.perturb import NoisePlan, draw_noise_plan
 from repro.index.tree import IndexTree
 from repro.records.record import Record, make_dummy
 from repro.records.codec import decode_record, encode_record
+from repro.telemetry.clock import WALL_CLOCK
 from repro.telemetry.context import coalesce
+
+#: Flush triggers, as reported by the ``dispatcher_batch_flush_total``
+#: counter's ``reason`` label.
+FLUSH_SIZE, FLUSH_DELAY, FLUSH_CLOSE, FLUSH_MANUAL = (
+    "size",
+    "delay",
+    "close",
+    "manual",
+)
 
 
 class Dispatcher:
@@ -34,6 +60,12 @@ class Dispatcher:
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry`; opens the
         per-publication root span and times the ``dispatch`` stage.
+    clock:
+        Time source for the ``max_batch_delay`` flush; defaults to the
+        telemetry clock when telemetry is enabled, else the shared wall
+        clock.  Tests inject a
+        :class:`~repro.telemetry.clock.SimulatedClock` so delay flushes
+        fire without sleeping.
     """
 
     def __init__(
@@ -41,6 +73,7 @@ class Dispatcher:
         config: FresqueConfig,
         rng: random.Random | None = None,
         telemetry=None,
+        clock=None,
     ):
         self.config = config
         self._rng = rng if rng is not None else random.Random()
@@ -58,6 +91,24 @@ class Dispatcher:
         self._tel = coalesce(telemetry)
         self._records_counter = self._tel.counter("dispatcher_records_total")
         self._dummies_counter = self._tel.counter("dispatcher_dummies_total")
+        self._batch_size = config.batch_size
+        self._max_batch_delay = config.max_batch_delay
+        if clock is None:
+            clock = self._tel.clock if self._tel.enabled else WALL_CLOCK
+        self._clock = clock
+        #: The in-flight batch: raw lines and dummy Records, arrival order.
+        self._batch: list[str | Record] = []
+        self._batch_opened: float | None = None
+        self._batch_histogram = self._tel.histogram(
+            "dispatcher_batch_records",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+        )
+        self._flush_counters = {
+            reason: self._tel.counter(
+                "dispatcher_batch_flush_total", reason=reason
+            )
+            for reason in (FLUSH_SIZE, FLUSH_DELAY, FLUSH_CLOSE, FLUSH_MANUAL)
+        }
 
     @property
     def publication(self) -> int:
@@ -115,11 +166,16 @@ class Dispatcher:
         return [("checking", NewPublication(self._publication, plan))]
 
     def due_dummies(self, fraction: float) -> list[tuple[str, object]]:
-        """Dispatch every dummy scheduled before ``fraction`` of the interval."""
+        """Release every dummy scheduled before ``fraction`` of the interval.
+
+        Dummies join the same in-flight batch as raw lines (the randomer's
+        mixing guarantee needs them interleaved in arrival order), so the
+        returned messages are whatever batch flushes the releases trigger.
+        """
         out: list[tuple[str, object]] = []
         while self._dummy_schedule and self._dummy_schedule[0][0] <= fraction:
             _, dummy = self._dummy_schedule.popleft()
-            out.append(self._dispatch_record(dummy))
+            out.extend(self._enqueue(dummy))
         return out
 
     @property
@@ -158,9 +214,14 @@ class Dispatcher:
             raise RuntimeError("every computing node is down")
         return [("checking", NodeDown(self._publication, node_id))]
 
-    def redispatch(self, message: RawData) -> list[tuple[str, object]]:
-        """Re-route a record whose computing node died before reading it."""
-        self.records_rerouted += 1
+    def redispatch(
+        self, message: RawData | RawBatch
+    ) -> list[tuple[str, object]]:
+        """Re-route a message whose computing node died before reading it."""
+        if isinstance(message, RawBatch):
+            self.records_rerouted += len(message.items)
+        else:
+            self.records_rerouted += 1
         return [(self._next_node(), message)]
 
     def _next_node(self) -> str:
@@ -173,25 +234,69 @@ class Dispatcher:
                 return f"cn-{node_id}"
         raise RuntimeError("every computing node is down")
 
-    def _dispatch_record(self, record: Record) -> tuple[str, object]:
-        start = self._tel.now()
+    def on_raw(self, line: str) -> list[tuple[str, object]]:
+        """Accumulate one raw line; forward a batch when a flush triggers."""
+        return self._enqueue(line)
+
+    def _enqueue(self, item: str | Record) -> list[tuple[str, object]]:
+        """Append one item to the in-flight batch; flush if due."""
+        batch = self._batch
+        batch.append(item)
         self.records_dispatched += 1
         self._records_counter.inc()
-        routed = (
-            self._next_node(),
-            RawData(self._publication, record=record),
-        )
+        if len(batch) >= self._batch_size:
+            return self._flush(FLUSH_SIZE)
+        now = self._clock.now()
+        if self._batch_opened is None:
+            self._batch_opened = now
+            return []
+        if now - self._batch_opened >= self._max_batch_delay:
+            return self._flush(FLUSH_DELAY)
+        return []
+
+    def _flush(self, reason: str) -> list[tuple[str, object]]:
+        """Ship the in-flight batch as one RawBatch; no-op when empty."""
+        if not self._batch:
+            return []
+        start = self._tel.now()
+        items = tuple(self._batch)
+        self._batch = []
+        self._batch_opened = None
+        routed = [(self._next_node(), RawBatch(self._publication, items))]
+        self._flush_counters[reason].inc()
+        if self._tel.enabled:
+            self._batch_histogram.observe(float(len(items)))
         self._tel.observe_stage("dispatch", self._publication, start)
         return routed
 
-    def on_raw(self, line: str) -> list[tuple[str, object]]:
-        """Forward one raw line to the next computing node (round robin)."""
-        start = self._tel.now()
-        self.records_dispatched += 1
-        self._records_counter.inc()
-        routed = [(self._next_node(), RawData(self._publication, line=line))]
-        self._tel.observe_stage("dispatch", self._publication, start)
-        return routed
+    def flush_batch(
+        self, reason: str = FLUSH_MANUAL
+    ) -> list[tuple[str, object]]:
+        """Flush the in-flight batch now (driver-initiated)."""
+        return self._flush(reason)
+
+    def flush_due(self, now: float | None = None) -> list[tuple[str, object]]:
+        """Flush iff the in-flight batch outlived ``max_batch_delay``.
+
+        Drivers with idle periods call this from their clock (the
+        threaded runtime's feeder, a timer) so a trickle of records never
+        waits longer than the configured delay.
+        """
+        if not self._batch:
+            return []
+        if now is None:
+            now = self._clock.now()
+        if self._batch_opened is None:
+            self._batch_opened = now
+            return []
+        if now - self._batch_opened >= self._max_batch_delay:
+            return self._flush(FLUSH_DELAY)
+        return []
+
+    @property
+    def pending_batch_records(self) -> int:
+        """Records accumulated but not yet flushed to a computing node."""
+        return len(self._batch)
 
     def snapshot(self) -> dict:
         """JSON-able snapshot of the dispatcher's durable state.
@@ -208,6 +313,12 @@ class Dispatcher:
                 [fraction, encode_record(dummy)]
                 for fraction, dummy in self._dummy_schedule
             ],
+            "batch": [
+                ["line", item]
+                if isinstance(item, str)
+                else ["record", encode_record(item)]
+                for item in self._batch
+            ],
             "records_dispatched": self.records_dispatched,
             "records_rerouted": self.records_rerouted,
             "dummies_generated": self.dummies_generated,
@@ -222,6 +333,13 @@ class Dispatcher:
             (fraction, decode_record(payload))
             for fraction, payload in state["dummy_schedule"]
         )
+        self._batch = [
+            payload if kind == "line" else decode_record(payload)
+            for kind, payload in state.get("batch", [])
+        ]
+        # Absolute flush deadlines do not survive a restart; the restored
+        # batch's delay window re-arms from the next enqueue or poll.
+        self._batch_opened = None
         self.records_dispatched = state["records_dispatched"]
         self.records_rerouted = state["records_rerouted"]
         self.dummies_generated = state["dummies_generated"]
@@ -229,10 +347,13 @@ class Dispatcher:
     def end_publication(self) -> list[tuple[str, object]]:
         """Broadcast *publishing*; the caller immediately starts the next.
 
-        Any dummies still scheduled are dispatched first so the checking
-        node sees the complete publication.
+        Any dummies still scheduled are released first, then the in-flight
+        batch is flushed (the *close* flush) — both strictly before the
+        *publishing* broadcast, so the checking node sees the complete
+        publication and no record crosses into the next one.
         """
         out = self.due_dummies(1.0)
+        out.extend(self._flush(FLUSH_CLOSE))
         message = PublishingMsg(self._publication)
         out.extend((f"cn-{i}", message) for i in self.live_computing_nodes)
         out.append(("checking", message))

@@ -60,6 +60,23 @@ class RawData:
 
 
 @dataclass(frozen=True)
+class RawBatch:
+    """Dispatcher → computing node: an ordered batch of records.
+
+    The batched counterpart of :class:`RawData` — one message (and, on
+    the TCP transport, one frame) carries up to ``batch_size`` records.
+    ``items`` preserves arrival order; each element is either an unparsed
+    raw line (``str``) or a pre-built :class:`Record` (dispatcher-made
+    dummies).  Every item belongs to ``publication`` — the dispatcher
+    flushes the accumulator at interval close, so a batch never straddles
+    a publication boundary (see docs/BATCHING.md).
+    """
+
+    publication: int
+    items: tuple[str | Record, ...]
+
+
+@dataclass(frozen=True)
 class Pair:
     """Computing node → checking node: a ``<leaf offset, e-record>`` pair.
 
@@ -75,12 +92,39 @@ class Pair:
 
 
 @dataclass(frozen=True)
+class PairBatch:
+    """Computing node → checking node: a batch of pairs, in batch order.
+
+    Produced by :meth:`ComputingNode.on_raw_batch` from one
+    :class:`RawBatch`; the checking node feeds the pairs through the
+    randomer in order, so the released stream is identical to what the
+    same pairs delivered one-by-one would produce.
+    """
+
+    publication: int
+    pairs: tuple[Pair, ...]
+
+
+@dataclass(frozen=True)
 class ToCloudPair:
     """Checking node → cloud: a released pair (dummy flag stripped)."""
 
     publication: int
     leaf_offset: int
     encrypted: EncryptedRecord
+
+
+@dataclass(frozen=True)
+class ToCloudBatch:
+    """Checking node → cloud: the released pairs of one checked batch.
+
+    Same shape as :class:`BufferFlush` (dummy flags already stripped) but
+    emitted mid-interval, once per processed :class:`PairBatch`, so the
+    cloud receives one message per batch instead of one per pair.
+    """
+
+    publication: int
+    pairs: tuple[tuple[int, EncryptedRecord], ...]
 
 
 @dataclass(frozen=True)

@@ -34,7 +34,9 @@ from repro.core.messages import (
     DoneMsg,
     NewPublication,
     Pair,
+    PairBatch,
     PublishingMsg,
+    RawBatch,
     RawData,
     RemovedRecord,
     TemplateMsg,
@@ -166,6 +168,22 @@ class CheckingShard:
             return []
         return [self._check(evicted)]
 
+    def on_pair_batch(self, message: PairBatch) -> list[tuple[str, object]]:
+        """Buffer one shard-split batch; process every eviction in order."""
+        state = self._states[message.publication]
+        insert = state.randomer.insert
+        out: list[tuple[str, object]] = []
+        for pair in message.pairs:
+            if not self.owns(pair.leaf_offset):
+                raise ValueError(
+                    f"pair for leaf {pair.leaf_offset} routed to shard "
+                    f"{self.shard_id} of {self.num_shards}"
+                )
+            evicted = insert(pair)
+            if evicted is not None:
+                out.append(self._check(evicted))
+        return out
+
     def on_cn_publishing(
         self, message: CnPublishing
     ) -> list[tuple[str, object]]:
@@ -255,9 +273,31 @@ class _RoutingComputingNode(ComputingNode):
             for shard in range(self.num_shards)
         ]
 
+    def _split_batch(self, batch: PairBatch) -> list[tuple[str, object]]:
+        """Split one pair batch into per-shard batches, order preserved."""
+        by_shard: dict[int, list[Pair]] = {}
+        for pair in batch.pairs:
+            by_shard.setdefault(
+                shard_of(pair.leaf_offset, self.num_shards), []
+            ).append(pair)
+        return [
+            (
+                f"checking-{shard}",
+                PairBatch(batch.publication, tuple(pairs)),
+            )
+            for shard, pairs in sorted(by_shard.items())
+        ]
+
     def on_raw(self, message: RawData) -> list[tuple[str, object]]:
         out = super().on_raw(message)
         return [(self._destination(pair), pair) for _, pair in out]
+
+    def on_raw_batch(self, message: RawBatch) -> list[tuple[str, object]]:
+        out = super().on_raw_batch(message)
+        routed: list[tuple[str, object]] = []
+        for _, payload in out:
+            routed.extend(self._split_batch(payload))
+        return routed
 
     def on_publishing(self, publication: int) -> list[tuple[str, object]]:
         if self._waiting_done:
@@ -279,6 +319,9 @@ class _RoutingComputingNode(ComputingNode):
             kind, payload = self._held.pop(0)
             if kind == "pair":
                 out.append((self._destination(payload), payload))
+                continue
+            if kind == "batch":
+                out.extend(self._split_batch(payload))
                 continue
             out.extend(self._broadcast_publishing(payload))
             self._waiting_done = True
@@ -329,6 +372,8 @@ class ShardedFresqueSystem:
     def _deliver(self, destination: str, message) -> list[tuple[str, object]]:
         if destination.startswith("cn-"):
             node = self.computing_nodes[int(destination[3:])]
+            if isinstance(message, RawBatch):
+                return node.on_raw_batch(message)
             if isinstance(message, RawData):
                 return node.on_raw(message)
             if isinstance(message, PublishingMsg):
@@ -351,6 +396,8 @@ class ShardedFresqueSystem:
             return out
         elif destination.startswith("checking-"):
             shard = self.shards[int(destination.split("-", 1)[1])]
+            if isinstance(message, PairBatch):
+                return shard.on_pair_batch(message)
             if isinstance(message, Pair):
                 return shard.on_pair(message)
             if isinstance(message, CnPublishing):

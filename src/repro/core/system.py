@@ -31,10 +31,13 @@ from repro.core.messages import (
     NewPublication,
     NodeDown,
     Pair,
+    PairBatch,
     PublishingMsg,
+    RawBatch,
     RawData,
     RemovedRecord,
     TemplateMsg,
+    ToCloudBatch,
     ToCloudPair,
 )
 from repro.crypto.cipher import RecordCipher
@@ -64,11 +67,8 @@ class CloudAdapter:
             self.cloud.receive_pair(
                 message.publication, message.leaf_offset, message.encrypted
             )
-        elif isinstance(message, BufferFlush):
-            for leaf_offset, encrypted in message.pairs:
-                self.cloud.receive_pair(
-                    message.publication, leaf_offset, encrypted
-                )
+        elif isinstance(message, (ToCloudBatch, BufferFlush)):
+            self.cloud.receive_pairs(message.publication, message.pairs)
         elif isinstance(message, MergedPublication):
             self._deliver_receipt(
                 self.cloud.receive_publication(
@@ -223,6 +223,8 @@ class FresqueSystem:
     def _deliver(self, destination: str, message) -> list[tuple[str, object]]:
         if destination.startswith("cn-"):
             node = self.computing_nodes[int(destination[3:])]
+            if isinstance(message, RawBatch):
+                return node.on_raw_batch(message)
             if isinstance(message, RawData):
                 return node.on_raw(message)
             if isinstance(message, PublishingMsg):
@@ -230,6 +232,8 @@ class FresqueSystem:
             if isinstance(message, DoneMsg):
                 return node.on_done(message)
         elif destination == "checking":
+            if isinstance(message, PairBatch):
+                return self.checking.on_pair_batch(message)
             if isinstance(message, NewPublication):
                 return self.checking.on_new_publication(message)
             if isinstance(message, Pair):
@@ -271,10 +275,28 @@ class FresqueSystem:
         self._pump(self.dispatcher.start_publication())
 
     def ingest(self, line: str) -> None:
-        """Feed one raw line into the current publication."""
+        """Feed one raw line into the current publication.
+
+        With ``config.batch_size > 1`` the line may sit in the
+        dispatcher's in-flight batch until a flush triggers (size, delay
+        or interval close); :meth:`flush_ingest` forces it through.
+        """
         if not self._started:
             raise RuntimeError("call start() first")
         self._pump(self.dispatcher.on_raw(line))
+
+    def ingest_batch(self, lines: list[str]) -> None:
+        """Feed many raw lines into the current publication, in order."""
+        if not self._started:
+            raise RuntimeError("call start() first")
+        on_raw = self.dispatcher.on_raw
+        pump = self._pump
+        for line in lines:
+            pump(on_raw(line))
+
+    def flush_ingest(self) -> None:
+        """Flush the dispatcher's in-flight batch through the pipeline."""
+        self._pump(self.dispatcher.flush_batch())
 
     def run_publication(self, lines: list[str]) -> PublicationSummary:
         """Ingest ``lines``, interleave the scheduled dummies uniformly,

@@ -40,6 +40,52 @@ def cbc_encrypt(cipher: AesBlockCipher, plaintext: bytes, iv: bytes) -> bytes:
     return b"".join(blocks)
 
 
+def cbc_encrypt_many(
+    cipher: AesBlockCipher,
+    plaintexts: list[bytes],
+    ivs: list[bytes],
+) -> list[bytes]:
+    """CBC-encrypt a batch of messages with one block loop.
+
+    Byte-identical to ``[cbc_encrypt(cipher, p, iv) for p, iv in
+    zip(plaintexts, ivs)]`` — the chain restarts from each message's own
+    IV — but the padded messages are concatenated into a single buffer
+    and encrypted in one loop, so the per-message Python overhead
+    (function calls, list setup, attribute lookups) is paid once per
+    batch instead of once per record.
+    """
+    if len(plaintexts) != len(ivs):
+        raise ValueError(
+            f"{len(plaintexts)} plaintexts but {len(ivs)} IVs"
+        )
+    for iv in ivs:
+        if len(iv) != BLOCK_SIZE:
+            raise ValueError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    padded = [pad(plaintext, BLOCK_SIZE) for plaintext in plaintexts]
+    buffer = b"".join(padded)
+    out = bytearray(len(buffer))
+    encrypt_block = cipher.encrypt_block
+    xor = _xor_block
+    offset = 0
+    boundaries = []
+    for message, iv in zip(padded, ivs):
+        end = offset + len(message)
+        previous = iv
+        while offset < end:
+            previous = encrypt_block(
+                xor(buffer[offset : offset + BLOCK_SIZE], previous)
+            )
+            out[offset : offset + BLOCK_SIZE] = previous
+            offset += BLOCK_SIZE
+        boundaries.append(end)
+    ciphertexts = []
+    start = 0
+    for end in boundaries:
+        ciphertexts.append(bytes(out[start:end]))
+        start = end
+    return ciphertexts
+
+
 def cbc_decrypt(cipher: AesBlockCipher, ciphertext: bytes, iv: bytes) -> bytes:
     """Decrypt a CBC ciphertext and strip PKCS#7 padding.
 

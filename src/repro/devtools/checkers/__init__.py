@@ -5,6 +5,7 @@ registry in :mod:`repro.devtools.registry`.
 """
 
 from repro.devtools.checkers import (
+    batching,
     concurrency,
     crypto,
     durability,
@@ -15,6 +16,7 @@ from repro.devtools.checkers import (
 )
 
 __all__ = [
+    "batching",
     "concurrency",
     "crypto",
     "durability",

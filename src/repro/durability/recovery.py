@@ -39,6 +39,7 @@ from repro.durability.journal import (
     COMMIT,
     OPEN,
     RAW,
+    RAW_BATCH,
     JournalCorrupt,
 )
 from repro.durability.ledger import BudgetLedger
@@ -248,6 +249,9 @@ class RecoveryManager:
             elif record.type == RAW:
                 system._replay_raw(record.line)
                 report.replayed_raw += 1
+            elif record.type == RAW_BATCH:
+                system._replay_raw_batch(record.lines)
+                report.replayed_raw += len(record.lines)
             elif record.type == CLOSE:
                 system._replay_close(record.publication)
             elif record.type == COMMIT:

@@ -179,6 +179,52 @@ class DurableFresqueSystem(FresqueSystem):
         ):
             self.checkpoint()
 
+    def ingest_batch(self, lines: list[str]) -> None:
+        """Journal and feed ``lines`` in dispatcher-batch-sized chunks.
+
+        Each chunk is journalled as one ``rawb`` frame — one write for
+        the whole batch — before any of its records reach the pipeline.
+        """
+        if not self._started:
+            raise RuntimeError("call start() first")
+        size = max(1, self.config.batch_size)
+        for start in range(0, len(lines), size):
+            self._ingest_chunk(list(lines[start : start + size]))
+
+    def _ingest_chunk(self, lines: list[str], fractions=None) -> None:
+        """Journal one chunk as a single frame, then feed it in order.
+
+        The FRQ-D701 ordering holds chunk-wide: the journal frame lands
+        before any of the chunk's records mutate pipeline state.  The
+        crash hook still fires once per record, between the append and
+        that record's dispatch — the same worst-case window as
+        :meth:`ingest`.  ``fractions`` (optional, one per line) threads
+        the interval position through to the dummy scheduler so dummies
+        interleave exactly as in the per-record driver.
+        """
+        if not lines:
+            return
+        self._last_seq = self.journal.append_raw_batch(
+            self.dispatcher.publication, lines
+        )
+        fault = self.fault_plan
+        pump = self._pump
+        dispatcher = self.dispatcher
+        for index, line in enumerate(lines):
+            if fault is not None and fault.on_collector_record():
+                raise CollectorCrash(
+                    f"injected crash after journal seq {self._last_seq}"
+                )
+            if fractions is not None:
+                pump(dispatcher.due_dummies(fractions[index]))
+            pump(dispatcher.on_raw(line))
+        self._records_since_checkpoint += len(lines)
+        if (
+            self.checkpoint_every
+            and self._records_since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+
     def finish_publication(self):
         """Close the current publication and open the next one.
 
@@ -210,11 +256,23 @@ class DurableFresqueSystem(FresqueSystem):
         dummies_before = self.checking.dummies_passed
         removed_before = self.checking.records_removed
         total = max(1, len(lines))
-        for position, line in enumerate(lines):
-            self._pump(
-                self.dispatcher.due_dummies((position + 1) / (total + 1))
-            )
-            self.ingest(line)
+        size = self.config.batch_size
+        if size <= 1:
+            for position, line in enumerate(lines):
+                self._pump(
+                    self.dispatcher.due_dummies((position + 1) / (total + 1))
+                )
+                self.ingest(line)
+        else:
+            for start in range(0, len(lines), size):
+                chunk = list(lines[start : start + size])
+                self._ingest_chunk(
+                    chunk,
+                    fractions=[
+                        (start + index + 1) / (total + 1)
+                        for index in range(len(chunk))
+                    ],
+                )
         receipt = self.finish_publication()
         return PublicationSummary(
             publication=publication,
@@ -284,6 +342,13 @@ class DurableFresqueSystem(FresqueSystem):
     def _replay_raw(self, line: str) -> None:
         """Re-dispatch one journalled raw line."""
         self._pump(self.dispatcher.on_raw(line))
+
+    def _replay_raw_batch(self, lines: tuple[str, ...]) -> None:
+        """Re-dispatch one journalled batch, line order preserved."""
+        pump = self._pump
+        on_raw = self.dispatcher.on_raw
+        for line in lines:
+            pump(on_raw(line))
 
     def _replay_close(self, publication: int) -> None:
         """Re-run a journalled interval end; commit if the cloud acked."""

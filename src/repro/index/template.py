@@ -137,6 +137,33 @@ class LeafArrays:
         self.al[leaf_offset] += 1
         return CheckResult(removed=False, leaf_offset=leaf_offset)
 
+    def check_and_update_bulk(self, leaf_offsets: list[int]) -> list[bool]:
+        """Batched :meth:`check_and_update`: one call per record batch.
+
+        Returns the per-offset *removed* flags in input order.  Semantics
+        are exactly the sequential ones (ALN is consumed in order), with
+        the array and bound lookups hoisted out of the loop.
+        """
+        al = self.al
+        aln = self.aln
+        removed_counts = self._removed
+        num_leaves = len(al)
+        removed: list[bool] = []
+        mark = removed.append
+        for leaf_offset in leaf_offsets:
+            if not 0 <= leaf_offset < num_leaves:
+                raise IndexError(
+                    f"leaf offset {leaf_offset} outside [0, {num_leaves})"
+                )
+            al[leaf_offset] += 1
+            if aln[leaf_offset] < 0:
+                aln[leaf_offset] += 1
+                removed_counts[leaf_offset] += 1
+                mark(True)
+            else:
+                mark(False)
+        return removed
+
     def snapshot(self) -> list[int]:
         """Copy of AL, as shipped to the merger at publishing time."""
         return list(self.al)

@@ -27,7 +27,9 @@ from repro.core.messages import (
     NewPublication,
     NodeDown,
     Pair,
+    PairBatch,
     PublishingMsg,
+    RawBatch,
     RawData,
     RemovedRecord,
     TemplateMsg,
@@ -108,6 +110,8 @@ class ThreadedFresque:
     # ------------------------------------------------------------------
 
     def _handle_cn(self, node: ComputingNode, message):
+        if isinstance(message, RawBatch):
+            return node.on_raw_batch(message)
         if isinstance(message, RawData):
             return node.on_raw(message)
         if isinstance(message, PublishingMsg):
@@ -119,6 +123,8 @@ class ThreadedFresque:
     def _handle_checking(self, message):
         if isinstance(message, NewPublication):
             return self.checking.on_new_publication(message)
+        if isinstance(message, PairBatch):
+            return self.checking.on_pair_batch(message)
         if isinstance(message, Pair):
             return self.checking.on_pair(message)
         if isinstance(message, PublishingMsg):

@@ -74,11 +74,18 @@ def _build_handler(role: str, config, cipher, seeds: dict):
     """Instantiate the component for ``role`` and return (handler, extra)."""
     if role.startswith("cn-"):
         from repro.core.computing_node import ComputingNode
-        from repro.core.messages import DoneMsg, PublishingMsg, RawData
+        from repro.core.messages import (
+            DoneMsg,
+            PublishingMsg,
+            RawBatch,
+            RawData,
+        )
 
         node = ComputingNode(int(role[3:]), config, cipher)
 
         def handle(message):
+            if isinstance(message, RawBatch):
+                return node.on_raw_batch(message)
             if isinstance(message, RawData):
                 return node.on_raw(message)
             if isinstance(message, PublishingMsg):
@@ -95,6 +102,7 @@ def _build_handler(role: str, config, cipher, seeds: dict):
             NewPublication,
             NodeDown,
             Pair,
+            PairBatch,
             PublishingMsg,
         )
 
@@ -103,6 +111,8 @@ def _build_handler(role: str, config, cipher, seeds: dict):
         def handle(message):
             if isinstance(message, NewPublication):
                 return node.on_new_publication(message)
+            if isinstance(message, PairBatch):
+                return node.on_pair_batch(message)
             if isinstance(message, Pair):
                 return node.on_pair(message)
             if isinstance(message, PublishingMsg):

@@ -55,7 +55,9 @@ from repro.core.messages import (
     NewPublication,
     NodeDown,
     Pair,
+    PairBatch,
     PublishingMsg,
+    RawBatch,
     RawData,
     RemovedRecord,
     TemplateMsg,
@@ -676,6 +678,8 @@ class TcpFresqueCluster:
     def _make_nodes(self) -> None:
         def cn_handler(node):
             def handle(message):
+                if isinstance(message, RawBatch):
+                    return node.on_raw_batch(message)
                 if isinstance(message, RawData):
                     return node.on_raw(message)
                 if isinstance(message, PublishingMsg):
@@ -689,6 +693,8 @@ class TcpFresqueCluster:
         def checking_handler(message):
             if isinstance(message, NewPublication):
                 return self.checking.on_new_publication(message)
+            if isinstance(message, PairBatch):
+                return self.checking.on_pair_batch(message)
             if isinstance(message, Pair):
                 return self.checking.on_pair(message)
             if isinstance(message, PublishingMsg):
@@ -757,7 +763,7 @@ class TcpFresqueCluster:
             if destination in self._dead:
                 # Degraded mode: records shift to the survivors; control
                 # messages for the dead node are moot.
-                if isinstance(message, RawData):
+                if isinstance(message, (RawData, RawBatch)):
                     pending.extend(self.dispatcher.redispatch(message))
                 continue
             try:
@@ -766,7 +772,7 @@ class TcpFresqueCluster:
                 if not destination.startswith("cn-"):
                     raise
                 self._mark_node_down(destination)
-                if isinstance(message, RawData):
+                if isinstance(message, (RawData, RawBatch)):
                     pending.extend(self.dispatcher.redispatch(message))
 
     def _mark_node_down(self, name: str) -> None:

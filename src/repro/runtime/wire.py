@@ -23,10 +23,13 @@ from repro.core.messages import (
     NewPublication,
     NodeDown,
     Pair,
+    PairBatch,
     PublishingMsg,
+    RawBatch,
     RawData,
     RemovedRecord,
     TemplateMsg,
+    ToCloudBatch,
     ToCloudPair,
 )
 from repro.index.domain import AttributeDomain
@@ -119,11 +122,38 @@ _ENCODERS = {
         "line": m.line,
         "record": None if m.record is None else encode_record(m.record),
     },
+    RawBatch: lambda m: {
+        "pub": m.publication,
+        # Ordered, type-tagged items: ["l", line] or ["r", record] —
+        # order is the arrival order the randomer's mixing relies on.
+        "items": [
+            ["l", item] if isinstance(item, str) else ["r", encode_record(item)]
+            for item in m.items
+        ],
+    },
     Pair: lambda m: {
         "pub": m.publication,
         "leaf": m.leaf_offset,
         "enc": encode_encrypted(m.encrypted),
         "dummy": m.dummy,
+    },
+    PairBatch: lambda m: {
+        "pub": m.publication,
+        "pairs": [
+            {
+                "leaf": pair.leaf_offset,
+                "enc": encode_encrypted(pair.encrypted),
+                "dummy": pair.dummy,
+            }
+            for pair in m.pairs
+        ],
+    },
+    ToCloudBatch: lambda m: {
+        "pub": m.publication,
+        "pairs": [
+            {"leaf": leaf, "enc": encode_encrypted(enc)}
+            for leaf, enc in m.pairs
+        ],
     },
     ToCloudPair: lambda m: {
         "pub": m.publication,
@@ -163,8 +193,34 @@ _DECODERS = {
         line=p["line"],
         record=None if p["record"] is None else decode_record(p["record"]),
     ),
+    "RawBatch": lambda p: RawBatch(
+        p["pub"],
+        tuple(
+            item if kind == "l" else decode_record(item)
+            for kind, item in p["items"]
+        ),
+    ),
     "Pair": lambda p: Pair(
         p["pub"], p["leaf"], decode_encrypted(p["enc"]), dummy=p["dummy"]
+    ),
+    "PairBatch": lambda p: PairBatch(
+        p["pub"],
+        tuple(
+            Pair(
+                p["pub"],
+                item["leaf"],
+                decode_encrypted(item["enc"]),
+                dummy=item["dummy"],
+            )
+            for item in p["pairs"]
+        ),
+    ),
+    "ToCloudBatch": lambda p: ToCloudBatch(
+        p["pub"],
+        tuple(
+            (item["leaf"], decode_encrypted(item["enc"]))
+            for item in p["pairs"]
+        ),
     ),
     "ToCloudPair": lambda p: ToCloudPair(
         p["pub"], p["leaf"], decode_encrypted(p["enc"])

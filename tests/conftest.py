@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import random
 
 import pytest
@@ -12,6 +13,45 @@ from repro.crypto.keys import KeyStore
 from repro.datasets.flu import FluSurveyGenerator, flu_domain
 from repro.index.domain import AttributeDomain
 from repro.records.schema import flu_survey_schema
+
+
+def cloud_state_fingerprint(system) -> dict:
+    """Canonical, byte-level serialization of a deployment's cloud state.
+
+    The batch-equivalence harness compares two pipelines through this:
+    per publication file, the ordered stream of ``(ciphertext, leaf)``
+    bytes is hashed, and the matching receipts plus the collector's
+    check counters ride along.  Two runs agree on this fingerprint iff
+    the cloud holds byte-identical publications in identical order.
+    """
+    files = {}
+    for file_id in sorted(system.cloud.store._files):
+        handle = system.cloud.store.file(file_id)
+        digest = hashlib.sha256()
+        for record in handle._records:
+            digest.update(record.leaf_offset.to_bytes(4, "little"))
+            digest.update(len(record.ciphertext).to_bytes(4, "little"))
+            digest.update(record.ciphertext)
+        files[file_id] = (handle.record_count, digest.hexdigest())
+    receipts = {
+        publication: system.cloud.receipt_for(publication).records_matched
+        for publication in sorted(system.cloud._done)
+    }
+    return {
+        "files": files,
+        "receipts": receipts,
+        "pairs_processed": system.checking.pairs_processed,
+        "dummies_passed": system.checking.dummies_passed,
+        "records_removed": system.checking.records_removed,
+        "duplicate_pairs": system.cloud.duplicate_pairs,
+    }
+
+
+def query_fingerprint(system, low: float, high: float) -> tuple:
+    """Canonical digest of an end-to-end range query's answer."""
+    result = system.query(low, high)
+    values = sorted(repr(record.values) for record in result.records)
+    return len(values), hashlib.sha256("\n".join(values).encode()).hexdigest()
 
 
 @pytest.fixture

@@ -1,0 +1,200 @@
+"""Batch-boundary regressions (docs/BATCHING.md).
+
+Three invariants that byte-level equivalence depends on, pinned at the
+component level so a violation fails here with a readable story instead
+of as a fingerprint mismatch in the integration harness:
+
+* the *close* flush — ending a publication ships the in-flight batch,
+  stamped with the closing publication number, strictly before the
+  *publishing* broadcast (a batch never straddles a boundary);
+* the randomer processes a :class:`PairBatch` exactly as it would the
+  same pairs delivered one at a time (same eviction draws, same released
+  stream, same residue);
+* the *delay* flush fires from the injected clock — no wall-clock sleeps
+  in the pipeline or in this test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.checking import CheckingNode
+from repro.core.dispatcher import Dispatcher
+from repro.core.messages import (
+    NewPublication,
+    Pair,
+    PairBatch,
+    PublishingMsg,
+    RawBatch,
+    ToCloudBatch,
+    ToCloudPair,
+)
+from repro.index.perturb import draw_noise_plan
+from repro.index.tree import IndexTree
+from repro.records.record import EncryptedRecord
+from repro.telemetry.clock import SimulatedClock
+
+
+def _dispatcher(flu_config, batch_size, max_batch_delay=0.05, clock=None):
+    config = dataclasses.replace(
+        flu_config, batch_size=batch_size, max_batch_delay=max_batch_delay
+    )
+    return Dispatcher(config, rng=random.Random(33), clock=clock)
+
+
+class TestCloseSplitsInflightBatch:
+    def test_close_flushes_before_publishing_broadcast(self, flu_config):
+        dispatcher = _dispatcher(flu_config, batch_size=64)
+        dispatcher.start_publication()
+        lines = [f"line-{i}" for i in range(5)]
+        for line in lines:
+            assert dispatcher.on_raw(line) == []  # far below batch_size
+        assert dispatcher.pending_batch_records == 5
+        out = dispatcher.end_publication()
+        assert dispatcher.pending_batch_records == 0
+        kinds = [type(message) for _, message in out]
+        last_batch = max(
+            i for i, kind in enumerate(kinds) if kind is RawBatch
+        )
+        first_publishing = kinds.index(PublishingMsg)
+        assert last_batch < first_publishing
+        batches = [m for _, m in out if isinstance(m, RawBatch)]
+        assert all(batch.publication == 0 for batch in batches)
+        # Raw lines kept arrival order; the end-of-interval dummy release
+        # joins the same accumulator behind them.
+        flushed_lines = [
+            item
+            for batch in batches
+            for item in batch.items
+            if isinstance(item, str)
+        ]
+        assert flushed_lines == lines
+
+    def test_next_interval_batches_get_new_publication(self, flu_config):
+        dispatcher = _dispatcher(flu_config, batch_size=4)
+        dispatcher.start_publication()
+        dispatcher.on_raw("tail")
+        dispatcher.end_publication()
+        dispatcher.start_publication()
+        out = []
+        for i in range(4):
+            out.extend(dispatcher.on_raw(f"next-{i}"))
+        (_, batch), = out
+        assert isinstance(batch, RawBatch)
+        assert batch.publication == 1
+        assert batch.items == ("next-0", "next-1", "next-2", "next-3")
+
+
+class _ManualLoop:
+    """A hand-advanced event-loop stand-in for :class:`SimulatedClock`."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestDelayFlush:
+    def test_max_batch_delay_fires_on_simulated_clock(self, flu_config):
+        loop = _ManualLoop()
+        dispatcher = _dispatcher(
+            flu_config,
+            batch_size=10,
+            max_batch_delay=0.05,
+            clock=SimulatedClock(loop),
+        )
+        dispatcher.start_publication()
+        assert dispatcher.on_raw("a") == []  # opens the delay window at 0
+        loop.now = 0.1  # past max_batch_delay, no sleeping involved
+        out = dispatcher.on_raw("b")
+        (_, batch), = out
+        assert isinstance(batch, RawBatch)
+        assert batch.items == ("a", "b")  # delay flush, size never reached
+        assert dispatcher.pending_batch_records == 0
+
+    def test_flush_due_polls_the_window(self, flu_config):
+        loop = _ManualLoop()
+        dispatcher = _dispatcher(
+            flu_config,
+            batch_size=10,
+            max_batch_delay=0.05,
+            clock=SimulatedClock(loop),
+        )
+        dispatcher.start_publication()
+        assert dispatcher.flush_due() == []  # nothing in flight
+        loop.now = 1.0
+        dispatcher.on_raw("c")
+        assert dispatcher.flush_due(now=1.04) == []  # still inside window
+        out = dispatcher.flush_due(now=1.05)
+        (_, batch), = out
+        assert batch.items == ("c",)
+
+    def test_size_flush_never_consults_clock_at_batch_one(self, flu_config):
+        class _Fails:
+            def now(self):  # pragma: no cover - the assertion *is* the test
+                raise AssertionError("batch_size=1 must not read the clock")
+
+        dispatcher = _dispatcher(flu_config, batch_size=1, clock=_Fails())
+        dispatcher.start_publication()
+        (_, batch), = dispatcher.on_raw("solo")
+        assert batch.items == ("solo",)
+
+
+def _pair(offset: int, tag: int, dummy: bool = False) -> Pair:
+    return Pair(
+        publication=0,
+        leaf_offset=offset,
+        encrypted=EncryptedRecord(offset, tag.to_bytes(4, "little") * 8),
+        dummy=dummy,
+    )
+
+
+def _released(outbox) -> tuple[list, list]:
+    """Normalise checking output to (cloud stream, merger stream)."""
+    cloud, merger = [], []
+    for destination, message in outbox:
+        if isinstance(message, ToCloudBatch):
+            cloud.extend(message.pairs)
+        elif isinstance(message, ToCloudPair):
+            cloud.append((message.leaf_offset, message.encrypted))
+        elif destination == "merger" and type(message).__name__ != "TemplateMsg":
+            merger.append(message)
+    return cloud, merger
+
+
+class TestRandomerBatchOrdering:
+    @pytest.mark.parametrize("chunk", [1, 3, 8, 25])
+    def test_pair_batch_releases_identical_stream(self, flu_config, chunk):
+        """Same seeded randomer, same pairs: delivering them as batches
+        must evict the same pairs in the same order as one at a time."""
+        tree = IndexTree(flu_config.domain, fanout=flu_config.fanout)
+        plan = draw_noise_plan(tree, flu_config.epsilon, rng=random.Random(31))
+        source = random.Random(3)
+        pairs = [
+            _pair(
+                source.randrange(flu_config.domain.num_leaves),
+                tag=i,
+                dummy=source.random() < 0.2,
+            )
+            for i in range(50)
+        ]
+
+        single = CheckingNode(flu_config, rng=random.Random(9))
+        single.on_new_publication(NewPublication(0, plan))
+        single_out = []
+        for pair in pairs:
+            single_out.extend(single.on_pair(pair))
+
+        batched = CheckingNode(flu_config, rng=random.Random(9))
+        batched.on_new_publication(NewPublication(0, plan))
+        batched_out = []
+        for start in range(0, len(pairs), chunk):
+            message = PairBatch(0, tuple(pairs[start:start + chunk]))
+            batched_out.extend(batched.on_pair_batch(message))
+
+        assert _released(batched_out) == _released(single_out)
+        assert batched.buffered_pairs() == single.buffered_pairs()
+        assert batched.pairs_processed == single.pairs_processed
+        assert batched.dummies_passed == single.dummies_passed
+        assert batched.records_removed == single.records_removed

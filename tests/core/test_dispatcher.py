@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core.dispatcher import Dispatcher
-from repro.core.messages import NewPublication, PublishingMsg, RawData
+from repro.core.messages import NewPublication, PublishingMsg, RawBatch
 
 
 @pytest.fixture
@@ -47,12 +47,12 @@ class TestRoundRobin:
         k = flu_config.num_computing_nodes
         assert destinations == [f"cn-{i % k}" for i in range(9)]
 
-    def test_raw_data_carries_publication(self, dispatcher):
+    def test_raw_batch_carries_publication(self, dispatcher):
         dispatcher.start_publication()
         _, message = dispatcher.on_raw("x")[0]
-        assert isinstance(message, RawData)
+        assert isinstance(message, RawBatch)
         assert message.publication == 0
-        assert message.line == "x"
+        assert message.items == ("x",)
 
 
 class TestDummySchedule:
@@ -74,9 +74,9 @@ class TestDummySchedule:
         released = dispatcher.due_dummies(1.0)
         assert released, "expected at least one dummy under epsilon=1"
         for _, message in released:
-            assert isinstance(message, RawData)
-            assert message.record is not None
-            assert message.record.is_dummy
+            assert isinstance(message, RawBatch)
+            (record,) = message.items
+            assert record.is_dummy
 
     def test_dummy_values_lie_in_their_leaf(self, dispatcher, flu_config):
         (_, announcement), = dispatcher.start_publication()
@@ -84,7 +84,8 @@ class TestDummySchedule:
         domain = flu_config.domain
         counts = [0] * domain.num_leaves
         for _, message in dispatcher.due_dummies(1.0):
-            offset = domain.leaf_offset(message.record.indexed_value(schema))
+            (record,) = message.items
+            offset = domain.leaf_offset(record.indexed_value(schema))
             counts[offset] += 1
         for offset, noise in enumerate(announcement.plan.leaf_noise):
             assert counts[offset] == max(0, noise)
@@ -92,8 +93,9 @@ class TestDummySchedule:
     def test_end_publication_flushes_remaining_dummies(self, dispatcher):
         dispatcher.start_publication()
         out = dispatcher.end_publication()
-        raw = [m for _, m in out if isinstance(m, RawData)]
-        assert len(raw) == 0 or all(m.record.is_dummy for m in raw)
+        batches = [m for _, m in out if isinstance(m, RawBatch)]
+        for batch in batches:
+            assert all(record.is_dummy for record in batch.items)
         assert dispatcher.pending_dummies == 0
 
 

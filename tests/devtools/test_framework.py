@@ -88,6 +88,7 @@ class TestRegistry:
     def test_checker_families_registered(self):
         families = {family for family, _ in all_codes().values()}
         assert families == {
+            "batching",
             "concurrency",
             "crypto",
             "durability",

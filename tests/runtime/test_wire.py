@@ -16,10 +16,13 @@ from repro.core.messages import (
     NewPublication,
     NodeDown,
     Pair,
+    PairBatch,
     PublishingMsg,
+    RawBatch,
     RawData,
     RemovedRecord,
     TemplateMsg,
+    ToCloudBatch,
     ToCloudPair,
 )
 from repro.index.domain import AttributeDomain
@@ -71,6 +74,17 @@ MESSAGES = [
     ("merger", AlSnapshot(2, (1, 2, 3, 4))),
     ("cloud", BufferFlush(2, ((0, _encrypted()), (1, _encrypted())))),
     ("cn-2", DoneMsg(2)),
+    # Batch frames (docs/BATCHING.md): one frame per batch on the wire.
+    ("cn-0", RawBatch(0, ("a\tb\tc", Record(("x", 1, 371, "none")), "d\te"))),
+    ("cn-1", RawBatch(3, ())),
+    (
+        "checking",
+        PairBatch(
+            1,
+            (Pair(1, 5, _encrypted(), dummy=True), Pair(1, 2, _encrypted())),
+        ),
+    ),
+    ("cloud", ToCloudBatch(2, ((0, _encrypted()), (1, _encrypted())))),
 ]
 
 
@@ -168,3 +182,32 @@ def test_pair_roundtrip_property(publication, leaf, ciphertext, dummy):
     )
     _, decoded = _roundtrip("checking", message)
     assert decoded == message
+
+
+@settings(max_examples=40)
+@given(
+    publication=st.integers(min_value=0, max_value=10**6),
+    items=st.lists(
+        st.one_of(
+            st.text(max_size=60).filter(lambda s: "\n" not in s),
+            st.builds(
+                lambda v, flag: Record((v, 1, 371, "none"), flag=flag),
+                st.sampled_from(["a", "b", "d"]),
+                st.sampled_from([0, -1]),  # REAL_FLAG / DUMMY_FLAG
+            ),
+        ),
+        max_size=12,
+    ),
+)
+def test_raw_batch_roundtrip_property(publication, items):
+    """Mixed line/record batches of any size survive the wire — order,
+    item kinds and dummy flags intact, as one frame."""
+    message = RawBatch(publication, tuple(items))
+    frame = encode_message("cn-0", message)
+    buffer = bytearray(frame)
+    assert len(list(read_frames(bytearray(frame)))) == 1  # one TCP frame
+    _, decoded = _roundtrip("cn-0", message)
+    assert decoded == message
+    assert [type(item) for item in decoded.items] == [
+        type(item) for item in items
+    ]

@@ -1,0 +1,80 @@
+"""Content-addressed cache of parsed module ASTs.
+
+Whole-program linting parses every file on every run; on a warm tree the
+parse step dominates.  The cache keys each entry by the SHA-256 of the
+file's *content* (not its path or mtime), so renames, checkouts and
+``touch`` never invalidate a byte-identical file, while any edit misses
+automatically.  Entries are pickled ``ast.Module`` trees, tagged with
+the interpreter's ``major.minor`` version because AST node layouts
+change between Python releases.
+
+The cache is purely an accelerator: every failure mode (missing dir,
+corrupt pickle, version mismatch, permission error) silently degrades to
+a fresh parse.  ``--no-cache`` on the CLI bypasses it entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import pickle
+import sys
+from pathlib import Path
+
+#: Directory created under the repo root to hold cache entries.
+CACHE_DIR_NAME = ".fresque-lint-cache"
+
+_VERSION_TAG = f"py{sys.version_info.major}{sys.version_info.minor}"
+
+
+def content_key(source: bytes) -> str:
+    """Stable cache key for one file's exact byte content."""
+    return hashlib.sha256(source).hexdigest()
+
+
+class AstCache:
+    """Pickled-AST store keyed by file content hash."""
+
+    def __init__(self, directory: Path):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _entry(self, key: str) -> Path:
+        return self.directory / f"{key}.{_VERSION_TAG}.ast"
+
+    def get(self, source: bytes) -> ast.Module | None:
+        """Cached tree for ``source``, or ``None`` on any miss."""
+        entry = self._entry(content_key(source))
+        try:
+            payload = entry.read_bytes()
+            tree = pickle.loads(payload)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt or incompatible entry: drop it and reparse.
+            self.misses += 1
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(tree, ast.Module):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return tree
+
+    def put(self, source: bytes, tree: ast.Module) -> None:
+        """Store ``tree`` for ``source``; failures are ignored."""
+        entry = self._entry(content_key(source))
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename so a crashed run never leaves a torn entry.
+            tmp = entry.with_suffix(entry.suffix + f".tmp{os.getpid()}")
+            tmp.write_bytes(pickle.dumps(tree, protocol=pickle.HIGHEST_PROTOCOL))
+            tmp.replace(entry)
+        except (OSError, pickle.PicklingError):
+            return  # read-only tree or unpicklable node: cache stays cold

@@ -1,27 +1,34 @@
 """Built-in checker families.
 
 Importing this package registers every built-in checker with the
-registry in :mod:`repro.devtools.registry`.
+registry in :mod:`repro.devtools.registry` — the per-module families
+and the whole-program (call-graph/dataflow) families alike.
 """
 
 from repro.devtools.checkers import (
     batching,
+    budget_flow,
     concurrency,
     crypto,
     durability,
     hygiene,
+    lockorder,
     privacy,
     runtime,
+    security_flow,
     telemetry,
 )
 
 __all__ = [
     "batching",
+    "budget_flow",
     "concurrency",
     "crypto",
     "durability",
     "hygiene",
+    "lockorder",
     "privacy",
     "runtime",
+    "security_flow",
     "telemetry",
 ]

@@ -1,0 +1,97 @@
+"""Machine-readable output formats for fresque-lint.
+
+``--format json`` emits a stable, jq-friendly document; ``--format
+sarif`` emits SARIF 2.1.0 so findings surface inline in code review UIs
+(GitHub code scanning consumes SARIF directly).  Both formats carry the
+same findings the text renderer would print — post-suppression,
+post-baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.devtools.diagnostics import Diagnostic
+
+#: SARIF schema pinned by the spec for version 2.1.0 documents.
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_json(
+    diagnostics: Iterable[Diagnostic], codes: dict[str, tuple[str, str]]
+) -> str:
+    """One JSON document: tool metadata plus a flat findings list."""
+    findings = [
+        {
+            "path": d.path,
+            "line": d.line,
+            "col": d.col,
+            "code": d.code,
+            "message": d.message,
+            "family": codes.get(d.code, ("", ""))[0],
+        }
+        for d in diagnostics
+    ]
+    return json.dumps(
+        {"tool": "fresque-lint", "findings": findings}, indent=2
+    )
+
+
+def render_sarif(
+    diagnostics: Iterable[Diagnostic], codes: dict[str, tuple[str, str]]
+) -> str:
+    """A minimal SARIF 2.1.0 run: driver rules plus one result each."""
+    diagnostics = list(diagnostics)
+    used = sorted({d.code for d in diagnostics} | set(codes))
+    rules = [
+        {
+            "id": code,
+            "name": codes.get(code, ("", ""))[0] or code,
+            "shortDescription": {
+                "text": codes.get(code, ("", code))[1] or code
+            },
+        }
+        for code in used
+    ]
+    rule_index = {code: index for index, code in enumerate(used)}
+    results = [
+        {
+            "ruleId": d.code,
+            "ruleIndex": rule_index.get(d.code, -1),
+            "level": "error",
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.path},
+                        "region": {
+                            "startLine": d.line,
+                            "startColumn": d.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for d in diagnostics
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "fresque-lint",
+                        "informationUri": "docs/STATIC_ANALYSIS.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,190 @@
+"""FRQ-P31x: epsilon provenance and discarded grants."""
+
+from tests.devtools.conftest import codes_of
+
+
+def test_p311_config_epsilon_fed_directly(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/core/driver.py": """
+            from repro.index.perturb import draw_noise_plan
+
+            class Driver:
+                def open_publication(self):
+                    return draw_noise_plan(self.tree, self.config.epsilon)
+            """,
+            "src/repro/index/perturb.py": """
+            def draw_noise_plan(tree, epsilon, rng=None):
+                pass
+            """,
+        }
+    )
+    assert codes_of(diagnostics) == ["FRQ-P311"]
+
+
+def test_p311_ungranted_epsilon_through_a_helper(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/core/driver.py": """
+            from repro.index.perturb import draw_noise_plan
+
+            class Driver:
+                def open_publication(self):
+                    self._draw(self.config.epsilon)
+
+                def _draw(self, epsilon):
+                    return draw_noise_plan(self.tree, epsilon)
+            """,
+            "src/repro/index/perturb.py": """
+            def draw_noise_plan(tree, epsilon, rng=None):
+                pass
+            """,
+        }
+    )
+    assert codes_of(diagnostics) == ["FRQ-P311"]
+    # The finding lands at the caller supplying the ungranted value.
+    assert "_draw()" in diagnostics[0].message
+
+
+def test_p311_granted_epsilon_is_clean(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/core/driver.py": """
+            from repro.index.perturb import draw_noise_plan
+
+            class Driver:
+                def open_publication(self):
+                    grant = self.accountant.grant()
+                    self._draw(grant.epsilon)
+
+                def _draw(self, epsilon):
+                    return draw_noise_plan(self.tree, epsilon)
+            """,
+            "src/repro/index/perturb.py": """
+            def draw_noise_plan(tree, epsilon, rng=None):
+                pass
+            """,
+        }
+    )
+    assert diagnostics == []
+
+
+def test_p311_grant_annotation_is_a_source(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/core/driver.py": """
+            from repro.index.perturb import draw_noise_plan
+
+            def open_with(grant: "PublicationGrant", tree):
+                return draw_noise_plan(tree, grant.epsilon)
+            """,
+            "src/repro/index/perturb.py": """
+            def draw_noise_plan(tree, epsilon, rng=None):
+                pass
+            """,
+        }
+    )
+    assert diagnostics == []
+
+
+def test_p311_open_parameter_at_api_boundary_is_silent(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/core/driver.py": """
+            from repro.index.perturb import draw_noise_plan
+
+            def draw_for(tree, epsilon):
+                return draw_noise_plan(tree, epsilon)
+            """,
+            "src/repro/index/perturb.py": """
+            def draw_noise_plan(tree, epsilon, rng=None):
+                pass
+            """,
+        }
+    )
+    assert diagnostics == []
+
+
+def test_p311_literal_epsilon_is_p30x_territory(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/core/driver.py": """
+            from repro.index.perturb import draw_noise_plan
+
+            def quick(tree):
+                return draw_noise_plan(tree, 0.5)
+            """,
+            "src/repro/index/perturb.py": """
+            def draw_noise_plan(tree, epsilon, rng=None):
+                pass
+            """,
+        }
+    )
+    assert "FRQ-P311" not in codes_of(diagnostics)
+
+
+def test_p311_caller_injecting_a_plan_is_not_judged(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/core/merger.py": """
+            from repro.index.template import IndexTemplate
+
+            def merge(domain, plan):
+                return IndexTemplate(domain, plan=plan)
+            """,
+            "src/repro/index/template.py": """
+            from repro.index.perturb import draw_noise_plan
+
+            class IndexTemplate:
+                def __init__(self, domain, plan=None, epsilon=None, rng=None):
+                    if plan is None:
+                        plan = draw_noise_plan(domain, epsilon, rng=rng)
+                    self.plan = plan
+            """,
+            "src/repro/index/perturb.py": """
+            def draw_noise_plan(tree, epsilon, rng=None):
+                pass
+            """,
+        }
+    )
+    assert diagnostics == []
+
+
+def test_p312_discarded_grant(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/core/driver.py": """
+            class Driver:
+                def open_publication(self):
+                    self.accountant.grant()
+            """
+        }
+    )
+    assert codes_of(diagnostics) == ["FRQ-P312"]
+
+
+def test_p312_bound_grant_is_clean(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/core/driver.py": """
+            class Driver:
+                def open_publication(self):
+                    grant = self.accountant.grant()
+                    return grant
+            """
+        }
+    )
+    assert diagnostics == []
+
+
+def test_p312_unrelated_grant_method_is_ignored(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/core/driver.py": """
+            class Driver:
+                def open_publication(self):
+                    self.permissions.grant()
+            """
+        }
+    )
+    assert diagnostics == []

@@ -1,0 +1,237 @@
+"""FRQ-L10xx: global lock-acquisition graph."""
+
+from tests.devtools.conftest import codes_of
+
+
+def test_l1001_cross_module_inversion_through_calls(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/runtime/router.py": """
+            import threading
+            from repro.core.node import Node
+
+            class Router:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.node = Node()
+
+                def deliver(self):
+                    with self._lock:
+                        self.node.absorb()
+
+                def poke(self):
+                    with self._lock:
+                        pass
+            """,
+            "src/repro/core/node.py": """
+            import threading
+
+            class Node:
+                def __init__(self):
+                    self._guard = threading.Lock()
+
+                def absorb(self):
+                    with self._guard:
+                        pass
+
+                def reverse(self, router):
+                    with self._guard:
+                        router.deliver_back()
+            """,
+            "src/repro/runtime/back.py": """
+            import threading
+
+            class BackRouter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def deliver_back(self):
+                    with self._lock:
+                        pass
+            """,
+        }
+    )
+    # Router._lock -> Node._guard (deliver -> absorb) and
+    # Node._guard -> BackRouter._lock (reverse -> deliver_back) is not
+    # yet a cycle; no finding.
+    assert diagnostics == []
+
+
+def test_l1001_two_lock_cycle_across_functions(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/runtime/router.py": """
+            import threading
+            from repro.core.node import Node
+
+            class Router:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.node = Node()
+
+                def deliver(self):
+                    with self._lock:
+                        self.node.absorb()
+
+                def unlocked_entry(self):
+                    with self._lock:
+                        pass
+            """,
+            "src/repro/core/node.py": """
+            import threading
+
+            class Node:
+                def __init__(self):
+                    self._guard = threading.Lock()
+
+                def absorb(self):
+                    with self._guard:
+                        pass
+
+                def reverse(self, router):
+                    with self._guard:
+                        router.unlocked_entry()
+            """,
+        }
+    )
+    assert codes_of(diagnostics) == ["FRQ-L1001"]
+    message = diagnostics[0].message
+    assert "Router._lock" in message and "Node._guard" in message
+
+
+def test_l1001_consistent_order_is_clean(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/runtime/router.py": """
+            import threading
+            from repro.core.node import Node
+
+            class Router:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.node = Node()
+
+                def deliver(self):
+                    with self._lock:
+                        self.node.absorb()
+
+                def flush_all(self):
+                    with self._lock:
+                        self.node.absorb()
+            """,
+            "src/repro/core/node.py": """
+            import threading
+
+            class Node:
+                def __init__(self):
+                    self._guard = threading.Lock()
+
+                def absorb(self):
+                    with self._guard:
+                        pass
+            """,
+        }
+    )
+    assert diagnostics == []
+
+
+def test_l1001_leaves_same_module_direct_nesting_to_c103(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/runtime/pair.py": """
+            import threading
+
+            a_lock = threading.Lock()
+            b_lock = threading.Lock()
+
+            def forward():
+                with a_lock:
+                    with b_lock:
+                        pass
+
+            def backward():
+                with b_lock:
+                    with a_lock:
+                        pass
+            """
+        }
+    )
+    # Same-module lexical AB/BA is FRQ-C103's finding, not FRQ-L1001's.
+    assert "FRQ-L1001" not in codes_of(diagnostics)
+
+
+def test_l1001_three_lock_cycle_spanning_three_modules(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/runtime/a.py": """
+            import threading
+
+            class A:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def step_a(self, b):
+                    with self._lock:
+                        b.step_b()
+            """,
+            "src/repro/core/b.py": """
+            import threading
+
+            class B:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def step_b(self):
+                    with self._lock:
+                        pass
+
+                def chain_b(self, c):
+                    with self._lock:
+                        c.step_c()
+            """,
+            "src/repro/durability/c.py": """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def step_c(self):
+                    with self._lock:
+                        pass
+
+                def chain_c(self, a, b):
+                    with self._lock:
+                        a.step_a(b)
+            """,
+        }
+    )
+    assert codes_of(diagnostics) == ["FRQ-L1001"]
+
+
+def test_l1001_scoped_out_of_other_packages(lint_project):
+    diagnostics = lint_project(
+        {
+            "src/repro/simulation/sweep.py": """
+            import threading
+
+            class A:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._guard = threading.Lock()
+
+                def one(self):
+                    with self._lock:
+                        self.two()
+
+                def two(self):
+                    with self._guard:
+                        self.one_again()
+
+                def one_again(self):
+                    with self._lock:
+                        pass
+            """
+        }
+    )
+    assert "FRQ-L1001" not in codes_of(diagnostics)

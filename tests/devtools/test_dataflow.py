@@ -1,0 +1,209 @@
+"""Unit tests for the forward taint engine."""
+
+import re
+
+from repro.devtools.callgraph import CallGraph, build_project
+from repro.devtools.dataflow import SinkSpec, TaintEngine, TaintSpec
+
+from tests.devtools.conftest import parse_module
+
+SINKS = (
+    SinkSpec(
+        description="the wire",
+        methods=frozenset({"send", "sendall"}),
+        receiver_re=re.compile(r"sock", re.IGNORECASE),
+    ),
+)
+
+SPEC = TaintSpec(
+    label="plaintext",
+    source_calls=frozenset({"parse_raw_line", ".decrypt"}),
+    source_param_annotations=frozenset({"Record"}),
+    sinks=SINKS,
+    sanitizers=("encrypt",),
+)
+
+
+def run_engine(files: dict[str, str], spec: TaintSpec = SPEC) -> TaintEngine:
+    project = build_project(
+        [parse_module(source, path) for path, source in files.items()]
+    )
+    engine = TaintEngine(project, CallGraph(project), spec)
+    engine.run()
+    return engine
+
+
+def hit_lines(engine: TaintEngine) -> list[int]:
+    return [hit.node.lineno for hit in engine.hits]
+
+
+def test_direct_source_to_sink():
+    engine = run_engine(
+        {
+            "src/repro/core/a.py": """
+            def handle(line, sock):
+                record = parse_raw_line(line)
+                sock.sendall(record)
+            """
+        }
+    )
+    assert len(engine.hits) == 1
+    assert engine.hits[0].sink == "the wire"
+
+
+def test_sanitizer_clears_taint():
+    engine = run_engine(
+        {
+            "src/repro/core/a.py": """
+            def handle(line, sock, cipher):
+                record = parse_raw_line(line)
+                sock.sendall(cipher.encrypt(record))
+            """
+        }
+    )
+    assert engine.hits == []
+
+
+def test_taint_crosses_a_function_boundary():
+    engine = run_engine(
+        {
+            "src/repro/core/a.py": """
+            def handle(line, sock):
+                record = parse_raw_line(line)
+                forward(record, sock)
+
+            def forward(payload, sock):
+                sock.sendall(payload)
+            """
+        }
+    )
+    assert len(engine.hits) == 1
+    assert engine.hits[0].trace == ("forward()",)
+
+
+def test_taint_crosses_two_boundaries_and_returns():
+    engine = run_engine(
+        {
+            "src/repro/core/a.py": """
+            def produce(line):
+                return parse_raw_line(line)
+
+            def relay(line):
+                return produce(line)
+
+            def handle(line, sock):
+                sock.sendall(relay(line))
+            """
+        }
+    )
+    assert len(engine.hits) == 1
+
+
+def test_struct_fields_keep_clean_parts_clean():
+    engine = run_engine(
+        {
+            "src/repro/core/a.py": """
+            class Pair:
+                def __init__(self, offset, encrypted, dummy):
+                    self.offset = offset
+                    self.encrypted = encrypted
+                    self.dummy = dummy
+
+            def publish(line, sock, cipher):
+                record = parse_raw_line(line)
+                pair = Pair(3, cipher.encrypt(record), record)
+                sock.sendall(pair.encrypted)
+            """
+        }
+    )
+    assert engine.hits == []
+
+
+def test_shipping_the_whole_struct_fires():
+    engine = run_engine(
+        {
+            "src/repro/core/a.py": """
+            class Pair:
+                def __init__(self, offset, encrypted, dummy):
+                    self.offset = offset
+                    self.encrypted = encrypted
+                    self.dummy = dummy
+
+            def publish(line, sock, cipher):
+                record = parse_raw_line(line)
+                pair = Pair(3, cipher.encrypt(record), record)
+                sock.sendall(pair)
+            """
+        }
+    )
+    assert len(engine.hits) == 1
+
+
+def test_annotated_parameter_is_a_source():
+    engine = run_engine(
+        {
+            "src/repro/core/a.py": """
+            def ship(record: "Record", sock):
+                sock.sendall(record)
+            """
+        }
+    )
+    assert len(engine.hits) == 1
+
+
+def test_tuple_unpacking_tracks_positions():
+    engine = run_engine(
+        {
+            "src/repro/core/a.py": """
+            def handle(line, sock):
+                pair = (parse_raw_line(line), 42)
+                record, count = pair
+                sock.sendall(count)
+            """
+        }
+    )
+    assert engine.hits == []
+
+
+def test_branches_merge_taint():
+    engine = run_engine(
+        {
+            "src/repro/core/a.py": """
+            def handle(line, flag, sock):
+                if flag:
+                    value = parse_raw_line(line)
+                else:
+                    value = b"clean"
+                sock.sendall(value)
+            """
+        }
+    )
+    assert len(engine.hits) == 1
+
+
+def test_self_attribute_within_one_method():
+    engine = run_engine(
+        {
+            "src/repro/core/a.py": """
+            class Node:
+                def handle(self, line, sock):
+                    self.record = parse_raw_line(line)
+                    sock.sendall(self.record)
+            """
+        }
+    )
+    assert len(engine.hits) == 1
+
+
+def test_recursion_terminates():
+    engine = run_engine(
+        {
+            "src/repro/core/a.py": """
+            def walk(node, sock):
+                payload = parse_raw_line(node)
+                walk(payload, sock)
+                sock.sendall(payload)
+            """
+        }
+    )
+    assert len(engine.hits) == 1

@@ -89,11 +89,14 @@ class TestRegistry:
         families = {family for family, _ in all_codes().values()}
         assert families == {
             "batching",
+            "budget-flow",
             "concurrency",
             "crypto",
             "durability",
+            "lock-order",
             "privacy-budget",
             "hygiene",
+            "security-dataflow",
             "telemetry",
             "runtime",
         }

@@ -5,6 +5,7 @@ new FRQ findings modulo the committed baseline, and the baseline itself
 stays honest (no stale entries, every entry justified).
 """
 
+import time
 from pathlib import Path
 
 from repro.devtools.baseline import Baseline
@@ -12,9 +13,18 @@ from repro.devtools.lint import DEFAULT_BASELINE, run_lint
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
+#: Whole-program analysis of all of src/ must stay interactive.
+FULL_LINT_BUDGET_SECONDS = 10.0
+
 
 def test_src_lints_clean_modulo_baseline():
+    start = time.monotonic()
     diagnostics = run_lint([REPO_ROOT / "src"], REPO_ROOT)
+    elapsed = time.monotonic() - start
+    assert elapsed < FULL_LINT_BUDGET_SECONDS, (
+        f"full lint of src took {elapsed:.1f}s — the whole-program pass "
+        f"must stay under {FULL_LINT_BUDGET_SECONDS:.0f}s"
+    )
     baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
     fresh = [d for d in diagnostics if not baseline.absorbs(d)]
     assert fresh == [], "new lint findings:\n" + "\n".join(
@@ -33,3 +43,15 @@ def test_every_baseline_entry_is_justified():
             f"baseline entry {key[0]}:{key[1]}:{count} has no justification "
             f"comment"
         )
+
+
+def test_baseline_entries_are_sorted():
+    entries = [
+        line
+        for line in (REPO_ROOT / DEFAULT_BASELINE).read_text().splitlines()
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+    assert entries == sorted(entries), (
+        "baseline entries must stay sorted so diffs are minimal — "
+        "reorder the file"
+    )

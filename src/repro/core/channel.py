@@ -1,0 +1,51 @@
+"""The channel abstraction between component outboxes and transports.
+
+Every FRESQUE component is a pure handler: message in, routed
+``(destination, message)`` outbox out.  A :class:`Channel` is where an
+outbox goes — the seam between the protocol and a concrete transport.
+The synchronous system's pump, the threaded runtime's queues, the TCP
+router and the shared-memory rings are all channels in this sense;
+:class:`CallbackChannel` adapts any ``send(destination, message)``
+callable, and :class:`~repro.runtime.shm.channel.ShmChannel` writes
+frames into ring buffers.
+
+Drivers written against this interface (``channel.send_all(outbox)``)
+run unchanged over any transport.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+
+class Channel(ABC):
+    """Where a component's routed outbox is delivered."""
+
+    @abstractmethod
+    def send(self, destination: str, message) -> bool:
+        """Deliver one message; ``False`` if the destination is gone.
+
+        A ``False`` return is the transport's backpressure-with-death
+        signal (e.g. the consumer process died mid-send); the driver
+        decides whether to redispatch or raise.
+        """
+
+    def send_all(self, outbox: Iterable[tuple[str, object]]) -> None:
+        """Deliver a whole outbox in order."""
+        for destination, message in outbox:
+            self.send(destination, message)
+
+    def close(self) -> None:
+        """Release transport resources (optional)."""
+
+
+class CallbackChannel(Channel):
+    """Adapts a plain ``send(destination, message)`` callable."""
+
+    def __init__(self, callback):
+        self._callback = callback
+
+    def send(self, destination: str, message) -> bool:
+        self._callback(destination, message)
+        return True

@@ -19,7 +19,7 @@ from repro.core.messages import (
     RawBatch,
     RawData,
 )
-from repro.crypto.cipher import RecordCipher
+from repro.crypto.cipher import RecordCipher, record_nonce
 from repro.index.domain import DomainError
 from repro.records.record import EncryptedRecord, Record, RecordError
 from repro.records.serialize import parse_raw_line, serialize_record
@@ -66,12 +66,18 @@ class ComputingNode:
         )
         self._held_gauge = self._tel.gauge("cn_held_pairs", node=node_label)
         self._waiting_done = False
+        #: The publication whose *done* is awaited (``None`` otherwise).
+        self._publishing: int | None = None
         # While waiting for *done*, events are held in arrival order:
         # ("pair", Pair) entries and ("publishing", publication) markers.
         # Order matters — a publishing acknowledgement must not overtake
         # the pairs of its own publication, or the checking node would
         # finalise before receiving them (the Section 5.3 consistency
-        # condition).
+        # condition).  The one exception is a pair *of the awaited
+        # publication itself* (a crash redispatch absorbed from a dead
+        # sibling): its acknowledgement is already out, finalisation is
+        # waiting on exactly these pairs, and holding them would
+        # deadlock — they ship immediately.
         self._held: list[tuple[str, object]] = []
 
     @property
@@ -134,7 +140,7 @@ class ComputingNode:
             self.rejected += 1
             self._rejected_counter.inc()
             return []
-        if self._waiting_done:
+        if self._waiting_done and pair.publication != self._publishing:
             self._held.append(("pair", pair))
             if self._tel.enabled:
                 self._held_gauge.set(self.held_pairs)
@@ -158,9 +164,15 @@ class ComputingNode:
         leaf_offset_of = self.config.domain.leaf_offset
         publication = message.publication
         start = tel.now()
-        prepared: list[tuple[Record, int, bytes]] = []
+        # ``index`` is the item's position within the dispatched batch;
+        # with the batch's first-item ordinal it identifies the record
+        # pipeline-wide, which keys its deterministic IV.  Rejected items
+        # never reach the cipher, so (as in the counter path) they do not
+        # perturb the IVs of the survivors — and because the ordinal is
+        # global, neither does the batch layout (batch-size invariance).
+        prepared: list[tuple[Record, int, bytes, int]] = []
         parsed = rejected = 0
-        for item in message.items:
+        for index, item in enumerate(message.items):
             try:
                 if isinstance(item, str):
                     record = parse_raw_line(item, schema)
@@ -169,7 +181,12 @@ class ComputingNode:
                     record = item
                 leaf_offset = leaf_offset_of(record.indexed_value(schema))
                 prepared.append(
-                    (record, leaf_offset, serialize_record(record, schema))
+                    (
+                        record,
+                        leaf_offset,
+                        serialize_record(record, schema),
+                        index,
+                    )
                 )
             except (RecordError, DomainError, ValueError):
                 rejected += 1
@@ -179,15 +196,30 @@ class ComputingNode:
             self._rejected_counter.inc(rejected)
         tel.observe_stage("parse", publication, start)
         if not prepared:
-            return []
+            # Stamped transports still need the (empty) batch: the
+            # checking-side reorder gate waits for every sequence number,
+            # and an all-rejected batch must not stall it.
+            if message.seq < 0:
+                return []
+            return self._ship(PairBatch(publication, (), seq=message.seq))
         start = tel.now()
-        ciphertexts = self.cipher.encrypt_batch(
-            [plaintext for _, _, plaintext in prepared]
-        )
+        plaintexts = [plaintext for _, _, plaintext, _ in prepared]
+        if self.config.deterministic_ivs and message.ordinal >= 0:
+            ciphertexts = self.cipher.encrypt_batch_seeded(
+                plaintexts,
+                [
+                    record_nonce(message.ordinal + index)
+                    for _, _, _, index in prepared
+                ],
+            )
+        else:
+            ciphertexts = self.cipher.encrypt_batch(plaintexts)
         tel.observe_stage("encrypt", publication, start)
         pairs = []
         bytes_out = 0
-        for (record, leaf_offset, _), ciphertext in zip(prepared, ciphertexts):
+        for (record, leaf_offset, _, _), ciphertext in zip(
+            prepared, ciphertexts
+        ):
             bytes_out += len(ciphertext)
             pairs.append(
                 Pair(
@@ -204,8 +236,11 @@ class ComputingNode:
         self.encrypted += len(pairs)
         self.bytes_out += bytes_out
         self._bytes_counter.inc(bytes_out)
-        batch = PairBatch(publication, tuple(pairs))
-        if self._waiting_done:
+        return self._ship(PairBatch(publication, tuple(pairs), seq=message.seq))
+
+    def _ship(self, batch: PairBatch) -> list[tuple[str, object]]:
+        """Forward a pair batch, or hold it while waiting for *done*."""
+        if self._waiting_done and batch.publication != self._publishing:
             self._held.append(("batch", batch))
             if self._tel.enabled:
                 self._held_gauge.set(self.held_pairs)
@@ -224,6 +259,7 @@ class ComputingNode:
             self._held.append(("publishing", publication))
             return []
         self._waiting_done = True
+        self._publishing = publication
         return [("checking", CnPublishing(publication, self.node_id))]
 
     def on_done(self, message: DoneMsg) -> list[tuple[str, object]]:
@@ -233,6 +269,7 @@ class ComputingNode:
         the wait (back-to-back publications pipeline correctly).
         """
         self._waiting_done = False
+        self._publishing = None
         out: list[tuple[str, object]] = []
         while self._held:
             kind, payload = self._held.pop(0)
@@ -241,6 +278,7 @@ class ComputingNode:
                 continue
             out.append(("checking", CnPublishing(payload, self.node_id)))
             self._waiting_done = True
+            self._publishing = payload
             break
         if self._tel.enabled:
             self._held_gauge.set(self.held_pairs)

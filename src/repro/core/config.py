@@ -54,6 +54,17 @@ class FresqueConfig:
     max_batch_delay:
         Seconds a partially filled batch may wait before it is flushed
         anyway, bounding the ingest latency batching adds.
+    deterministic_ivs:
+        When true, computing nodes and the merger derive every IV from
+        the record's pipeline-wide identity (the dispatch ordinal stamped
+        on :class:`~repro.core.messages.RawBatch`, or the merger's
+        per-publication padding counter) via the cipher's seeded-encrypt
+        API instead of a process-local counter.  The ciphertext stream
+        then no longer depends on which process encrypted which record —
+        the property the shared-memory runtime's byte-identity
+        equivalence harness relies on (docs/RUNTIMES.md).  Off by
+        default: single-process runtimes keep the historical counter
+        IVs.
     """
 
     schema: Schema
@@ -67,6 +78,7 @@ class FresqueConfig:
     publish_interval: float = 60.0
     batch_size: int = 1
     max_batch_delay: float = 0.05
+    deterministic_ivs: bool = False
     _height: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:

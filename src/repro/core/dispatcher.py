@@ -99,6 +99,12 @@ class Dispatcher:
         #: The in-flight batch: raw lines and dummy Records, arrival order.
         self._batch: list[str | Record] = []
         self._batch_opened: float | None = None
+        # Global flush sequence (next RawBatch.seq) and the dispatch
+        # ordinal of the in-flight batch's first item; both are stamped
+        # onto RawBatch so order-restoring transports (runtime/shm) can
+        # re-serialise batches and key deterministic IVs.
+        self._seq = 0
+        self._batch_ordinal = 0
         self._batch_histogram = self._tel.histogram(
             "dispatcher_batch_records",
             buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
@@ -242,6 +248,8 @@ class Dispatcher:
     def _enqueue(self, item: str | Record) -> list[tuple[str, object]]:
         """Append one item to the in-flight batch; flush if due."""
         batch = self._batch
+        if not batch:
+            self._batch_ordinal = self.records_dispatched
         batch.append(item)
         self.records_dispatched += 1
         self._records_counter.inc()
@@ -263,7 +271,19 @@ class Dispatcher:
         items = tuple(self._batch)
         self._batch = []
         self._batch_opened = None
-        routed = [(self._next_node(), RawBatch(self._publication, items))]
+        seq = self._seq
+        self._seq += 1
+        routed = [
+            (
+                self._next_node(),
+                RawBatch(
+                    self._publication,
+                    items,
+                    seq=seq,
+                    ordinal=self._batch_ordinal,
+                ),
+            )
+        ]
         self._flush_counters[reason].inc()
         if self._tel.enabled:
             self._batch_histogram.observe(float(len(items)))
@@ -323,6 +343,7 @@ class Dispatcher:
             "records_dispatched": self.records_dispatched,
             "records_rerouted": self.records_rerouted,
             "dummies_generated": self.dummies_generated,
+            "seq": self._seq,
         }
 
     def restore(self, state: dict) -> None:
@@ -344,6 +365,10 @@ class Dispatcher:
         self.records_dispatched = state["records_dispatched"]
         self.records_rerouted = state["records_rerouted"]
         self.dummies_generated = state["dummies_generated"]
+        self._seq = state.get("seq", 0)
+        # records_dispatched already counts the restored in-flight batch,
+        # so its first item's ordinal is derivable.
+        self._batch_ordinal = self.records_dispatched - len(self._batch)
 
     def end_publication(self) -> list[tuple[str, object]]:
         """Broadcast *publishing*; the caller immediately starts the next.
@@ -355,7 +380,7 @@ class Dispatcher:
         """
         out = self.due_dummies(1.0)
         out.extend(self._flush(FLUSH_CLOSE))
-        message = PublishingMsg(self._publication)
+        message = PublishingMsg(self._publication, last_seq=self._seq - 1)
         out.extend((f"cn-{i}", message) for i in self.live_computing_nodes)
         out.append(("checking", message))
         return out

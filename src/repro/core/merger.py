@@ -24,7 +24,7 @@ from repro.core.messages import (
     RemovedRecord,
     TemplateMsg,
 )
-from repro.crypto.cipher import RecordCipher
+from repro.crypto.cipher import RecordCipher, padding_nonce
 from repro.index.overflow import OverflowArray
 from repro.index.perturb import NoisePlan
 from repro.index.template import IndexTemplate, merge_template_and_counts
@@ -188,14 +188,24 @@ class Merger:
             for key, messages in state["early_removed"].items()
         }
 
-    def _encrypted_dummy(self, leaf_offset: int, publication: int):
+    def _encrypted_dummy(
+        self, leaf_offset: int, publication: int, counter: int
+    ):
         low, high = self.config.domain.leaf_range(leaf_offset)
         value = low if high <= low else low + self._rng.random() * (high - low)
+        plaintext = self._dummy_serializer.serialize(value)
+        if self.config.deterministic_ivs:
+            # Keyed on (publication, padding index): the merge job seals
+            # leaves in a fixed order, so the counter sequence — and with
+            # it every padding IV — is identical in every runtime.
+            ciphertext = self.cipher.encrypt_seeded(
+                plaintext, padding_nonce(publication, counter)
+            )
+        else:
+            ciphertext = self.cipher.encrypt(plaintext)
         return EncryptedRecord(
             leaf_offset=None,
-            ciphertext=self.cipher.encrypt(
-                self._dummy_serializer.serialize(value)
-            ),
+            ciphertext=ciphertext,
             publication=publication,
         )
 
@@ -224,8 +234,11 @@ class Merger:
 
             def padding(offset=offset):
                 nonlocal padding_encrypts
+                counter = padding_encrypts
                 padding_encrypts += 1
-                return self._encrypted_dummy(offset, message.publication)
+                return self._encrypted_dummy(
+                    offset, message.publication, counter
+                )
 
             array.seal(padding, rng=self._rng)
             overflow[offset] = array

@@ -70,10 +70,21 @@ class RawBatch:
     dummies).  Every item belongs to ``publication`` — the dispatcher
     flushes the accumulator at interval close, so a batch never straddles
     a publication boundary (see docs/BATCHING.md).
+
+    ``seq`` is the dispatcher's global flush sequence number (gap-free,
+    never reset across publications) and ``ordinal`` is the global
+    dispatch ordinal of the batch's first item (its position in the
+    arrival stream).  Both are -1 on transports that predate them; the
+    shared-memory runtime requires them — ``seq`` lets the checking
+    worker restore dispatch order across parallel computing nodes (and
+    deduplicate crash redispatches), ``ordinal`` keys the deterministic
+    per-record IVs of ``config.deterministic_ivs`` (docs/RUNTIMES.md).
     """
 
     publication: int
     items: tuple[str | Record, ...]
+    seq: int = -1
+    ordinal: int = -1
 
 
 @dataclass(frozen=True)
@@ -99,10 +110,16 @@ class PairBatch:
     :class:`RawBatch`; the checking node feeds the pairs through the
     randomer in order, so the released stream is identical to what the
     same pairs delivered one-by-one would produce.
+
+    ``seq`` carries the originating :class:`RawBatch`'s flush sequence
+    number through the computing node (-1 on transports that do not
+    stamp it); multiprocess runtimes use it to re-serialise batches into
+    dispatch order before the randomer sees them.
     """
 
     publication: int
     pairs: tuple[Pair, ...]
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -138,9 +155,17 @@ class RemovedRecord:
 
 @dataclass(frozen=True)
 class PublishingMsg:
-    """Dispatcher → computing nodes and checking node: interval over."""
+    """Dispatcher → computing nodes and checking node: interval over.
+
+    ``last_seq`` is the dispatcher's highest flushed :class:`RawBatch`
+    sequence number at interval close (-1 when unstamped).  Reordering
+    consumers hold the message until every batch with ``seq <= last_seq``
+    has been processed, restoring the synchronous runtime's guarantee
+    that *publishing* arrives after the publication's final batch.
+    """
 
     publication: int
+    last_seq: int = -1
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,25 @@ class DecryptionError(ValueError):
     """Raised when a ciphertext cannot be decrypted (wrong key / corrupt)."""
 
 
+def record_nonce(ordinal: int) -> bytes:
+    """Seeded-IV nonce for the record at global dispatch ``ordinal``.
+
+    Namespaced (``rec``) so a record nonce can never collide with a
+    :func:`padding_nonce` even when the integers coincide.
+    """
+    return b"rec" + ordinal.to_bytes(8, "little")
+
+
+def padding_nonce(publication: int, counter: int) -> bytes:
+    """Seeded-IV nonce for the merger's ``counter``-th padding dummy of
+    ``publication``."""
+    return (
+        b"pad"
+        + publication.to_bytes(8, "little")
+        + counter.to_bytes(8, "little")
+    )
+
+
 class RecordCipher(ABC):
     """Encrypts and decrypts serialized record payloads."""
 
@@ -63,6 +82,44 @@ class RecordCipher(ABC):
         """
         return [self.encrypt(plaintext) for plaintext in plaintexts]
 
+    def encrypt_seeded(self, plaintext: bytes, nonce: bytes) -> bytes:
+        """Encrypt with an IV derived deterministically from ``nonce``.
+
+        The multiprocess runtimes use this (``config.deterministic_ivs``)
+        so every worker derives the IV from the record's pipeline-wide
+        identity (its dispatch ordinal) instead of a process-local
+        counter: the ciphertext stream then does not depend on which
+        process encrypted which record, which is what lets the
+        shared-memory runtime reproduce the in-memory runtime's cloud
+        state byte for byte.  The caller must never reuse a nonce for two
+        different plaintext positions — uniqueness of the derived IV is
+        the only requirement the construction inherits.
+        """
+        return self._encrypt_with_iv(plaintext, self.derive_iv(nonce))
+
+    def encrypt_batch_seeded(
+        self, plaintexts: list[bytes], nonces: list[bytes]
+    ) -> list[bytes]:
+        """Batch counterpart of :meth:`encrypt_seeded`, same contract as
+        :meth:`encrypt_batch`: byte-identical to the mapped form."""
+        if len(plaintexts) != len(nonces):
+            raise ValueError("one nonce per plaintext is required")
+        return [
+            self.encrypt_seeded(plaintext, nonce)
+            for plaintext, nonce in zip(plaintexts, nonces)
+        ]
+
+    def derive_iv(self, nonce: bytes) -> bytes:
+        """The deterministic IV bound to ``nonce`` (domain-separated)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support seeded IVs"
+        )
+
+    def _encrypt_with_iv(self, plaintext: bytes, iv: bytes) -> bytes:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support seeded IVs"
+        )
+
     def ciphertext_length(self, plaintext_length: int) -> int:
         """Length in bytes of the ciphertext for a given plaintext length.
 
@@ -84,9 +141,19 @@ class AesCbcCipher(RecordCipher):
     def __init__(self, keys: KeyStore):
         self._keys = keys
         self._block = AesBlockCipher(keys.record_key())
+        self._iv_key = keys.derive("fresque/seeded-iv")
 
     def encrypt(self, plaintext: bytes) -> bytes:
         iv = self._keys.fresh_iv()
+        return iv + cbc_encrypt(self._block, plaintext, iv)
+
+    def derive_iv(self, nonce: bytes) -> bytes:
+        # PRF of a never-reused nonce under a dedicated subkey — the IV
+        # stays unpredictable to the cloud, which only requires that the
+        # nonce assignment (dispatch ordinals) never repeats.
+        return hashlib.sha256(self._iv_key + nonce).digest()[:BLOCK_SIZE]
+
+    def _encrypt_with_iv(self, plaintext: bytes, iv: bytes) -> bytes:
         return iv + cbc_encrypt(self._block, plaintext, iv)
 
     def encrypt_batch(self, plaintexts: list[bytes]) -> list[bytes]:
@@ -120,10 +187,15 @@ class SimulatedCipher(RecordCipher):
     pure-Python AES cost (which the simulator models separately).
     """
 
-    def __init__(self, keys: KeyStore):
+    def __init__(self, keys: KeyStore, counter_start: int = 0):
         self._key = keys.record_key()
         self._keys = keys
-        self._counter = 0
+        # ``counter_start`` partitions the IV-counter space between
+        # cipher instances that share a key but not an address space
+        # (one worker process each): with per-worker offsets, e.g.
+        # ``worker_index << 44``, no two processes can draw the same
+        # counter IV even without the shared lock.
+        self._counter = counter_start
         # The cipher is shared by every computing-node thread plus the
         # merger; the counter bump must be atomic or two threads can draw
         # the same IV (keystream reuse).
@@ -157,6 +229,18 @@ class SimulatedCipher(RecordCipher):
 
     def encrypt(self, plaintext: bytes) -> bytes:
         iv = self._next_iv()
+        padded = pad(plaintext, BLOCK_SIZE)
+        return iv + self._xor(padded, self._keystream(iv, len(padded)))
+
+    def derive_iv(self, nonce: bytes) -> bytes:
+        # Domain-separated from the counter IVs (``iv-seeded`` vs ``iv``)
+        # so a seeded IV can never collide with a counter IV under the
+        # same key.
+        return hashlib.sha256(self._key + b"iv-seeded" + nonce).digest()[
+            :BLOCK_SIZE
+        ]
+
+    def _encrypt_with_iv(self, plaintext: bytes, iv: bytes) -> bytes:
         padded = pad(plaintext, BLOCK_SIZE)
         return iv + self._xor(padded, self._keystream(iv, len(padded)))
 

@@ -16,6 +16,7 @@ from repro.devtools.checkers import (
     privacy,
     runtime,
     security_flow,
+    shm,
     telemetry,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "privacy",
     "runtime",
     "security_flow",
+    "shm",
     "telemetry",
 ]

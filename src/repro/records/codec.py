@@ -1,14 +1,27 @@
-"""JSON-able payload codecs for records and noise plans.
+"""Payload codecs for records and noise plans.
 
 Shared by the TCP wire format (:mod:`repro.runtime.wire`), the
 durability journal and the collector checkpoints — living here, below
 both the core pipeline and the runtime, so any layer can serialise
 records without importing the transport.
+
+Two codec families:
+
+* JSON-able dicts (``encode_*``/``decode_*``) — the TCP wire format and
+  every durable artefact.
+* A binary form for :class:`EncryptedRecord`
+  (``encode_encrypted_into``/``decode_encrypted_from``) used by the
+  shared-memory runtime's batch frames: fixed-header fields unpacked
+  with ``struct.unpack_from`` straight off a ring-buffer
+  ``memoryview``, so decoding a batch performs exactly one copy per
+  record (the ciphertext into its own ``bytes``) and never materialises
+  the frame as an intermediate ``bytes`` object.
 """
 
 from __future__ import annotations
 
 import base64
+import struct
 
 from repro.index.perturb import NoisePlan
 from repro.records.record import EncryptedRecord, Record
@@ -68,3 +81,47 @@ def encode_record(record: Record) -> dict:
 def decode_record(payload: dict) -> Record:
     """Inverse of :func:`encode_record`."""
     return Record(tuple(payload["values"]), flag=payload["flag"])
+
+
+# ---------------------------------------------------------------------------
+# Binary EncryptedRecord codec (shared-memory batch frames)
+# ---------------------------------------------------------------------------
+
+# leaf (i32, -1 = None) | tag (i32, -1 = None) | pub (i32) | ct length (u32)
+_ENCRYPTED_HEADER = struct.Struct("<iiiI")
+
+
+def encode_encrypted_into(out: bytearray, record: EncryptedRecord) -> None:
+    """Append the binary form of ``record`` to ``out``."""
+    leaf = -1 if record.leaf_offset is None else record.leaf_offset
+    tag = -1 if record.tag is None else record.tag
+    out += _ENCRYPTED_HEADER.pack(
+        leaf, tag, record.publication, len(record.ciphertext)
+    )
+    out += record.ciphertext
+
+
+def decode_encrypted_from(
+    view, offset: int = 0
+) -> tuple[EncryptedRecord, int]:
+    """Decode one binary record at ``offset`` of ``view`` (a buffer).
+
+    Returns the record and the offset just past it.  The only copy made
+    is the ciphertext slice into its own ``bytes``.
+    """
+    leaf, tag, publication, length = _ENCRYPTED_HEADER.unpack_from(
+        view, offset
+    )
+    start = offset + _ENCRYPTED_HEADER.size
+    ciphertext = bytes(view[start : start + length])
+    if len(ciphertext) != length:
+        raise ValueError("truncated encrypted record")
+    return (
+        EncryptedRecord(
+            leaf_offset=None if leaf < 0 else leaf,
+            ciphertext=ciphertext,
+            tag=None if tag < 0 else tag,
+            publication=publication,
+        ),
+        start + length,
+    )

@@ -1,0 +1,45 @@
+"""Capped-exponential-backoff waiting, shared by the multiprocess runtimes.
+
+One helper, :func:`await_condition`, replaces the fixed-interval
+``time.sleep(0.05)`` polling loops the process runtimes used to carry:
+the first checks come quickly (sub-millisecond — a cluster that is
+already up costs almost no latency) and the interval doubles up to a cap
+so a slow startup under load does not spin the CPU.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+from repro.telemetry.clock import WALL_CLOCK
+
+T = TypeVar("T")
+
+
+def await_condition(
+    predicate: Callable[[], T | None],
+    timeout: float,
+    what: str,
+    *,
+    base_delay: float = 0.0005,
+    max_delay: float = 0.05,
+    clock=WALL_CLOCK,
+) -> T:
+    """Poll ``predicate`` until it returns a truthy value, with backoff.
+
+    ``predicate`` is called immediately, then after sleeps that double
+    from ``base_delay`` up to ``max_delay``.  Returns the first truthy
+    result; raises :class:`TimeoutError` mentioning ``what`` once
+    ``timeout`` seconds have passed without one.
+    """
+    deadline = clock.now() + timeout
+    delay = base_delay
+    while True:
+        result = predicate()
+        if result:
+            return result
+        if clock.now() >= deadline:
+            raise TimeoutError(f"timed out after {timeout:.1f}s: {what}")
+        time.sleep(delay)
+        delay = min(max_delay, delay * 2)

@@ -28,126 +28,14 @@ import time
 
 from repro.core.config import FresqueConfig
 from repro.core.dispatcher import Dispatcher
-from repro.crypto.cipher import SimulatedCipher
-from repro.crypto.keys import KeyStore
-from repro.datasets.flu import flu_domain
-from repro.index.domain import AttributeDomain, gowalla_domain, nasa_domain
-from repro.records.schema import (
-    Schema,
-    flu_survey_schema,
-    gowalla_schema,
-    nasa_log_schema,
+from repro.runtime.backoff import await_condition
+from repro.runtime.roles import (
+    SCHEMAS as _SCHEMAS,  # noqa: F401  (re-exported; see runtime.roles)
+    build_handler as _build_handler,
+    load_spec as _config_from_spec,
 )
 from repro.runtime.tcp import Router, TcpNode
 from repro.telemetry.clock import WALL_CLOCK
-
-_SCHEMAS = {
-    "flu_survey": (flu_survey_schema, flu_domain),
-    "gowalla": (gowalla_schema, gowalla_domain),
-    "nasa_log": (nasa_log_schema, nasa_domain),
-}
-
-
-def _config_from_spec(spec: dict) -> tuple[FresqueConfig, SimulatedCipher]:
-    schema_name = spec["schema"]
-    if schema_name in _SCHEMAS:
-        schema_factory, domain_factory = _SCHEMAS[schema_name]
-        schema: Schema = schema_factory()
-        domain = domain_factory()
-    else:
-        raise ValueError(f"unknown schema {schema_name!r}")
-    if "domain" in spec:
-        d = spec["domain"]
-        domain = AttributeDomain(d["dmin"], d["dmax"], d["bin"])
-    config = FresqueConfig(
-        schema=schema,
-        domain=domain,
-        num_computing_nodes=spec["computing_nodes"],
-        epsilon=spec.get("epsilon", 1.0),
-        alpha=spec.get("alpha", 2.0),
-    )
-    cipher = SimulatedCipher(KeyStore(bytes.fromhex(spec["key_hex"])))
-    return config, cipher
-
-
-def _build_handler(role: str, config, cipher, seeds: dict):
-    """Instantiate the component for ``role`` and return (handler, extra)."""
-    if role.startswith("cn-"):
-        from repro.core.computing_node import ComputingNode
-        from repro.core.messages import (
-            DoneMsg,
-            PublishingMsg,
-            RawBatch,
-            RawData,
-        )
-
-        node = ComputingNode(int(role[3:]), config, cipher)
-
-        def handle(message):
-            if isinstance(message, RawBatch):
-                return node.on_raw_batch(message)
-            if isinstance(message, RawData):
-                return node.on_raw(message)
-            if isinstance(message, PublishingMsg):
-                return node.on_publishing(message.publication)
-            if isinstance(message, DoneMsg):
-                return node.on_done(message)
-            raise TypeError(type(message).__name__)
-
-        return handle, node
-    if role == "checking":
-        from repro.core.checking import CheckingNode
-        from repro.core.messages import (
-            CnPublishing,
-            NewPublication,
-            NodeDown,
-            Pair,
-            PairBatch,
-            PublishingMsg,
-        )
-
-        node = CheckingNode(config, rng=random.Random(seeds.get(role)))
-
-        def handle(message):
-            if isinstance(message, NewPublication):
-                return node.on_new_publication(message)
-            if isinstance(message, PairBatch):
-                return node.on_pair_batch(message)
-            if isinstance(message, Pair):
-                return node.on_pair(message)
-            if isinstance(message, PublishingMsg):
-                return node.on_publishing(message.publication)
-            if isinstance(message, CnPublishing):
-                return node.on_cn_publishing(message)
-            if isinstance(message, NodeDown):
-                return node.on_node_down(message)
-            raise TypeError(type(message).__name__)
-
-        return handle, node
-    if role == "merger":
-        from repro.core.merger import Merger
-        from repro.core.messages import AlSnapshot, RemovedRecord, TemplateMsg
-
-        node = Merger(config, cipher, rng=random.Random(seeds.get(role)))
-
-        def handle(message):
-            if isinstance(message, TemplateMsg):
-                return node.on_template(message)
-            if isinstance(message, RemovedRecord):
-                return node.on_removed(message)
-            if isinstance(message, AlSnapshot):
-                return node.on_al(message)
-            raise TypeError(type(message).__name__)
-
-        return handle, node
-    if role == "cloud":
-        from repro.cloud.node import FresqueCloud
-        from repro.core.system import CloudAdapter
-
-        cloud = FresqueCloud(config.domain)
-        adapter = CloudAdapter(cloud)
-        return adapter.handle, (cloud, adapter)
-    raise ValueError(f"unknown role {role!r}")
 
 
 def _serve_control(cloud, adapter, cipher, schema, port_file: pathlib.Path):
@@ -195,14 +83,7 @@ def run_node(role: str, config_path: str) -> int:
     config, cipher = _config_from_spec(spec)
     handler, extra = _build_handler(role, config, cipher, spec.get("seeds", {}))
     router = Router(dict(spec["ports"]))
-    node = TcpNode(role, handler, router)
-    # Rebind onto the pre-assigned port from the address book.
-    node._server.close()
-    node._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    node._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-    node._server.bind(("127.0.0.1", spec["ports"][role]))
-    node._server.listen(32)
-    node.port = spec["ports"][role]
+    node = TcpNode(role, handler, router, port=spec["ports"][role])
     node.start()
     if role == "cloud":
         cloud, adapter = extra
@@ -292,16 +173,25 @@ class ProcessCluster:
                 )
             )
         deadline = WALL_CLOCK.now() + timeout
-        for role, port in self._spec["ports"].items():
-            while True:
+
+        def _port_answers(port):
+            def probe():
                 try:
                     # fresque-lint: disable=FRQ-R601 -- liveness probe; failure is the expected signal
                     socket.create_connection(("127.0.0.1", port), 0.2).close()
-                    break
+                    return True
+                # fresque-lint: disable=FRQ-R602 -- falsy result keeps the backoff loop polling
                 except OSError:
-                    if WALL_CLOCK.now() > deadline:
-                        raise TimeoutError(f"node {role} never came up")
-                    time.sleep(0.05)
+                    return None
+
+            return probe
+
+        for role, port in self._spec["ports"].items():
+            await_condition(
+                _port_answers(port),
+                max(0.0, deadline - WALL_CLOCK.now()),
+                f"node {role} never came up",
+            )
         self._send(self.dispatcher.start_publication())
 
     def _send(self, outbox) -> None:
@@ -317,14 +207,21 @@ class ProcessCluster:
             self._send(self.dispatcher.on_raw(line))
         self._send(self.dispatcher.end_publication())
         self._send(self.dispatcher.start_publication())
-        deadline = WALL_CLOCK.now() + timeout
-        while WALL_CLOCK.now() < deadline:
+
+        def matched():
             status = self._control({"op": "status"})
             if status is not None and publication in status["publications"]:
                 index = status["publications"].index(publication)
-                return status["records"][index]
-            time.sleep(0.05)
-        raise TimeoutError(f"publication {publication} never matched")
+                # +1 so a zero-record publication still reads as truthy.
+                return status["records"][index] + 1
+            return None
+
+        return (
+            await_condition(
+                matched, timeout, f"publication {publication} never matched"
+            )
+            - 1
+        )
 
     def _control(self, request: dict) -> dict | None:
         port_file = self.workdir / "cloud-control-port"

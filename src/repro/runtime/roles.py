@@ -1,0 +1,185 @@
+"""Role construction shared by the multiprocess runtimes.
+
+Both the TCP :class:`~repro.runtime.process.ProcessCluster` and the
+shared-memory :class:`~repro.runtime.shm.ShmFresqueCluster` describe a
+deployment as a JSON-able *spec* (schema name, domain bounds, node
+count, key, per-role seeds) that worker processes reconstruct on their
+side of the process boundary.  This module owns that reconstruction —
+spec → :class:`FresqueConfig`, spec → cipher, role name → message
+handler — so the two runtimes cannot drift apart on what a role does.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import FresqueConfig
+from repro.crypto.cipher import RecordCipher, SimulatedCipher
+from repro.crypto.keys import KeyStore
+from repro.datasets.flu import flu_domain
+from repro.index.domain import AttributeDomain, gowalla_domain, nasa_domain
+from repro.records.schema import (
+    Schema,
+    flu_survey_schema,
+    gowalla_schema,
+    nasa_log_schema,
+)
+
+SCHEMAS = {
+    "flu_survey": (flu_survey_schema, flu_domain),
+    "gowalla": (gowalla_schema, gowalla_domain),
+    "nasa_log": (nasa_log_schema, nasa_domain),
+}
+
+
+def spec_from_config(config: FresqueConfig, key: bytes) -> dict:
+    """The JSON-able spec a worker needs to rebuild ``config``."""
+    return {
+        "schema": config.schema.name,
+        "domain": {
+            "dmin": config.domain.dmin,
+            "dmax": config.domain.dmax,
+            "bin": config.domain.bin_interval,
+        },
+        "computing_nodes": config.num_computing_nodes,
+        "epsilon": config.epsilon,
+        "alpha": config.alpha,
+        "batch_size": config.batch_size,
+        "max_batch_delay": config.max_batch_delay,
+        "deterministic_ivs": config.deterministic_ivs,
+        "key_hex": key.hex(),
+    }
+
+
+def config_from_spec(spec: dict) -> FresqueConfig:
+    """Rebuild the deployment configuration from a cluster spec."""
+    schema_name = spec["schema"]
+    if schema_name in SCHEMAS:
+        schema_factory, domain_factory = SCHEMAS[schema_name]
+        schema: Schema = schema_factory()
+        domain = domain_factory()
+    else:
+        raise ValueError(f"unknown schema {schema_name!r}")
+    if "domain" in spec:
+        d = spec["domain"]
+        domain = AttributeDomain(d["dmin"], d["dmax"], d["bin"])
+    return FresqueConfig(
+        schema=schema,
+        domain=domain,
+        num_computing_nodes=spec["computing_nodes"],
+        epsilon=spec.get("epsilon", 1.0),
+        alpha=spec.get("alpha", 2.0),
+        batch_size=spec.get("batch_size", 1),
+        max_batch_delay=spec.get("max_batch_delay", 0.05),
+        deterministic_ivs=spec.get("deterministic_ivs", False),
+    )
+
+
+def cipher_from_spec(spec: dict, counter_start: int = 0) -> RecordCipher:
+    """Rebuild the shared record cipher from a cluster spec.
+
+    ``counter_start`` partitions the simulated cipher's IV-counter space
+    between worker processes (each gets a disjoint range), so counter
+    IVs stay unique across a deployment that no longer shares the
+    counter lock.  Deterministic-IV deployments do not depend on it —
+    their IVs derive from dispatch ordinals — but the offsets keep
+    non-deterministic multiprocess runs safe too.
+    """
+    return SimulatedCipher(
+        KeyStore(bytes.fromhex(spec["key_hex"])), counter_start=counter_start
+    )
+
+
+def load_spec(spec: dict) -> tuple[FresqueConfig, RecordCipher]:
+    """Spec → (config, cipher), the worker-side entry point."""
+    return config_from_spec(spec), cipher_from_spec(spec)
+
+
+def build_handler(role: str, config, cipher, seeds: dict):
+    """Instantiate the component for ``role`` and return (handler, extra).
+
+    ``handler`` maps one inbound message to an outbox of
+    ``(destination, message)`` pairs — the transport-agnostic contract
+    every runtime drives; ``extra`` exposes the underlying component(s)
+    for stats and control channels.  ``seeds`` carries per-role RNG
+    seeds (``random.Random`` accepts ints and floats alike; the
+    shared-memory cluster passes the float chain the in-memory
+    :class:`~repro.core.system.FresqueSystem` derives, for bytewise
+    equivalence).
+    """
+    if role.startswith("cn-"):
+        from repro.core.computing_node import ComputingNode
+        from repro.core.messages import (
+            DoneMsg,
+            PublishingMsg,
+            RawBatch,
+            RawData,
+        )
+
+        node = ComputingNode(int(role[3:]), config, cipher)
+
+        def handle(message):
+            if isinstance(message, RawBatch):
+                return node.on_raw_batch(message)
+            if isinstance(message, RawData):
+                return node.on_raw(message)
+            if isinstance(message, PublishingMsg):
+                return node.on_publishing(message.publication)
+            if isinstance(message, DoneMsg):
+                return node.on_done(message)
+            raise TypeError(type(message).__name__)
+
+        return handle, node
+    if role == "checking":
+        from repro.core.checking import CheckingNode
+        from repro.core.messages import (
+            CnPublishing,
+            NewPublication,
+            NodeDown,
+            Pair,
+            PairBatch,
+            PublishingMsg,
+        )
+
+        node = CheckingNode(config, rng=random.Random(seeds.get(role)))
+
+        def handle(message):
+            if isinstance(message, NewPublication):
+                return node.on_new_publication(message)
+            if isinstance(message, PairBatch):
+                return node.on_pair_batch(message)
+            if isinstance(message, Pair):
+                return node.on_pair(message)
+            if isinstance(message, PublishingMsg):
+                return node.on_publishing(message.publication)
+            if isinstance(message, CnPublishing):
+                return node.on_cn_publishing(message)
+            if isinstance(message, NodeDown):
+                return node.on_node_down(message)
+            raise TypeError(type(message).__name__)
+
+        return handle, node
+    if role == "merger":
+        from repro.core.merger import Merger
+        from repro.core.messages import AlSnapshot, RemovedRecord, TemplateMsg
+
+        node = Merger(config, cipher, rng=random.Random(seeds.get(role)))
+
+        def handle(message):
+            if isinstance(message, TemplateMsg):
+                return node.on_template(message)
+            if isinstance(message, RemovedRecord):
+                return node.on_removed(message)
+            if isinstance(message, AlSnapshot):
+                return node.on_al(message)
+            raise TypeError(type(message).__name__)
+
+        return handle, node
+    if role == "cloud":
+        from repro.cloud.node import FresqueCloud
+        from repro.core.system import CloudAdapter
+
+        cloud = FresqueCloud(config.domain)
+        adapter = CloudAdapter(cloud)
+        return adapter.handle, (cloud, adapter)
+    raise ValueError(f"unknown role {role!r}")

@@ -1,0 +1,38 @@
+"""Shared-memory multiprocess runtime (docs/RUNTIMES.md).
+
+Computing nodes, the checking node, the merger and the cloud run as
+separate OS *processes* — so parsing, encryption and checking escape the
+GIL — connected by single-producer/single-consumer ring buffers over
+``multiprocessing.shared_memory`` instead of sockets.  Batch frames are
+encoded once on the producer and decoded straight out of the ring's
+``memoryview`` on the consumer: no per-hop serialisation, no kernel
+round trips, no intermediate copies.
+
+Public surface:
+
+* :class:`~repro.runtime.shm.ring.RingBuffer` — the SPSC ring.
+* :class:`~repro.runtime.shm.channel.ShmChannel` — channel-interface
+  adapter (encode → ring) for one producer's outbound destinations.
+* :class:`~repro.runtime.shm.cluster.ShmFresqueCluster` — spawns the
+  worker processes, drives the dispatcher from the parent, detects
+  worker crashes (heartbeats) and redispatches a dead ring's backlog
+  through the degraded-mode path.
+"""
+
+from repro.runtime.shm.channel import ShmChannel
+from repro.runtime.shm.cluster import ShmFresqueCluster
+from repro.runtime.shm.ring import (
+    RingBuffer,
+    RingClosed,
+    RingError,
+    StatsBlock,
+)
+
+__all__ = [
+    "RingBuffer",
+    "RingClosed",
+    "RingError",
+    "ShmChannel",
+    "ShmFresqueCluster",
+    "StatsBlock",
+]

@@ -1,0 +1,602 @@
+"""Parent-side driver of the shared-memory multiprocess runtime.
+
+:class:`ShmFresqueCluster` runs the dispatcher in the parent process and
+every other FRESQUE component (computing nodes, checking node, merger,
+cloud) in its own worker process, connected by single-producer
+single-consumer ring buffers over ``multiprocessing.shared_memory``
+(:mod:`repro.runtime.shm.ring`).  Batches are encoded once into a ring
+frame on the producer and decoded straight out of the consumer's mapped
+view — the zero-copy path that lets the pipeline scale past the GIL
+without the TCP runtime's per-hop serialisation.
+
+Ring topology for ``k`` computing nodes (label → producer → consumer)::
+
+    p2c<i>   parent   → cn-<i>    raw batches, publishing
+    k2c<i>   checking → cn-<i>    done notices
+    c<i>2k   cn-<i>   → checking  pair batches, cn-publishing
+    p2k      parent   → checking  new-publication, publishing
+    k2m      checking → merger    templates, removed, AL snapshots
+    k2cl     checking → cloud     announce, to-cloud batches, flushes
+    m2cl     merger   → cloud     merged publications
+    p2cl     parent   → cloud     control requests (raw JSON)
+    cl2p     cloud    → parent    receipts + control responses (raw JSON)
+
+Determinism: with ``config.deterministic_ivs`` the cluster's final cloud
+state is byte-identical to the in-memory :class:`FresqueSystem` driven
+with the same seed — the parent replicates its seed-derivation chain,
+the dispatcher stamps every batch with a global sequence number, and the
+checking worker's :class:`~repro.runtime.shm.workers.CheckingGate`
+restores dispatch order before the randomer draws (docs/RUNTIMES.md).
+
+Fault tolerance: the parent supervises the workers.  A dead computing
+node is taken out of the dispatcher's rotation (PR 3's degraded path),
+its data ring's uncommitted backlog is drained and redispatched to the
+survivors, and the checking worker deduplicates the overlap by batch
+sequence number — no record lost, none double-counted.  With
+``data_dir`` set, the parent mirrors the durable collector's
+write-ahead/ledger discipline (journal *open* before dispatch, *close*
+before the publishing broadcast, ε commit only after the cloud receipt).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pathlib
+import random
+import time
+
+from repro.core.config import FresqueConfig
+from repro.core.dispatcher import Dispatcher
+from repro.core.messages import RawBatch
+from repro.index.perturb import draw_noise_plan
+from repro.index.tree import IndexTree
+from repro.runtime.backoff import await_condition
+from repro.runtime.roles import spec_from_config
+from repro.runtime.shm.channel import ShmChannel
+from repro.runtime.shm.frames import decode_frame
+from repro.runtime.shm.ring import RingBuffer, StatsBlock
+from repro.runtime.shm.workers import run_worker, stats_fields
+from repro.telemetry.clock import WALL_CLOCK
+from repro.telemetry.context import coalesce
+from repro.telemetry.exporters import mirror_shared_stats
+
+#: Capacity of the JSON control/event rings (requests and receipts are
+#: tiny; the data rings get the configurable capacity).
+CONTROL_RING_CAPACITY = 1 << 16
+
+#: Supervision cadence: worker liveness and telemetry are checked every
+#: this many parent-side sends (liveness is a cheap ``waitpid`` poll,
+#: but per-record would still dominate small batches).
+SUPERVISE_EVERY = 64
+
+
+def _fork_context():
+    """Prefer ``fork`` (workers inherit nothing they need beyond the
+    picklable args, and fork avoids re-importing the world); fall back
+    to the platform default where fork is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class WorkerDied(RuntimeError):
+    """A non-recoverable worker (checking/merger/cloud) exited."""
+
+
+class ShmFresqueCluster:
+    """A multiprocess FRESQUE deployment over shared-memory rings.
+
+    Parameters
+    ----------
+    config:
+        Deployment configuration (``num_computing_nodes`` worker
+        processes plus checking, merger and cloud).
+    key:
+        Master key bytes; each worker rebuilds the shared
+        :class:`SimulatedCipher` from it (disjoint IV-counter ranges —
+        see :data:`~repro.runtime.shm.workers.COUNTER_NAMESPACE_BITS`).
+    seed:
+        Seed for all randomness, derived exactly as the in-memory
+        :class:`~repro.core.system.FresqueSystem` derives it
+        (dispatcher, checking, merger — in that order).
+    data_dir:
+        When set, the parent runs the durable collector discipline:
+        write-ahead journal, ε ledger and two-phase publication commit
+        (mirroring :class:`~repro.durability.system.DurableFresqueSystem`).
+    ring_capacity:
+        Bytes per data ring (must exceed twice the largest frame; the
+        merged-publication frame grows with the domain's leaf count, so
+        wide domains like Gowalla need the default's headroom).
+    """
+
+    def __init__(
+        self,
+        config: FresqueConfig,
+        key: bytes,
+        seed: int | None = None,
+        *,
+        telemetry=None,
+        data_dir=None,
+        ring_capacity: int = 1 << 22,
+        sync_every: int = 256,
+        horizon: int = 52,
+        total_epsilon: float | None = None,
+        put_timeout: float = 30.0,
+    ):
+        self.config = config
+        self.telemetry = coalesce(telemetry)
+        rng = random.Random(seed)
+        self.dispatcher = Dispatcher(
+            config, rng=random.Random(rng.random()), telemetry=telemetry
+        )
+        spec = spec_from_config(config, key)
+        # The float chain FresqueSystem hands its checking/merger RNGs.
+        spec["seeds"] = {"checking": rng.random(), "merger": rng.random()}
+        self._spec = spec
+        self._ring_capacity = ring_capacity
+        self._put_timeout = put_timeout
+        self._rings: dict[str, RingBuffer] = {}
+        self._stats: dict[str, StatsBlock] = {}
+        self._procs: dict[str, object] = {}
+        self._dead: set[int] = set()
+        self._receipts: dict[int, int] = {}
+        self._responses: dict[int, dict] = {}
+        self._next_rid = 0
+        self._sends = 0
+        self._started = False
+        self._closed = False
+        self.durable = data_dir is not None
+        if self.durable:
+            from repro.durability.journal import WriteAheadJournal
+            from repro.durability.ledger import BudgetLedger
+            from repro.privacy.accountant import PublicationAccountant
+
+            self.data_dir = pathlib.Path(data_dir)
+            self.data_dir.mkdir(parents=True, exist_ok=True)
+            self.journal = WriteAheadJournal(
+                self.data_dir / "journal.wal",
+                sync_every=sync_every,
+                telemetry=telemetry,
+            )
+            self._ledger = BudgetLedger(self.data_dir / "epsilon.ledger")
+            self.accountant = PublicationAccountant(
+                total_epsilon
+                if total_epsilon is not None
+                else config.epsilon * horizon,
+                horizon,
+                ledger=self._ledger,
+            )
+            self._tree_shape = IndexTree(config.domain, fanout=config.fanout)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def _make_ring(self, label: str, capacity: int) -> RingBuffer:
+        ring = RingBuffer(
+            name=f"frq{self._token}-{label}", capacity=capacity, create=True
+        )
+        self._rings[label] = ring
+        return ring
+
+    def start(self) -> None:
+        """Create the rings, spawn the workers, open publication one."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._token = os.urandom(4).hex()
+        k = self.config.num_computing_nodes
+        for i in range(k):
+            self._make_ring(f"p2c{i}", self._ring_capacity)
+            self._make_ring(f"c{i}2k", self._ring_capacity)
+            self._make_ring(f"k2c{i}", CONTROL_RING_CAPACITY)
+        self._make_ring("p2k", CONTROL_RING_CAPACITY)
+        self._make_ring("k2m", self._ring_capacity)
+        self._make_ring("k2cl", self._ring_capacity)
+        self._make_ring("m2cl", self._ring_capacity)
+        self._make_ring("p2cl", CONTROL_RING_CAPACITY)
+        self._make_ring("cl2p", CONTROL_RING_CAPACITY)
+
+        def name(label: str) -> str:
+            return self._rings[label].name
+
+        plans = [
+            (
+                f"cn-{i}",
+                {"data": name(f"p2c{i}"), "done": name(f"k2c{i}")},
+                {"checking": name(f"c{i}2k")},
+                i,
+            )
+            for i in range(k)
+        ]
+        plans.append(
+            (
+                "checking",
+                {
+                    "parent": name("p2k"),
+                    **{f"cn-{i}": name(f"c{i}2k") for i in range(k)},
+                },
+                {
+                    **{f"cn-{i}": name(f"k2c{i}") for i in range(k)},
+                    "merger": name("k2m"),
+                    "cloud": name("k2cl"),
+                },
+                k,
+            )
+        )
+        plans.append(
+            ("merger", {"checking": name("k2m")}, {"cloud": name("m2cl")}, k + 1)
+        )
+        plans.append(
+            (
+                "cloud",
+                {
+                    "checking": name("k2cl"),
+                    "merger": name("m2cl"),
+                    "control": name("p2cl"),
+                },
+                {"parent": name("cl2p")},
+                k + 2,
+            )
+        )
+        ctx = _fork_context()
+        for role, inbound, outbound, index in plans:
+            block = StatsBlock(
+                stats_fields(role),
+                name=f"frq{self._token}-st-{role}",
+                create=True,
+            )
+            self._stats[role] = block
+            proc = ctx.Process(
+                target=run_worker,
+                args=(role, self._spec, inbound, outbound, block.name, index),
+                name=f"fresque-shm-{role}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs[role] = proc
+        self._channel = ShmChannel(
+            {
+                **{f"cn-{i}": self._rings[f"p2c{i}"] for i in range(k)},
+                "checking": self._rings["p2k"],
+            },
+            abort_for=self._abort_probe,
+            timeout=self._put_timeout,
+        )
+        self._started = True
+        if self.durable:
+            self._open_publication()
+        else:
+            self._send_all(self.dispatcher.start_publication())
+
+    def __enter__(self) -> "ShmFresqueCluster":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Sending + supervision
+    # ------------------------------------------------------------------
+
+    def _abort_probe(self, destination: str):
+        proc = self._procs.get(destination)
+        if proc is None:
+            return None
+        return lambda: not proc.is_alive()
+
+    def _send(self, destination: str, message) -> None:
+        if self._channel.send(destination, message):
+            self._sends += 1
+            if self._sends % SUPERVISE_EVERY == 0:
+                self._supervise()
+            return
+        # The destination's ring is closed or its consumer died mid-put.
+        if destination.startswith("cn-"):
+            self._on_cn_death(int(destination[3:]))
+            if isinstance(message, RawBatch):
+                self._send_all(self.dispatcher.redispatch(message))
+            # A publishing notice to a dead node is dropped: the
+            # NodeDown the death handler emitted replaces it.
+            return
+        raise WorkerDied(f"worker {destination!r} is gone")
+
+    def _send_all(self, outbox) -> None:
+        for destination, message in outbox:
+            self._send(destination, message)
+
+    def _supervise(self) -> None:
+        """Poll worker liveness, drain cloud events, refresh gauges."""
+        for role, proc in list(self._procs.items()):
+            if proc.is_alive():
+                continue
+            if role.startswith("cn-"):
+                self._on_cn_death(int(role[3:]))
+            else:
+                raise WorkerDied(
+                    f"worker {role!r} exited with code {proc.exitcode}"
+                )
+        self._pump_events()
+        self._flush_telemetry()
+
+    def _on_cn_death(self, index: int) -> None:
+        """Degraded mode: absorb a dead computing node's work.
+
+        Ordering matters: the node leaves the dispatcher's rotation
+        *first* (so redispatch never routes back to it), the checking
+        node hears :class:`NodeDown` *before* the redispatched batches,
+        and only then is the dead node's uncommitted inbound backlog —
+        everything at or past its last committed frame — re-routed to
+        the survivors.  Batches the dead node had already forwarded but
+        not committed are re-sent too; the checking gate drops them as
+        sequence-number duplicates.
+        """
+        if index in self._dead:
+            return
+        self._dead.add(index)
+        role = f"cn-{index}"
+        proc = self._procs.pop(role, None)
+        if proc is not None:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+        notice = self.dispatcher.mark_node_down(index)
+        data_ring = self._rings[f"p2c{index}"]
+        backlog = data_ring.drain_backlog()
+        data_ring.mark_closed()
+        # Take over the dead producer's end-of-stream duty so the
+        # checking worker can drain its ring and move on; close the
+        # done ring so checking's future sends to it fail fast.
+        self._rings[f"c{index}2k"].mark_closed()
+        self._rings[f"k2c{index}"].mark_closed()
+        self._send_all(notice)
+        redispatched = 0
+        for payload in backlog:
+            _, message = decode_frame(memoryview(payload))
+            if isinstance(message, RawBatch):
+                self._send_all(self.dispatcher.redispatch(message))
+                redispatched += len(message.items)
+        self.telemetry.counter("shm_cn_deaths").inc()
+        self.telemetry.counter("shm_records_redispatched").inc(redispatched)
+
+    def _pump_events(self) -> bool:
+        ring = self._rings["cl2p"]
+        progressed = False
+        while True:
+            payload = ring.pop()
+            if payload is None:
+                return progressed
+            event = json.loads(payload.decode("utf-8"))
+            if event.get("event") == "receipt":
+                self._receipts[event["pub"]] = event["records"]
+            elif event.get("event") == "response":
+                self._responses[event["rid"]] = event
+            progressed = True
+
+    def _flush_telemetry(self) -> None:
+        tel = self.telemetry
+        if not getattr(tel, "enabled", True):
+            return
+        now = WALL_CLOCK.now()
+        for label, ring in self._rings.items():
+            tel.gauge("shm_ring_used", ring=label).set(ring.used)
+            tel.gauge("shm_ring_producer_stalls", ring=label).set(
+                ring.producer_stalls
+            )
+            tel.gauge("shm_ring_consumer_stalls", ring=label).set(
+                ring.consumer_stalls
+            )
+            beat = ring.heartbeat
+            if beat:
+                tel.gauge("shm_ring_heartbeat_age", ring=label).set(
+                    max(0.0, now - beat)
+                )
+        for role, block in self._stats.items():
+            mirror_shared_stats(tel, role, block.read_all())
+
+    # ------------------------------------------------------------------
+    # Publications
+    # ------------------------------------------------------------------
+
+    def _open_publication(self) -> None:
+        grant = self.accountant.grant()
+        plan = draw_noise_plan(
+            self._tree_shape, grant.epsilon, rng=self.dispatcher._rng
+        )
+        self.journal.append_open(grant.publication, plan, grant.epsilon)
+        self._send_all(self.dispatcher.start_publication(plan))
+        if self.dispatcher.publication != grant.publication:
+            raise RuntimeError(
+                f"grant {grant.publication} does not match dispatcher "
+                f"publication {self.dispatcher.publication}"
+            )
+
+    def ingest(self, line: str) -> None:
+        """Feed one raw line into the current publication."""
+        if not self._started:
+            raise RuntimeError("call start() first")
+        if self.durable:
+            self.journal.append_raw(self.dispatcher.publication, line)
+        self._send_all(self.dispatcher.on_raw(line))
+
+    def flush_ingest(self) -> None:
+        """Flush the dispatcher's in-flight batch through the rings."""
+        self._send_all(self.dispatcher.flush_batch())
+
+    def run_publication(self, lines, timeout: float = 120.0) -> int:
+        """Ingest ``lines`` with interleaved dummies, close the interval,
+        open the next one and return the publication's matched-record
+        count (the cloud receipt)."""
+        if not self._started:
+            self.start()
+        publication = self.dispatcher.publication
+        lines = list(lines)
+        total = max(1, len(lines))
+        if self.durable and lines:
+            size = max(1, self.config.batch_size)
+            for start in range(0, len(lines), size):
+                chunk = lines[start : start + size]
+                self.journal.append_raw_batch(publication, chunk)
+                for offset, line in enumerate(chunk):
+                    position = start + offset
+                    self._send_all(
+                        self.dispatcher.due_dummies(
+                            (position + 1) / (total + 1)
+                        )
+                    )
+                    self._send_all(self.dispatcher.on_raw(line))
+        else:
+            for position, line in enumerate(lines):
+                self._send_all(
+                    self.dispatcher.due_dummies((position + 1) / (total + 1))
+                )
+                self._send_all(self.dispatcher.on_raw(line))
+        if self.durable:
+            self.journal.append_close(publication)
+        self._send_all(self.dispatcher.end_publication())
+        if self.durable:
+            records = self._await_receipt(publication, timeout)
+            self.accountant.commit(publication)
+            self.journal.append_commit(publication)
+            self._open_publication()
+        else:
+            self._send_all(self.dispatcher.start_publication())
+            records = self._await_receipt(publication, timeout)
+        return records
+
+    def _await_receipt(self, publication: int, timeout: float) -> int:
+        def ready():
+            self._supervise()
+            records = self._receipts.get(publication)
+            # +1 keeps a zero-record receipt truthy for await_condition.
+            return None if records is None else records + 1
+
+        return (
+            await_condition(
+                ready, timeout, f"publication {publication} never published"
+            )
+            - 1
+        )
+
+    @property
+    def receipts(self) -> dict[int, int]:
+        """Publication → matched-record count, as received so far."""
+        self._pump_events()
+        return dict(self._receipts)
+
+    # ------------------------------------------------------------------
+    # Cloud control channel
+    # ------------------------------------------------------------------
+
+    def _control(self, op: str, timeout: float = 60.0, **kw) -> dict:
+        rid = self._next_rid
+        self._next_rid += 1
+        self._rings["p2cl"].put(
+            json.dumps({"op": op, "rid": rid, **kw}).encode("utf-8"),
+            timeout=timeout,
+        )
+
+        def ready():
+            self._supervise()
+            return self._responses.pop(rid, None)
+
+        response = await_condition(
+            ready, timeout, f"cloud control op {op!r} never answered"
+        )
+        if "error" in response:
+            raise RuntimeError(response["error"])
+        return response
+
+    def status(self) -> dict:
+        """The cloud's publication → matched-record map."""
+        response = self._control("status")
+        return dict(zip(response["publications"], response["records"]))
+
+    def query_fingerprint(self, low: float, high: float) -> tuple:
+        """Canonical digest of a cloud-side range query's answer.
+
+        Comparable against the same digest computed over a reference
+        system's *cloud-only* query (the collector-resident extras of
+        :meth:`FresqueSystem.query` live in other processes here).
+        """
+        response = self._control("query", low=low, high=high)
+        return response["count"], response["sha"]
+
+    def fingerprint(self) -> dict:
+        """The equivalence fingerprint, shaped exactly like
+        ``tests/conftest.py::cloud_state_fingerprint``.
+
+        The cloud-resident half is computed in the cloud worker behind
+        an announce barrier (every publication the dispatcher has opened
+        must have reached the cloud); the checking counters ride the
+        checking worker's stats block.
+        """
+        response = self._control(
+            "fingerprint", min_pub=self.dispatcher.publication
+        )
+        state = response["fingerprint"]
+        stats = self._stats["checking"].read_all()
+        return {
+            "files": {
+                int(file_id): tuple(entry)
+                for file_id, entry in state["files"].items()
+            },
+            "receipts": {
+                int(publication): records
+                for publication, records in state["receipts"].items()
+            },
+            "pairs_processed": int(stats["pairs_processed"]),
+            "dummies_passed": int(stats["dummies_passed"]),
+            "records_removed": int(stats["records_removed"]),
+            "duplicate_pairs": state["duplicate_pairs"],
+        }
+
+    # ------------------------------------------------------------------
+    # Fault injection + teardown
+    # ------------------------------------------------------------------
+
+    def kill_worker(self, role: str) -> None:
+        """Hard-kill one worker (crash drills); detection is left to the
+        normal supervision path, exactly as a real crash would be."""
+        proc = self._procs[role]
+        proc.kill()
+        proc.join(timeout=5.0)
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Close the parent rings, cascade-drain the workers, reap the
+        shared memory.  Idempotent."""
+        if not self._started or self._closed:
+            return
+        self._closed = True
+        try:
+            self._channel.close()
+            self._rings["p2cl"].mark_closed()
+            deadline = WALL_CLOCK.now() + timeout
+            for role, proc in self._procs.items():
+                proc.join(timeout=max(0.1, deadline - WALL_CLOCK.now()))
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+            self._pump_events()
+            self._flush_telemetry()
+        finally:
+            for ring in self._rings.values():
+                ring.detach()
+                try:
+                    ring.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+            for block in self._stats.values():
+                block.detach()
+                try:
+                    block.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+            if self.durable:
+                self.journal.close()
+                self._ledger.close()

@@ -1,0 +1,159 @@
+"""Ring-frame encoding: binary batch fast paths + JSON fallback.
+
+The ring transports the same routed ``(destination, message)`` pairs as
+the TCP wire protocol, but the three hot batch messages —
+:class:`RawBatch`, :class:`PairBatch`, :class:`ToCloudBatch` (and
+:class:`BufferFlush`, which shares ``ToCloudBatch``'s shape) — get a
+binary layout decoded straight off the ring's ``memoryview`` with
+``struct.unpack_from``: no base64, no JSON parse, and exactly one copy
+per ciphertext (see :mod:`repro.records.codec`).  Everything else rides
+the existing JSON wire envelope, decoded from the view without an
+intermediate ``bytes`` (``str(view, "utf-8")``).
+
+Frame layout: ``kind (u8) | dest length (u8) | dest utf-8 | body``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.core.messages import (
+    BufferFlush,
+    PairBatch,
+    RawBatch,
+    ToCloudBatch,
+    Pair,
+)
+from repro.records.codec import (
+    decode_encrypted_from,
+    decode_record,
+    encode_encrypted_into,
+    encode_record,
+)
+from repro.runtime.wire import _DECODERS, _ENCODERS, WireError
+
+_KIND_JSON = 0
+_KIND_RAW_BATCH = 1
+_KIND_PAIR_BATCH = 2
+_KIND_TO_CLOUD = 3
+_KIND_BUFFER_FLUSH = 4
+
+_RAW_HEAD = struct.Struct("<qqqI")  # pub, seq, ordinal, item count
+_PAIR_HEAD = struct.Struct("<qqI")  # pub, seq, pair count
+_CLOUD_HEAD = struct.Struct("<qI")  # pub, pair count
+_U32 = struct.Struct("<I")
+_PAIR_META = struct.Struct("<iB")  # leaf, dummy flag
+
+
+def encode_frame(destination: str, message) -> bytearray:
+    """Serialise one routed message into a ring-frame payload."""
+    dest = destination.encode("utf-8")
+    out = bytearray(2 + len(dest))
+    out[1] = len(dest)
+    out[2:] = dest
+    if type(message) is RawBatch:
+        out[0] = _KIND_RAW_BATCH
+        out += _RAW_HEAD.pack(
+            message.publication,
+            message.seq,
+            message.ordinal,
+            len(message.items),
+        )
+        for item in message.items:
+            if isinstance(item, str):
+                encoded = item.encode("utf-8")
+                out += b"\x00"
+            else:
+                encoded = json.dumps(
+                    encode_record(item), separators=(",", ":")
+                ).encode("utf-8")
+                out += b"\x01"
+            out += _U32.pack(len(encoded))
+            out += encoded
+        return out
+    if type(message) is PairBatch:
+        out[0] = _KIND_PAIR_BATCH
+        out += _PAIR_HEAD.pack(
+            message.publication, message.seq, len(message.pairs)
+        )
+        for pair in message.pairs:
+            out += _PAIR_META.pack(pair.leaf_offset, int(pair.dummy))
+            encode_encrypted_into(out, pair.encrypted)
+        return out
+    if type(message) is ToCloudBatch or type(message) is BufferFlush:
+        out[0] = (
+            _KIND_TO_CLOUD
+            if type(message) is ToCloudBatch
+            else _KIND_BUFFER_FLUSH
+        )
+        out += _CLOUD_HEAD.pack(message.publication, len(message.pairs))
+        for leaf, encrypted in message.pairs:
+            out += struct.pack("<i", leaf)
+            encode_encrypted_into(out, encrypted)
+        return out
+    encoder = _ENCODERS.get(type(message))
+    if encoder is None:
+        raise WireError(f"cannot encode {type(message).__name__}")
+    out[0] = _KIND_JSON
+    out += json.dumps(
+        {"type": type(message).__name__, "payload": encoder(message)},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return out
+
+
+def decode_frame(view) -> tuple[str, object]:
+    """Decode one ring frame (a ``memoryview``) back into (dest, message)."""
+    kind = view[0]
+    dlen = view[1]
+    destination = str(view[2 : 2 + dlen], "utf-8")
+    offset = 2 + dlen
+    if kind == _KIND_JSON:
+        envelope = json.loads(str(view[offset:], "utf-8"))
+        decoder = _DECODERS.get(envelope["type"])
+        if decoder is None:
+            raise WireError(f"cannot decode {envelope['type']!r}")
+        return destination, decoder(envelope["payload"])
+    if kind == _KIND_RAW_BATCH:
+        publication, seq, ordinal, count = _RAW_HEAD.unpack_from(view, offset)
+        offset += _RAW_HEAD.size
+        items = []
+        for _ in range(count):
+            tag = view[offset]
+            (length,) = _U32.unpack_from(view, offset + 1)
+            start = offset + 1 + _U32.size
+            text = str(view[start : start + length], "utf-8")
+            items.append(
+                text if tag == 0 else decode_record(json.loads(text))
+            )
+            offset = start + length
+        return destination, RawBatch(
+            publication, tuple(items), seq=seq, ordinal=ordinal
+        )
+    if kind == _KIND_PAIR_BATCH:
+        publication, seq, count = _PAIR_HEAD.unpack_from(view, offset)
+        offset += _PAIR_HEAD.size
+        pairs = []
+        for _ in range(count):
+            leaf, dummy = _PAIR_META.unpack_from(view, offset)
+            encrypted, offset = decode_encrypted_from(
+                view, offset + _PAIR_META.size
+            )
+            pairs.append(
+                Pair(publication, leaf, encrypted, dummy=bool(dummy))
+            )
+        return destination, PairBatch(publication, tuple(pairs), seq=seq)
+    if kind in (_KIND_TO_CLOUD, _KIND_BUFFER_FLUSH):
+        publication, count = _CLOUD_HEAD.unpack_from(view, offset)
+        offset += _CLOUD_HEAD.size
+        pairs = []
+        for _ in range(count):
+            (leaf,) = struct.unpack_from("<i", view, offset)
+            encrypted, offset = decode_encrypted_from(view, offset + 4)
+            pairs.append((leaf, encrypted))
+        message_type = (
+            ToCloudBatch if kind == _KIND_TO_CLOUD else BufferFlush
+        )
+        return destination, message_type(publication, tuple(pairs))
+    raise WireError(f"unknown ring-frame kind {kind}")

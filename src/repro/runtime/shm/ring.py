@@ -1,0 +1,433 @@
+"""Single-producer/single-consumer ring buffers over shared memory.
+
+The transport primitive of the shared-memory runtime: one
+:class:`RingBuffer` per directed edge of the pipeline, living in a
+``multiprocessing.shared_memory`` segment both endpoint processes map.
+
+Layout::
+
+    header (64 bytes) | data (capacity bytes)
+
+    magic     u64   format marker + version
+    capacity  u64   data-region size in bytes
+    tail      u64   producer commit point (absolute byte count)
+    head      u64   consumer commit point (absolute byte count)
+    closed    u64   1 once the producer will write no more frames
+    pstalls   u64   times the producer blocked on a full ring
+    cstalls   u64   times the consumer found the ring empty
+    beat      f64   consumer heartbeat (see :meth:`RingBuffer.beat`)
+
+Frames are length-prefixed: ``length (u32) | payload``.  A length of
+``0xFFFFFFFF`` is the wrap marker — the rest of the data region is
+dead space and the frame starts at offset 0.  ``tail`` and ``head`` are
+monotonically increasing absolute counts (never wrapped), so emptiness
+is exactly ``head == tail`` and the used size is ``tail - head``; both
+are 8-byte-aligned single-word writes, which x86-64 and ARM64 perform
+atomically — the *commit point* discipline the crash-safety story
+relies on (a frame is published by the tail write, consumed by the head
+write, and both happen only when the other side may act on them).
+
+Index caching: the producer re-reads ``head`` only when the cached
+value implies insufficient space, the consumer re-reads ``tail`` only
+when the cached value implies no data — steady-state operation touches
+one shared word per frame.
+
+Reading is zero-copy: :meth:`RingBuffer.read` hands out a
+``memoryview`` directly into the ring; the consumer decodes from it and
+publishes consumption afterwards with :meth:`RingBuffer.commit`.
+Reads may run ahead of commits (the computing-node worker defers
+commits while it holds pairs for an unfinished publication), so a crash
+never strands records: everything at or past ``head`` is still in the
+ring for the parent to redispatch (:meth:`RingBuffer.drain_backlog`).
+
+This module is the **only** place that touches raw shared-memory bytes
+(``shm.buf``) — everything else goes through :class:`RingBuffer` or
+:class:`StatsBlock`.  The FRQ-M901 lint rule pins that invariant.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from multiprocessing import shared_memory
+
+from repro.telemetry.clock import WALL_CLOCK
+
+_MAGIC = 0x4652_5351_0001  # "FRSQ" + layout version 1
+_HEADER = 64
+_OFF_MAGIC = 0
+_OFF_CAPACITY = 8
+_OFF_TAIL = 16
+_OFF_HEAD = 24
+_OFF_CLOSED = 32
+_OFF_PSTALLS = 40
+_OFF_CSTALLS = 48
+_OFF_BEAT = 56
+
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+_LEN = struct.Struct("<I")
+_WRAP = 0xFFFFFFFF
+
+
+class RingError(RuntimeError):
+    """Malformed segment, oversized frame, or protocol misuse."""
+
+
+class RingClosed(RingError):
+    """Raised on :meth:`RingBuffer.put` after the producer closed."""
+
+
+class Frame:
+    """One readable frame: a zero-copy view plus its commit position."""
+
+    __slots__ = ("view", "end")
+
+    def __init__(self, view, end: int):
+        self.view = view
+        self.end = end
+
+    def __len__(self) -> int:
+        return len(self.view)
+
+
+class RingBuffer:
+    """One SPSC ring; create in the parent, attach from the worker.
+
+    Parameters
+    ----------
+    name:
+        Shared-memory segment name; ``None`` with ``create=True`` lets
+        the OS pick one (read it back from :attr:`name`).
+    capacity:
+        Data-region bytes (creation only).  The largest admissible
+        frame payload is ``capacity // 2 - 4`` — the bound that keeps a
+        wrap (dead tail space + the frame at offset 0) always
+        satisfiable.
+    create:
+        ``True`` in the owning process (which must eventually
+        :meth:`unlink`), ``False`` to attach to an existing segment.
+    """
+
+    def __init__(
+        self,
+        name: str | None = None,
+        capacity: int = 1 << 20,
+        create: bool = False,
+    ):
+        if create:
+            if capacity < 64:
+                raise RingError("capacity must be at least 64 bytes")
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=_HEADER + capacity
+            )
+            buf = self._shm.buf
+            buf[:_HEADER] = bytes(_HEADER)
+            _U64.pack_into(buf, _OFF_MAGIC, _MAGIC)
+            _U64.pack_into(buf, _OFF_CAPACITY, capacity)
+        else:
+            if name is None:
+                raise RingError("attaching requires the segment name")
+            self._shm = shared_memory.SharedMemory(name=name)
+            buf = self._shm.buf
+            if _U64.unpack_from(buf, _OFF_MAGIC)[0] != _MAGIC:
+                self._shm.close()
+                raise RingError(f"segment {name!r} is not a FRESQUE ring")
+            capacity = _U64.unpack_from(buf, _OFF_CAPACITY)[0]
+        self._buf = self._shm.buf
+        self.capacity = capacity
+        self.name = self._shm.name
+        # Producer-side cache of head; consumer-side cache of tail.
+        self._cached_head = 0
+        self._cached_tail = 0
+        # Consumer read cursor — runs ahead of the shared head between
+        # read() and commit().
+        self._read_pos = _U64.unpack_from(self._buf, _OFF_HEAD)[0]
+        # Frames handed out but not yet committed (views to release).
+        self._outstanding: list[Frame] = []
+        self._detached = False
+
+    # -- shared-word accessors ------------------------------------------
+
+    def _load(self, offset: int) -> int:
+        return _U64.unpack_from(self._buf, offset)[0]
+
+    def _store(self, offset: int, value: int) -> None:
+        _U64.pack_into(self._buf, offset, value)
+
+    @property
+    def max_payload(self) -> int:
+        """Largest frame payload :meth:`put` accepts."""
+        return self.capacity // 2 - _LEN.size
+
+    @property
+    def used(self) -> int:
+        """Bytes currently between head and tail."""
+        return self._load(_OFF_TAIL) - self._load(_OFF_HEAD)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the producer declared end-of-stream."""
+        return bool(self._load(_OFF_CLOSED))
+
+    @property
+    def producer_stalls(self) -> int:
+        """Times :meth:`put` blocked on a full ring."""
+        return self._load(_OFF_PSTALLS)
+
+    @property
+    def consumer_stalls(self) -> int:
+        """Stall episodes reported via :meth:`count_consumer_stall`."""
+        return self._load(_OFF_CSTALLS)
+
+    # -- producer side ---------------------------------------------------
+
+    def put(
+        self,
+        payload,
+        timeout: float | None = None,
+        should_abort=None,
+    ) -> bool:
+        """Append one frame; block (with backoff) while the ring is full.
+
+        ``should_abort`` is polled while blocked — returning true makes
+        ``put`` give up and return ``False`` (the parent passes a
+        consumer-death check so a dead worker cannot wedge the
+        dispatcher).  Raises :class:`RingClosed` if the producer already
+        closed the ring, :class:`RingError` for oversized payloads, and
+        :class:`TimeoutError` when ``timeout`` elapses.
+        """
+        size = len(payload)
+        need = _LEN.size + size
+        if size > self.max_payload:
+            raise RingError(
+                f"frame of {size} bytes exceeds max payload "
+                f"{self.max_payload} of ring {self.name!r}"
+            )
+        if self._load(_OFF_CLOSED):
+            raise RingClosed(f"ring {self.name!r} is closed")
+        buf = self._buf
+        capacity = self.capacity
+        tail = self._load(_OFF_TAIL)
+        pos = tail % capacity
+        room = capacity - pos
+        if room < _LEN.size:
+            # Too little tail space even for a length word: the consumer
+            # skips it implicitly (see read()); account for it here.
+            total = room + need
+            wrap_marker = False
+        elif need <= room:
+            total = need
+            wrap_marker = False
+        else:
+            total = room + need
+            wrap_marker = True
+        stalled = False
+        delay = 0.00005
+        deadline = None if timeout is None else WALL_CLOCK.now() + timeout
+        while self.capacity - (tail - self._cached_head) < total:
+            self._cached_head = self._load(_OFF_HEAD)
+            if capacity - (tail - self._cached_head) >= total:
+                break
+            if not stalled:
+                stalled = True
+                self._store(_OFF_PSTALLS, self._load(_OFF_PSTALLS) + 1)
+            if should_abort is not None and should_abort():
+                return False
+            if deadline is not None and WALL_CLOCK.now() >= deadline:
+                raise TimeoutError(f"ring {self.name!r} full")
+            time.sleep(delay)
+            delay = min(0.005, delay * 2)
+        if wrap_marker:
+            _LEN.pack_into(buf, _HEADER + pos, _WRAP)
+        if total != need:
+            pos = 0
+        start = _HEADER + pos + _LEN.size
+        _LEN.pack_into(buf, _HEADER + pos, size)
+        buf[start : start + size] = payload
+        # The commit point: a single aligned word write publishes the
+        # frame (and any dead tail space before it) to the consumer.
+        self._store(_OFF_TAIL, tail + total)
+        return True
+
+    def mark_closed(self) -> None:
+        """Producer: declare end-of-stream (frames already in stay)."""
+        self._store(_OFF_CLOSED, 1)
+
+    def drain_backlog(self) -> list[bytes]:
+        """Producer-side recovery read of every unconsumed frame.
+
+        After the *consumer* process dies, the frames in ``[head,
+        tail)`` were never acted on (the consumer only advances head
+        after forwarding a frame's effects).  The parent copies them out
+        for redispatch.  Only safe once the consumer is gone — two
+        readers would race otherwise.
+        """
+        buf = self._buf
+        capacity = self.capacity
+        pos_abs = self._load(_OFF_HEAD)
+        tail = self._load(_OFF_TAIL)
+        frames = []
+        while pos_abs < tail:
+            pos = pos_abs % capacity
+            room = capacity - pos
+            if room < _LEN.size:
+                pos_abs += room
+                continue
+            length = _LEN.unpack_from(buf, _HEADER + pos)[0]
+            if length == _WRAP:
+                pos_abs += room
+                continue
+            start = _HEADER + pos + _LEN.size
+            frames.append(bytes(buf[start : start + length]))
+            pos_abs += _LEN.size + length
+        return frames
+
+    # -- consumer side ---------------------------------------------------
+
+    def read(self) -> Frame | None:
+        """Next unread frame as a zero-copy view, or ``None`` if empty.
+
+        Reading does **not** release ring space — call :meth:`commit`
+        once the frame's effects are forwarded.  Reads may run ahead of
+        commits; commits must then come in read order.
+        """
+        buf = self._buf
+        capacity = self.capacity
+        pos_abs = self._read_pos
+        while True:
+            if pos_abs >= self._cached_tail:
+                self._cached_tail = self._load(_OFF_TAIL)
+                if pos_abs >= self._cached_tail:
+                    self._read_pos = pos_abs
+                    return None
+            pos = pos_abs % capacity
+            room = capacity - pos
+            if room < _LEN.size:
+                pos_abs += room
+                continue
+            length = _LEN.unpack_from(buf, _HEADER + pos)[0]
+            if length == _WRAP:
+                pos_abs += room
+                continue
+            start = _HEADER + pos + _LEN.size
+            frame = Frame(buf[start : start + length], pos_abs + _LEN.size + length)
+            self._read_pos = frame.end
+            self._outstanding.append(frame)
+            return frame
+
+    def commit(self, frame: Frame) -> None:
+        """Publish consumption of ``frame`` and every frame read before it.
+
+        Moving the shared head is what frees the space *and* tells a
+        recovering parent the frame's effects are durable downstream —
+        so a consumer calls this only after forwarding the outputs the
+        frame produced.
+        """
+        while self._outstanding and self._outstanding[0].end <= frame.end:
+            done = self._outstanding.pop(0)
+            done.view.release()
+        self._store(_OFF_HEAD, frame.end)
+
+    def pop(self) -> bytes | None:
+        """Copying convenience: read + commit one frame (control rings)."""
+        frame = self.read()
+        if frame is None:
+            return None
+        payload = bytes(frame.view)
+        self.commit(frame)
+        return payload
+
+    def drained(self) -> bool:
+        """Consumer: producer closed and every frame has been read."""
+        if not self._load(_OFF_CLOSED):
+            return False
+        self._cached_tail = self._load(_OFF_TAIL)
+        return self._read_pos >= self._cached_tail
+
+    def count_consumer_stall(self) -> None:
+        """Consumer: record one empty-poll stall episode."""
+        self._store(_OFF_CSTALLS, self._load(_OFF_CSTALLS) + 1)
+
+    def beat(self, timestamp: float) -> None:
+        """Consumer heartbeat (monotonic seconds), for liveness gauges."""
+        _F64.pack_into(self._buf, _OFF_BEAT, timestamp)
+
+    @property
+    def heartbeat(self) -> float:
+        """Last consumer heartbeat written via :meth:`beat`."""
+        return _F64.unpack_from(self._buf, _OFF_BEAT)[0]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def detach(self) -> None:
+        """Release every view and unmap the segment (both sides)."""
+        if self._detached:
+            return
+        self._detached = True
+        for frame in self._outstanding:
+            frame.view.release()
+        self._outstanding.clear()
+        self._buf = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only, after :meth:`detach`)."""
+        self._shm.unlink()
+
+    def stats(self) -> dict:
+        """Depth/stall snapshot for telemetry gauges."""
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "used": self.used,
+            "producer_stalls": self.producer_stalls,
+            "consumer_stalls": self.consumer_stalls,
+            "closed": self.closed,
+            "heartbeat": self.heartbeat,
+        }
+
+
+class StatsBlock:
+    """A tiny shared block of named float64 cells (worker → parent).
+
+    Carries per-worker heartbeats and checking counters across the
+    process boundary without a ring: each field is one aligned 8-byte
+    cell, written whole, so readers see either the old or the new value.
+    Counter fields hold exact integers up to 2**53 — far beyond any
+    run's record counts.
+    """
+
+    def __init__(
+        self,
+        fields: tuple[str, ...],
+        name: str | None = None,
+        create: bool = False,
+    ):
+        self._fields = {field: index for index, field in enumerate(fields)}
+        size = max(8, 8 * len(fields))
+        if create:
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+            self._shm.buf[:size] = bytes(size)
+        else:
+            if name is None:
+                raise RingError("attaching requires the segment name")
+            self._shm = shared_memory.SharedMemory(name=name)
+        self.name = self._shm.name
+
+    def write(self, field: str, value: float) -> None:
+        _F64.pack_into(self._shm.buf, 8 * self._fields[field], value)
+
+    def read(self, field: str) -> float:
+        return _F64.unpack_from(self._shm.buf, 8 * self._fields[field])[0]
+
+    def read_all(self) -> dict[str, float]:
+        return {field: self.read(field) for field in self._fields}
+
+    def detach(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        self._shm.unlink()

@@ -305,6 +305,10 @@ class TcpNode:
     fault_plan:
         Optional :class:`~repro.runtime.faults.FaultPlan` consulted once
         per inbox frame (node crash/restart injection).
+    port:
+        TCP port to bind; 0 (the default) picks a free ephemeral port.
+        Cluster deployments with a pre-assigned address book pass the
+        book's port here.
 
     Supervision: reader-thread failures and torn frames are recorded in
     :attr:`errors` (surfaced by the driver), accepted connections are
@@ -314,7 +318,7 @@ class TcpNode:
 
     def __init__(
         self, name: str, handler, router: Router, telemetry=None,
-        fault_plan=None,
+        fault_plan=None, port: int = 0,
     ):
         self.name = name
         self.handler = handler
@@ -327,7 +331,7 @@ class TcpNode:
         self._fault_plan = fault_plan
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._server.bind(("127.0.0.1", 0))
+        self._server.bind(("127.0.0.1", port))
         self._server.listen(32)
         self.port = self._server.getsockname()[1]
         self._inbox: queue.Queue = queue.Queue()

@@ -130,6 +130,8 @@ _ENCODERS = {
             ["l", item] if isinstance(item, str) else ["r", encode_record(item)]
             for item in m.items
         ],
+        "seq": m.seq,
+        "ord": m.ordinal,
     },
     Pair: lambda m: {
         "pub": m.publication,
@@ -139,6 +141,7 @@ _ENCODERS = {
     },
     PairBatch: lambda m: {
         "pub": m.publication,
+        "seq": m.seq,
         "pairs": [
             {
                 "leaf": pair.leaf_offset,
@@ -165,7 +168,7 @@ _ENCODERS = {
         "leaf": m.leaf_offset,
         "enc": encode_encrypted(m.encrypted),
     },
-    PublishingMsg: lambda m: {"pub": m.publication},
+    PublishingMsg: lambda m: {"pub": m.publication, "last": m.last_seq},
     CnPublishing: lambda m: {"pub": m.publication, "node": m.node_id},
     NodeDown: lambda m: {"pub": m.publication, "node": m.node_id},
     AlSnapshot: lambda m: {"pub": m.publication, "al": list(m.al)},
@@ -193,12 +196,16 @@ _DECODERS = {
         line=p["line"],
         record=None if p["record"] is None else decode_record(p["record"]),
     ),
+    # Stamps decode with .get so frames from pre-stamp peers (no
+    # seq/ord/last keys) still parse, as unstamped (-1) messages.
     "RawBatch": lambda p: RawBatch(
         p["pub"],
         tuple(
             item if kind == "l" else decode_record(item)
             for kind, item in p["items"]
         ),
+        seq=p.get("seq", -1),
+        ordinal=p.get("ord", -1),
     ),
     "Pair": lambda p: Pair(
         p["pub"], p["leaf"], decode_encrypted(p["enc"]), dummy=p["dummy"]
@@ -214,6 +221,7 @@ _DECODERS = {
             )
             for item in p["pairs"]
         ),
+        seq=p.get("seq", -1),
     ),
     "ToCloudBatch": lambda p: ToCloudBatch(
         p["pub"],
@@ -228,7 +236,9 @@ _DECODERS = {
     "RemovedRecord": lambda p: RemovedRecord(
         p["pub"], p["leaf"], decode_encrypted(p["enc"])
     ),
-    "PublishingMsg": lambda p: PublishingMsg(p["pub"]),
+    "PublishingMsg": lambda p: PublishingMsg(
+        p["pub"], last_seq=p.get("last", -1)
+    ),
     "CnPublishing": lambda p: CnPublishing(p["pub"], p["node"]),
     "NodeDown": lambda p: NodeDown(p["pub"], p["node"]),
     "AlSnapshot": lambda p: AlSnapshot(p["pub"], tuple(p["al"])),

@@ -97,6 +97,7 @@ class TestRegistry:
             "privacy-budget",
             "hygiene",
             "security-dataflow",
+            "shm",
             "telemetry",
             "runtime",
         }

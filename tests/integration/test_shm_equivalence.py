@@ -1,0 +1,169 @@
+"""Cross-runtime equivalence: shared-memory cluster ≡ in-memory system.
+
+The multiprocess runtime must be a pure deployment change: with
+``deterministic_ivs`` enabled and the same seed, the cluster's final
+cloud state is *byte-identical* to the single-process
+:class:`FresqueSystem`'s — same ciphertexts in the same file slots,
+same receipts, same checking counters, same range-query answers — for
+every batch size, including intervals far smaller than a batch.
+
+Why this holds (and what these tests pin): the parent replicates the
+in-memory seed-derivation chain, the dispatcher stamps every batch with
+a global sequence number and ordinal (the IV key), and the checking
+worker's gate re-serialises the computing nodes' racy interleavings
+back into dispatch order before any RNG draw (randomer eviction,
+finalisation shuffle).  Anything that lets the process scheduler leak
+into record order — a missing gate, an IV drawn from a shared counter,
+an eviction overtaking a finalisation — changes the fingerprint and
+fails here.
+
+Query comparison is cloud-only on both sides: the collector-resident
+extras of :meth:`FresqueSystem.query` (merger pending-removed memory)
+live in worker processes in the cluster, so the reference side queries
+the cloud directly too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.client.query_client import QueryClient
+from repro.core.config import FresqueConfig
+from repro.core.system import FresqueSystem
+from repro.crypto.cipher import SimulatedCipher
+from repro.crypto.keys import KeyStore
+from repro.datasets.flu import FluSurveyGenerator, flu_domain
+from repro.records.schema import flu_survey_schema
+from repro.runtime.shm.cluster import ShmFresqueCluster
+
+from tests.conftest import cloud_state_fingerprint
+
+#: Every batch size the cross-runtime property is asserted for.
+BATCH_SIZES = (1, 2, 7, 64, 256)
+
+_MASTER_KEY = b"fresque-test-master-key-32bytes!"
+_SEED = 20210323
+#: The fever band, 38.0–41.0 °C — the flu domain is in tenths of a
+#: degree, so a sub-domain band would digest an empty (vacuous) answer.
+_QUERY = (380.0, 410.0)
+
+
+def _config(batch_size: int, num_computing_nodes: int = 3) -> FresqueConfig:
+    return FresqueConfig(
+        schema=flu_survey_schema(),
+        domain=flu_domain(),
+        num_computing_nodes=num_computing_nodes,
+        epsilon=1.0,
+        alpha=2.0,
+        batch_size=batch_size,
+        deterministic_ivs=True,
+    )
+
+
+def _cloud_query_digest(system: FresqueSystem, low: float, high: float):
+    """The cluster's ``query_fingerprint`` computed over the reference
+    system's cloud (cloud-only, mirroring the worker's digest)."""
+    client = QueryClient(system.config.schema, system.cipher, system.cloud)
+    result = client.range_query(low, high)
+    values = sorted(repr(record.values) for record in result.records)
+    return len(values), hashlib.sha256("\n".join(values).encode()).hexdigest()
+
+
+def _reference_state(publications, batch_size: int) -> dict:
+    system = FresqueSystem(
+        _config(batch_size),
+        SimulatedCipher(KeyStore(_MASTER_KEY, key_size=16)),
+        seed=_SEED,
+    )
+    for lines in publications:
+        system.run_publication(lines)
+    state = cloud_state_fingerprint(system)
+    state["query"] = _cloud_query_digest(system, *_QUERY)
+    return state
+
+
+def _cluster_state(publications, batch_size: int) -> dict:
+    with ShmFresqueCluster(
+        _config(batch_size), _MASTER_KEY, seed=_SEED
+    ) as cluster:
+        for lines in publications:
+            cluster.run_publication(lines)
+        state = cluster.fingerprint()
+        state["query"] = cluster.query_fingerprint(*_QUERY)
+    return state
+
+
+@pytest.fixture(scope="module")
+def publications() -> list[list[str]]:
+    """Three publication intervals of a seeded flu arrival stream."""
+    generator = FluSurveyGenerator(seed=71)
+    return [list(generator.raw_lines(250)) for _ in range(3)]
+
+
+@pytest.fixture(scope="module")
+def baseline(publications) -> dict:
+    """Final state of the in-memory per-record (``batch_size=1``) run.
+
+    One reference serves every batch size: the batch ≡ per-record
+    harness (``test_batch_equivalence``) already pins the in-memory
+    pipeline's batch-size invariance, so cluster-at-size-b ≡
+    in-memory-at-size-b ≡ in-memory-at-size-1.
+    """
+    return _reference_state(publications, 1)
+
+
+class TestShmByteIdentity:
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_cloud_state_byte_identical(
+        self, publications, baseline, batch_size
+    ):
+        assert _cluster_state(publications, batch_size) == baseline
+
+    def test_mid_publication_interval_close(self):
+        """Publications far smaller than the batch: the close flush must
+        split in-flight batches exactly as the in-memory runtime does."""
+        generator = FluSurveyGenerator(seed=11)
+        publications = [list(generator.raw_lines(9)) for _ in range(4)]
+        reference = _reference_state(publications, 1)
+        for batch_size in (64, 256):
+            assert _cluster_state(publications, batch_size) == reference
+
+    def test_default_batch_size_matches(self, publications):
+        """No explicit ``batch_size``: both sides run whatever the
+        deployment default is — including a CI-matrix override via
+        ``FRESQUE_BATCH_SIZE`` (see ``tests/integration/conftest.py``),
+        which this test exists to pick up."""
+        config = FresqueConfig(
+            schema=flu_survey_schema(),
+            domain=flu_domain(),
+            num_computing_nodes=3,
+            epsilon=1.0,
+            alpha=2.0,
+            deterministic_ivs=True,
+        )
+        reference = FresqueSystem(
+            config,
+            SimulatedCipher(KeyStore(_MASTER_KEY, key_size=16)),
+            seed=_SEED,
+        )
+        for lines in publications:
+            reference.run_publication(lines)
+        with ShmFresqueCluster(config, _MASTER_KEY, seed=_SEED) as cluster:
+            for lines in publications:
+                cluster.run_publication(lines)
+            state = cluster.fingerprint()
+        assert state == cloud_state_fingerprint(reference)
+
+    def test_durable_cluster_matches_too(self, publications, baseline, tmp_path):
+        """The journal/ledger discipline must not perturb the pipeline:
+        same bytes with durability on."""
+        with ShmFresqueCluster(
+            _config(7), _MASTER_KEY, seed=_SEED, data_dir=tmp_path
+        ) as cluster:
+            for lines in publications:
+                cluster.run_publication(lines)
+            state = cluster.fingerprint()
+            state["query"] = cluster.query_fingerprint(*_QUERY)
+        assert state == baseline

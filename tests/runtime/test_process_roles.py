@@ -1,0 +1,237 @@
+"""Role construction and the cloud control channel.
+
+:mod:`repro.runtime.roles` is the one place worker processes rebuild
+their components from a JSON spec; every runtime (TCP and shared
+memory) routes through it, so its dispatch tables are pinned here
+without spawning any processes.  The TCP cloud's control server
+(:func:`repro.runtime.process._serve_control`) is exercised over a real
+socket on a background thread.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.core.computing_node import ComputingNode
+from repro.core.checking import CheckingNode
+from repro.core.config import FresqueConfig
+from repro.core.merger import Merger
+from repro.core.messages import (
+    AlSnapshot,
+    CnPublishing,
+    DoneMsg,
+    PublishingMsg,
+    RawBatch,
+    RawData,
+)
+from repro.core.system import FresqueSystem
+from repro.crypto.cipher import SimulatedCipher
+from repro.crypto.keys import KeyStore
+from repro.datasets.flu import FluSurveyGenerator, flu_domain
+from repro.records.schema import flu_survey_schema
+from repro.runtime.process import _serve_control, run_node
+from repro.runtime.roles import (
+    build_handler,
+    cipher_from_spec,
+    config_from_spec,
+    spec_from_config,
+)
+
+_KEY = b"fresque-test-master-key-32bytes!"
+
+
+@pytest.fixture
+def config() -> FresqueConfig:
+    return FresqueConfig(
+        schema=flu_survey_schema(),
+        domain=flu_domain(),
+        num_computing_nodes=2,
+        epsilon=1.0,
+        alpha=2.0,
+        batch_size=4,
+    )
+
+
+def _cipher() -> SimulatedCipher:
+    return SimulatedCipher(KeyStore(_KEY, key_size=16))
+
+
+class TestSpecRoundtrip:
+    def test_config_survives_the_spec(self, config):
+        spec = spec_from_config(config, _KEY)
+        rebuilt = config_from_spec(spec)
+        assert rebuilt.schema.name == config.schema.name
+        assert rebuilt.domain.num_leaves == config.domain.num_leaves
+        assert rebuilt.num_computing_nodes == config.num_computing_nodes
+        assert rebuilt.batch_size == config.batch_size
+        assert rebuilt.deterministic_ivs == config.deterministic_ivs
+
+    def test_deterministic_ivs_flag_rides_along(self, config):
+        spec = spec_from_config(config, _KEY)
+        spec["deterministic_ivs"] = True
+        assert config_from_spec(spec).deterministic_ivs is True
+
+    def test_unknown_schema_rejected(self, config):
+        spec = spec_from_config(config, _KEY)
+        spec["schema"] = "no-such-schema"
+        with pytest.raises(ValueError, match="unknown schema"):
+            config_from_spec(spec)
+
+    def test_cipher_rebuilds_from_key_hex(self, config):
+        spec = spec_from_config(config, _KEY)
+        cipher = cipher_from_spec(spec)
+        plaintext = b"sixteen byte msg"
+        assert _cipher().decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    def test_cipher_counter_start_partitions_ivs(self, config):
+        spec = spec_from_config(config, _KEY)
+        low = cipher_from_spec(spec).encrypt(b"sixteen byte msg")
+        high = cipher_from_spec(spec, counter_start=1 << 44).encrypt(
+            b"sixteen byte msg"
+        )
+        assert low != high  # disjoint counter ranges → different IVs
+
+
+class TestBuildHandler:
+    def test_cn_role_dispatch(self, config):
+        handle, node = build_handler("cn-1", config, _cipher(), {})
+        assert isinstance(node, ComputingNode) and node.node_id == 1
+        line = next(iter(FluSurveyGenerator(seed=3).raw_lines(1)))
+        out = handle(RawBatch(0, (line,), seq=0, ordinal=0))
+        (destination, batch), = out
+        assert destination == "checking"
+        assert batch.seq == 0 and len(batch.pairs) == 1
+        out = handle(PublishingMsg(0, last_seq=0))
+        assert isinstance(out[0][1], CnPublishing)
+        assert node.waiting_for_done
+        handle(DoneMsg(0))
+        assert not node.waiting_for_done
+        with pytest.raises(TypeError):
+            handle(AlSnapshot(0, ()))
+
+    def test_cn_per_record_path(self, config):
+        handle, node = build_handler("cn-0", config, _cipher(), {})
+        line = next(iter(FluSurveyGenerator(seed=3).raw_lines(1)))
+        (destination, pair), = handle(RawData(0, line=line))
+        assert destination == "checking"
+        assert pair.publication == 0
+
+    def test_checking_role_dispatch(self, config):
+        handle, node = build_handler("checking", config, _cipher(), {})
+        assert isinstance(node, CheckingNode)
+        assert handle(CnPublishing(0, node_id=0)) == []
+        with pytest.raises(TypeError):
+            handle(RawData(0, line="x"))
+
+    def test_checking_seed_controls_the_randomer(self, config):
+        _, a = build_handler("checking", config, _cipher(), {"checking": 1.5})
+        _, b = build_handler("checking", config, _cipher(), {"checking": 1.5})
+        _, c = build_handler("checking", config, _cipher(), {"checking": 2.5})
+        draws = lambda node: [node._rng.random() for _ in range(4)]
+        assert draws(a) == draws(b) != draws(c)
+
+    def test_merger_role_dispatch(self, config):
+        import random
+
+        from repro.core.messages import TemplateMsg
+        from repro.index.perturb import draw_noise_plan
+        from repro.index.tree import IndexTree
+
+        handle, node = build_handler("merger", config, _cipher(), {})
+        assert isinstance(node, Merger)
+        plan = draw_noise_plan(
+            IndexTree(config.domain, fanout=config.fanout),
+            config.epsilon,
+            rng=random.Random(1),
+        )
+        assert handle(TemplateMsg(0, plan)) == []
+        out = handle(AlSnapshot(0, (0,) * config.domain.num_leaves))
+        assert out and out[0][0] == "cloud"
+        with pytest.raises(TypeError):
+            handle(DoneMsg(0))
+
+    def test_cloud_role_dispatch(self, config):
+        from repro.cloud.node import FresqueCloud
+        from repro.core.messages import AnnouncePublication
+        from repro.core.system import CloudAdapter
+
+        handle, (cloud, adapter) = build_handler(
+            "cloud", config, _cipher(), {}
+        )
+        assert isinstance(cloud, FresqueCloud)
+        assert isinstance(adapter, CloudAdapter)
+        handle(AnnouncePublication(0))
+        with pytest.raises(TypeError):
+            handle(DoneMsg(0))
+
+    def test_unknown_role_rejected(self, config):
+        with pytest.raises(ValueError, match="unknown role"):
+            build_handler("accountant", config, _cipher(), {})
+
+
+def test_run_node_rejects_unknown_role(tmp_path, config):
+    spec_path = tmp_path / "cluster.json"
+    spec_path.write_text(json.dumps(spec_from_config(config, _KEY)))
+    with pytest.raises(ValueError, match="unknown role"):
+        run_node("accountant", str(spec_path))
+
+
+class TestCloudControlChannel:
+    @pytest.fixture
+    def published_system(self, config) -> FresqueSystem:
+        system = FresqueSystem(config, _cipher(), seed=9)
+        system.run_publication(list(FluSurveyGenerator(seed=9).raw_lines(40)))
+        return system
+
+    @pytest.fixture
+    def control_port(self, published_system, tmp_path):
+        port_file = tmp_path / "cloud-control-port"
+        thread = threading.Thread(
+            target=_serve_control,
+            args=(
+                published_system.cloud,
+                published_system._cloud_adapter,
+                published_system.cipher,
+                published_system.config.schema,
+                port_file,
+            ),
+            daemon=True,
+        )
+        thread.start()
+        while not port_file.exists() or not port_file.read_text():
+            pass
+        port = int(port_file.read_text())
+        yield port
+        self._call(port, {"op": "shutdown"})
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+
+    @staticmethod
+    def _call(port: int, request: dict) -> dict:
+        with socket.create_connection(("127.0.0.1", port), timeout=5.0) as s:
+            s.sendall((json.dumps(request) + "\n").encode())
+            return json.loads(s.makefile("r").readline())
+
+    def test_status_lists_receipts(self, published_system, control_port):
+        response = self._call(control_port, {"op": "status"})
+        assert response["publications"] == [0]
+        receipt = published_system.cloud.receipt_for(0)
+        assert response["records"] == [receipt.records_matched]
+
+    def test_query_answers_over_the_wire(
+        self, published_system, control_port
+    ):
+        response = self._call(
+            control_port, {"op": "query", "low": 36.0, "high": 39.0}
+        )
+        local = published_system.query(36.0, 39.0)
+        assert response["count"] == len(local.records)
+        assert len(response["values"]) <= 100
+
+    def test_unknown_op_reports_error(self, control_port):
+        response = self._call(control_port, {"op": "frobnicate"})
+        assert "unknown op" in response["error"]

@@ -31,6 +31,7 @@ from repro.core.messages import (
     AnnouncePublication,
     BufferFlush,
     CnPublishing,
+    CreditGrant,
     DoneMsg,
     NewPublication,
     NodeDown,
@@ -112,6 +113,10 @@ class CheckingNode:
         self._removed_counter = self._tel.counter("checking_removed_total")
         self._dummies_counter = self._tel.counter("checking_dummies_total")
         self._occupancy_gauge = self._tel.gauge("randomer_occupancy")
+        # Credit-based backpressure (docs/BATCHING.md): grant the
+        # records of every processed PairBatch back to the dispatcher.
+        self._grant_credits = config.credit_window > 0
+        self._credits_counter = self._tel.counter("checking_credits_total")
 
     def state_of(self, publication: int) -> _PublicationState:
         """Internal state of ``publication`` (for tests and metrics)."""
@@ -261,10 +266,22 @@ class CheckingNode:
         at most the negative leaf noise).
         """
         publication = message.publication
+        grant: list[tuple[str, object]] = []
+        if self._grant_credits and message.pairs:
+            # Grant on receipt: the batch reached the trusted node, so
+            # its records no longer count against the dispatcher's
+            # credit window — even while they sit in the randomer.
+            self._credits_counter.inc(len(message.pairs))
+            grant.append(
+                (
+                    "dispatcher",
+                    CreditGrant(publication, len(message.pairs)),
+                )
+            )
         state = self._publications.get(publication)
         if state is None:
             self._early_pairs.setdefault(publication, []).extend(message.pairs)
-            return []
+            return grant
         if state.closed:
             released = list(message.pairs)
         else:
@@ -278,13 +295,13 @@ class CheckingNode:
             if self._tel.enabled:
                 self._occupancy_gauge.set(len(randomer))
         if not released:
-            return []
+            return grant
         out, cloud_items = self._check_bulk(publication, state, released)
         if cloud_items:
             out.append(
                 ("cloud", ToCloudBatch(publication, tuple(cloud_items)))
             )
-        return out
+        return grant + out
 
     def snapshot(self) -> dict:
         """JSON-able snapshot of per-publication progress.

@@ -54,6 +54,31 @@ class FresqueConfig:
     max_batch_delay:
         Seconds a partially filled batch may wait before it is flushed
         anyway, bounding the ingest latency batching adds.
+    adaptive_batching:
+        When true, the dispatcher's :class:`~repro.core.flow.FlowController`
+        adapts the effective batch size and flush delay (AIMD, between
+        ``min_batch_size``/``max_batch_size`` and the delay floor/
+        ``max_batch_delay``) to the observed flush throughput and queue
+        depth.  Off by default: the controller is *pinned* and the
+        dispatcher behaves exactly as the static configuration dictates
+        (the batch-equivalence harness relies on this).
+    min_batch_size / max_batch_size:
+        Bounds of the adaptive controller's batch-size excursion.
+        ``batch_size`` is the starting point and must lie inside the
+        bounds when ``adaptive_batching`` is on.
+    credit_window:
+        Records the dispatcher may have in flight towards the checking
+        node before it stops releasing flushed batches (credit-based
+        backpressure; the checking node grants credits back per
+        processed batch).  0 disables the gate.
+    ingest_queue_limit:
+        Records the dispatcher may hold back (in-flight batch plus
+        credit-deferred batches) before admission control sheds load at
+        the source.  0 disables admission control.
+    shed_policy:
+        What to shed when the ingest queue is over its limit:
+        ``"drop-newest"`` rejects the arriving record, ``"drop-oldest"``
+        evicts the oldest not-yet-flushed record to admit the new one.
     deterministic_ivs:
         When true, computing nodes and the merger derive every IV from
         the record's pipeline-wide identity (the dispatch ordinal stamped
@@ -78,6 +103,12 @@ class FresqueConfig:
     publish_interval: float = 60.0
     batch_size: int = 1
     max_batch_delay: float = 0.05
+    adaptive_batching: bool = False
+    min_batch_size: int = 1
+    max_batch_size: int = 1024
+    credit_window: int = 0
+    ingest_queue_limit: int = 0
+    shed_policy: str = "drop-newest"
     deterministic_ivs: bool = False
     _height: int = field(init=False, repr=False, compare=False, default=0)
 
@@ -102,6 +133,33 @@ class FresqueConfig:
         if self.max_batch_delay <= 0:
             raise ConfigError(
                 f"max_batch_delay must be positive, got {self.max_batch_delay}"
+            )
+        if not 1 <= self.min_batch_size <= self.max_batch_size:
+            raise ConfigError(
+                "batch-size bounds must satisfy 1 <= min <= max, got "
+                f"[{self.min_batch_size}, {self.max_batch_size}]"
+            )
+        if self.adaptive_batching and not (
+            self.min_batch_size <= self.batch_size <= self.max_batch_size
+        ):
+            raise ConfigError(
+                f"adaptive batching starts from batch_size={self.batch_size}, "
+                "which must lie inside "
+                f"[{self.min_batch_size}, {self.max_batch_size}]"
+            )
+        if self.credit_window < 0:
+            raise ConfigError(
+                f"credit_window must be >= 0, got {self.credit_window}"
+            )
+        if self.ingest_queue_limit < 0:
+            raise ConfigError(
+                "ingest_queue_limit must be >= 0, got "
+                f"{self.ingest_queue_limit}"
+            )
+        if self.shed_policy not in ("drop-newest", "drop-oldest"):
+            raise ConfigError(
+                f"unknown shed_policy {self.shed_policy!r} "
+                "(expected 'drop-newest' or 'drop-oldest')"
             )
         object.__setattr__(
             self,

@@ -10,12 +10,17 @@ and immediately opens the next publication (asynchronous publishing).
 Forwarding is batched (docs/BATCHING.md): arriving records — raw lines
 and released dummies alike — accumulate, in order, in a single in-flight
 batch that is flushed to the next computing node as one
-:class:`~repro.core.messages.RawBatch` when it reaches
-``config.batch_size`` records (*size*), when it has waited longer than
-``config.max_batch_delay`` seconds (*delay*), or when the publication
-interval closes (*close*) — the close flush is what guarantees a batch
-never straddles a publication boundary.  ``batch_size=1`` degenerates to
-per-record dispatch through the exact same path.
+:class:`~repro.core.messages.RawBatch` when it reaches the effective
+batch size (*size*), when it has waited longer than the effective flush
+delay (*delay*), or when the publication interval closes (*close*) — the
+close flush is what guarantees a batch never straddles a publication
+boundary.  ``batch_size=1`` degenerates to per-record dispatch through
+the exact same path.  The effective size/delay come from the
+:class:`~repro.core.flow.FlowController` — the static config values when
+pinned, the AIMD controller's when ``config.adaptive_batching`` is on —
+which also houses credit-based backpressure (flushed batches park in a
+deferred queue when the checking node's credits run dry) and admission
+control (``config.ingest_queue_limit`` + :meth:`Dispatcher.offer_raw`).
 """
 
 from __future__ import annotations
@@ -24,7 +29,19 @@ import random
 from collections import deque
 
 from repro.core.config import FresqueConfig
+from repro.core.flow import (
+    ADMIT,
+    DROP_NEWEST,
+    DROP_OLDEST,
+    FLUSH_CLOSE,
+    FLUSH_DELAY,
+    FLUSH_MANUAL,
+    FLUSH_SIZE,
+    FlowController,
+    SHED_OLDEST,
+)
 from repro.core.messages import (
+    CreditGrant,
     NewPublication,
     NodeDown,
     PublishingMsg,
@@ -38,14 +55,15 @@ from repro.records.codec import decode_record, encode_record
 from repro.telemetry.clock import WALL_CLOCK
 from repro.telemetry.context import coalesce
 
-#: Flush triggers, as reported by the ``dispatcher_batch_flush_total``
-#: counter's ``reason`` label.
-FLUSH_SIZE, FLUSH_DELAY, FLUSH_CLOSE, FLUSH_MANUAL = (
-    "size",
-    "delay",
-    "close",
-    "manual",
-)
+# FLUSH_* reason labels are defined in repro.core.flow (the controller
+# consumes them too) and re-exported here for their historical home.
+__all__ = [
+    "Dispatcher",
+    "FLUSH_SIZE",
+    "FLUSH_DELAY",
+    "FLUSH_CLOSE",
+    "FLUSH_MANUAL",
+]
 
 
 class Dispatcher:
@@ -91,11 +109,12 @@ class Dispatcher:
         self._tel = coalesce(telemetry)
         self._records_counter = self._tel.counter("dispatcher_records_total")
         self._dummies_counter = self._tel.counter("dispatcher_dummies_total")
-        self._batch_size = config.batch_size
-        self._max_batch_delay = config.max_batch_delay
         if clock is None:
             clock = self._tel.clock if self._tel.enabled else WALL_CLOCK
         self._clock = clock
+        #: Flow control: effective batch size/delay (pinned or adaptive),
+        #: the credit gate and admission control (repro.core.flow).
+        self.flow = FlowController(config, telemetry=telemetry, clock=clock)
         #: The in-flight batch: raw lines and dummy Records, arrival order.
         self._batch: list[str | Record] = []
         self._batch_opened: float | None = None
@@ -107,7 +126,20 @@ class Dispatcher:
         self._batch_ordinal = 0
         self._batch_histogram = self._tel.histogram(
             "dispatcher_batch_records",
-            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+            buckets=(
+                1.0,
+                2.0,
+                4.0,
+                8.0,
+                16.0,
+                32.0,
+                64.0,
+                128.0,
+                256.0,
+                512.0,
+                1024.0,
+                2048.0,
+            ),
         )
         self._flush_counters = {
             reason: self._tel.counter(
@@ -245,6 +277,51 @@ class Dispatcher:
         """Accumulate one raw line; forward a batch when a flush triggers."""
         return self._enqueue(line)
 
+    def offer_raw(self, line: str) -> list[tuple[str, object]] | None:
+        """Admission-controlled ingest: ``None`` means the record was shed.
+
+        With ``config.ingest_queue_limit`` unset this is exactly
+        :meth:`on_raw`.  Over the limit, ``drop-newest`` rejects ``line``
+        (returns ``None``) while ``drop-oldest`` evicts the oldest
+        unflushed record to admit it — falling back to rejection when
+        nothing is evictable (the whole backlog is already flushed and
+        credit-deferred).
+        """
+        decision = self.flow.admission.decide(self.backlog_records)
+        if decision is not ADMIT:
+            if decision == SHED_OLDEST and self._evict_oldest():
+                self.flow.admission.record_shed(DROP_OLDEST)
+                return self._enqueue(line)
+            self.flow.admission.record_shed(DROP_NEWEST)
+            return None
+        return self._enqueue(line)
+
+    def _evict_oldest(self) -> bool:
+        """Drop the in-flight batch's oldest record; False when empty."""
+        if not self._batch:
+            return False
+        self._batch.pop(0)
+        # The evicted record keeps its dispatch ordinal (it was counted);
+        # the batch's first item is now one ordinal later, preserving the
+        # restore invariant ordinal == records_dispatched - len(batch).
+        self._batch_ordinal += 1
+        if not self._batch:
+            self._batch_opened = None
+        return True
+
+    @property
+    def backlog_records(self) -> int:
+        """Records held back: in-flight batch plus credit-deferred."""
+        return len(self._batch) + self.flow.credits.deferred_records
+
+    def on_credit(self, message: CreditGrant) -> list[tuple[str, object]]:
+        """Apply a checking-node credit grant; release deferred batches."""
+        return list(self.flow.credits.grant(message.records))
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Feed a downstream queue-depth sample to the adaptive controller."""
+        self.flow.controller.observe_depth(depth)
+
     def _enqueue(self, item: str | Record) -> list[tuple[str, object]]:
         """Append one item to the in-flight batch; flush if due."""
         batch = self._batch
@@ -253,18 +330,25 @@ class Dispatcher:
         batch.append(item)
         self.records_dispatched += 1
         self._records_counter.inc()
-        if len(batch) >= self._batch_size:
+        if len(batch) >= self.flow.batch_size:
             return self._flush(FLUSH_SIZE)
         now = self._clock.now()
         if self._batch_opened is None:
             self._batch_opened = now
             return []
-        if now - self._batch_opened >= self._max_batch_delay:
+        if now - self._batch_opened >= self.flow.max_batch_delay:
             return self._flush(FLUSH_DELAY)
         return []
 
     def _flush(self, reason: str) -> list[tuple[str, object]]:
-        """Ship the in-flight batch as one RawBatch; no-op when empty."""
+        """Ship the in-flight batch as one RawBatch; no-op when empty.
+
+        The batch is routed (round robin) and sequenced unconditionally;
+        the credit gate then decides whether it leaves now or waits,
+        already addressed, in the deferred queue until the checking node
+        grants credits back (an empty return with a non-empty deferred
+        queue, not a dropped batch).
+        """
         if not self._batch:
             return []
         start = self._tel.now()
@@ -273,22 +357,17 @@ class Dispatcher:
         self._batch_opened = None
         seq = self._seq
         self._seq += 1
-        routed = [
-            (
-                self._next_node(),
-                RawBatch(
-                    self._publication,
-                    items,
-                    seq=seq,
-                    ordinal=self._batch_ordinal,
-                ),
-            )
-        ]
+        destination = self._next_node()
+        message = RawBatch(
+            self._publication, items, seq=seq, ordinal=self._batch_ordinal
+        )
         self._flush_counters[reason].inc()
-        if self._tel.enabled:
-            self._batch_histogram.observe(float(len(items)))
+        self._batch_histogram.observe(float(len(items)))
+        self.flow.controller.observe_flush(reason, len(items))
         self._tel.observe_stage("dispatch", self._publication, start)
-        return routed
+        if not self.flow.credits.try_send(destination, message):
+            return []
+        return [(destination, message)]
 
     def flush_batch(
         self, reason: str = FLUSH_MANUAL
@@ -297,11 +376,14 @@ class Dispatcher:
         return self._flush(reason)
 
     def flush_due(self, now: float | None = None) -> list[tuple[str, object]]:
-        """Flush iff the in-flight batch outlived ``max_batch_delay``.
+        """Flush iff the in-flight batch outlived the effective delay.
 
-        Drivers with idle periods call this from their clock (the
-        threaded runtime's feeder, a timer) so a trickle of records never
-        waits longer than the configured delay.
+        Called periodically by every runtime's flush poller — the
+        threaded/TCP/shm clusters run a
+        :class:`~repro.runtime.poller.FlushPoller` thread, and the
+        synchronous :meth:`FresqueSystem.poll_flush` delegates here — so
+        a trickle of records below the batch size never waits longer
+        than the configured delay for its flush.
         """
         if not self._batch:
             return []
@@ -310,9 +392,19 @@ class Dispatcher:
         if self._batch_opened is None:
             self._batch_opened = now
             return []
-        if now - self._batch_opened >= self._max_batch_delay:
+        if now - self._batch_opened >= self.flow.max_batch_delay:
             return self._flush(FLUSH_DELAY)
         return []
+
+    @property
+    def batch_size(self) -> int:
+        """Effective batch size (static, or the adaptive controller's)."""
+        return self.flow.batch_size
+
+    @property
+    def max_batch_delay(self) -> float:
+        """Effective flush-delay bound."""
+        return self.flow.max_batch_delay
 
     @property
     def pending_batch_records(self) -> int:
@@ -344,6 +436,7 @@ class Dispatcher:
             "records_rerouted": self.records_rerouted,
             "dummies_generated": self.dummies_generated,
             "seq": self._seq,
+            "flow": self.flow.snapshot(),
         }
 
     def restore(self, state: dict) -> None:
@@ -369,6 +462,9 @@ class Dispatcher:
         # records_dispatched already counts the restored in-flight batch,
         # so its first item's ordinal is derivable.
         self._batch_ordinal = self.records_dispatched - len(self._batch)
+        # Pre-flow snapshots carry no "flow" key; construction defaults
+        # already match the config in that case.
+        self.flow.restore(state.get("flow"))
 
     def end_publication(self) -> list[tuple[str, object]]:
         """Broadcast *publishing*; the caller immediately starts the next.
@@ -380,6 +476,10 @@ class Dispatcher:
         """
         out = self.due_dummies(1.0)
         out.extend(self._flush(FLUSH_CLOSE))
+        # Credits or not, the complete publication must reach the
+        # computing nodes before the broadcast: release every deferred
+        # batch and reset the credit window at the boundary.
+        out.extend(self.flow.credits.drain())
         message = PublishingMsg(self._publication, last_seq=self._seq - 1)
         out.extend((f"cn-{i}", message) for i in self.live_computing_nodes)
         out.append(("checking", message))

@@ -177,6 +177,23 @@ class CnPublishing:
 
 
 @dataclass(frozen=True)
+class CreditGrant:
+    """Checking node → dispatcher: backpressure credits replenished.
+
+    Emitted once per processed :class:`PairBatch` when
+    ``config.credit_window > 0``, crediting the dispatcher's
+    :class:`~repro.core.flow.CreditGate` with the records it just got
+    through the randomer.  Dispatching consumes one credit per record,
+    so the window bounds the records in flight toward the checking
+    node; the grant stream is what lets the dispatcher resume releasing
+    deferred batches (docs/BATCHING.md).
+    """
+
+    publication: int
+    records: int
+
+
+@dataclass(frozen=True)
 class NodeDown:
     """Dispatcher → checking node: a computing node died mid-publication.
 

@@ -26,6 +26,7 @@ from repro.core.messages import (
     AnnouncePublication,
     BufferFlush,
     CnPublishing,
+    CreditGrant,
     DoneMsg,
     MergedPublication,
     NewPublication,
@@ -253,6 +254,9 @@ class FresqueSystem:
                 return self.merger.on_al(message)
         elif destination == "cloud":
             return self._cloud_adapter.handle(message)
+        elif destination == "dispatcher":
+            if isinstance(message, CreditGrant):
+                return self.dispatcher.on_credit(message)
         raise TypeError(
             f"no handler for {type(message).__name__} at {destination!r}"
         )
@@ -294,9 +298,35 @@ class FresqueSystem:
         for line in lines:
             pump(on_raw(line))
 
+    def offer(self, line: str) -> bool:
+        """Admission-controlled :meth:`ingest`; False means shed.
+
+        With ``config.ingest_queue_limit`` set, the dispatcher's
+        :class:`~repro.core.flow.SheddingPolicy` may reject the line (or
+        evict an older unflushed record to admit it) instead of letting
+        the backlog grow without bound.
+        """
+        if not self._started:
+            raise RuntimeError("call start() first")
+        outbox = self.dispatcher.offer_raw(line)
+        if outbox is None:
+            return False
+        self._pump(outbox)
+        return True
+
     def flush_ingest(self) -> None:
         """Flush the dispatcher's in-flight batch through the pipeline."""
         self._pump(self.dispatcher.flush_batch())
+
+    def poll_flush(self) -> None:
+        """Fire the delay flush if the in-flight batch outlived its bound.
+
+        The synchronous counterpart of the runtime clusters'
+        :class:`~repro.runtime.poller.FlushPoller`: drivers with idle
+        periods call this periodically so a trickle below the batch size
+        never stalls past ``max_batch_delay``.
+        """
+        self._pump(self.dispatcher.flush_due())
 
     def run_publication(self, lines: list[str]) -> PublicationSummary:
         """Ingest ``lines``, interleave the scheduled dummies uniformly,

@@ -20,6 +20,11 @@ two disciplines machine-checked:
   never flushes.  The close flush is what guarantees a batch never
   straddles a publication boundary; dropping it leaks the in-flight
   records into the next publication number.
+* ``FRQ-B803`` — an assignment to a ``_batch_size`` attribute outside
+  :mod:`repro.core.flow`.  The adaptive controller owns the batch size;
+  mutating it directly bypasses the AIMD bookkeeping (window accounting,
+  gauges, bounds clamping) and silently re-introduces the static-size
+  cliff the controller exists to remove.
 """
 
 from __future__ import annotations
@@ -50,11 +55,13 @@ class BatchingChecker(Checker):
     codes = {
         "FRQ-B801": "per-record primitive looped inside a batch hot path",
         "FRQ-B802": "batch accumulator without a flush on interval close",
+        "FRQ-B803": "direct _batch_size mutation bypassing the controller",
     }
 
     def check(self, module: ModuleInfo) -> Iterable[Diagnostic]:
         yield from self._check_scalar_loops(module)
         yield from self._check_close_flush(module)
+        yield from self._check_size_mutation(module)
 
     # -- FRQ-B801 ----------------------------------------------------------
 
@@ -113,3 +120,33 @@ class BatchingChecker(Checker):
                     "number; flush (the close flush) before broadcasting "
                     "publishing",
                 )
+
+    # -- FRQ-B803 ----------------------------------------------------------
+
+    def _check_size_mutation(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        if module.is_module("core/flow.py"):
+            return  # the controller is the one legitimate owner
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                if isinstance(node, ast.AnnAssign) and node.value is None:
+                    continue  # bare annotation, no mutation
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "_batch_size"
+                    ):
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            "FRQ-B803",
+                            "direct assignment to ._batch_size bypasses the "
+                            "adaptive controller (repro.core.flow) — its "
+                            "AIMD accounting, bounds clamping and gauges "
+                            "never see the change; adjust the size through "
+                            "AdaptiveBatchController instead",
+                        )

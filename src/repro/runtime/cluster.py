@@ -23,6 +23,7 @@ from repro.core.merger import Merger
 from repro.core.messages import (
     AlSnapshot,
     CnPublishing,
+    CreditGrant,
     DoneMsg,
     NewPublication,
     NodeDown,
@@ -37,6 +38,7 @@ from repro.core.messages import (
 from repro.core.system import CloudAdapter
 from repro.crypto.cipher import RecordCipher
 from repro.runtime.channel import POISON, Inbox, InFlightTracker
+from repro.runtime.poller import FlushPoller, poll_interval
 from repro.telemetry.clock import WALL_CLOCK
 from repro.telemetry.context import coalesce
 
@@ -63,6 +65,11 @@ class ThreadedFresque:
         duplicated ones are enqueued twice, delayed ones arrive through
         a timer thread.  ``sever`` has no meaning for in-process
         channels and is ignored.
+    clock:
+        Time source injected into the dispatcher (tests use a
+        :class:`~repro.telemetry.clock.SimulatedClock` to drive the
+        delay flush without sleeping); defaults to the telemetry/wall
+        clock.
     """
 
     def __init__(
@@ -72,13 +79,17 @@ class ThreadedFresque:
         seed: int | None = None,
         telemetry=None,
         fault_plan=None,
+        clock=None,
     ):
         self.config = config
         self.cipher = cipher
         self.telemetry = coalesce(telemetry)
         rng = random.Random(seed)
         self.dispatcher = Dispatcher(
-            config, rng=random.Random(rng.random()), telemetry=telemetry
+            config,
+            rng=random.Random(rng.random()),
+            telemetry=telemetry,
+            clock=clock,
         )
         self.computing_nodes = [
             ComputingNode(i, config, cipher, telemetry=telemetry)
@@ -104,6 +115,13 @@ class ThreadedFresque:
         self._errors: list[BaseException] = []
         self._started = False
         self.wall_seconds = 0.0
+        # The dispatcher is not thread-safe: the driver thread feeds it,
+        # the flush poller fires its delay flush, and credit grants land
+        # on the dispatcher inbox thread.  One lock serialises them.
+        self._dispatch_lock = threading.RLock()
+        self._poller = FlushPoller(
+            poll_interval(config.max_batch_delay), self._poll_flush
+        )
 
     # ------------------------------------------------------------------
     # Node handlers (each runs on its own thread)
@@ -143,6 +161,28 @@ class ThreadedFresque:
         if isinstance(message, AlSnapshot):
             return self.merger.on_al(message)
         raise TypeError(f"merger cannot handle {type(message).__name__}")
+
+    def _handle_dispatcher(self, message):
+        if isinstance(message, CreditGrant):
+            with self._dispatch_lock:
+                return self.dispatcher.on_credit(message)
+        raise TypeError(f"dispatcher cannot handle {type(message).__name__}")
+
+    def _poll_flush(self) -> None:
+        """Poller tick: delay flush plus a queue-depth sample."""
+        with self._dispatch_lock:
+            if self.telemetry.enabled or not self.dispatcher.flow.controller.pinned:
+                depth = max(
+                    (
+                        inbox.qsize()
+                        for name, inbox in self._inboxes.items()
+                        if name.startswith("cn-")
+                    ),
+                    default=0,
+                )
+                self.dispatcher.observe_queue_depth(depth)
+            outbox = self.dispatcher.flush_due()
+        self._pump_outbox(outbox)
 
     # ------------------------------------------------------------------
     # Threading plumbing
@@ -211,6 +251,7 @@ class ThreadedFresque:
             "checking": self._handle_checking,
             "merger": self._handle_merger,
             "cloud": self.cloud_adapter.handle,
+            "dispatcher": self._handle_dispatcher,
         }
         for node in self.computing_nodes:
             handlers[f"cn-{node.node_id}"] = (
@@ -230,17 +271,36 @@ class ThreadedFresque:
             self._threads.append(thread)
         for thread in self._threads:
             thread.start()
-        self._pump_outbox(self.dispatcher.start_publication())
+        with self._dispatch_lock:
+            outbox = self.dispatcher.start_publication()
+        self._pump_outbox(outbox)
+        self._poller.start()
+
+    def ingest(self, line: str) -> None:
+        """Feed one raw line into the current publication.
+
+        Sub-batch-size trickles flush through the background poller
+        after ``max_batch_delay`` — no close required.
+        """
+        if not self._started:
+            raise RuntimeError("call start() first")
+        with self._dispatch_lock:
+            outbox = self.dispatcher.on_raw(line)
+        self._pump_outbox(outbox)
 
     def _feed_publication(self, lines: list[str]) -> None:
         total = max(1, len(lines))
         for position, line in enumerate(lines):
-            self._pump_outbox(
-                self.dispatcher.due_dummies((position + 1) / (total + 1))
-            )
-            self._pump_outbox(self.dispatcher.on_raw(line))
-        self._pump_outbox(self.dispatcher.end_publication())
-        self._pump_outbox(self.dispatcher.start_publication())
+            with self._dispatch_lock:
+                outbox = self.dispatcher.due_dummies(
+                    (position + 1) / (total + 1)
+                )
+                outbox.extend(self.dispatcher.on_raw(line))
+            self._pump_outbox(outbox)
+        with self._dispatch_lock:
+            outbox = self.dispatcher.end_publication()
+            outbox.extend(self.dispatcher.start_publication())
+        self._pump_outbox(outbox)
 
     def run_publication(self, lines: list[str]) -> None:
         """Ingest ``lines``, close the publication, wait until it drains."""
@@ -280,7 +340,8 @@ class ThreadedFresque:
             raise RuntimeError("node thread failed") from error
 
     def shutdown(self) -> None:
-        """Stop every node thread."""
+        """Stop the flush poller and every node thread."""
+        self._poller.stop()
         for inbox in self._inboxes.values():
             inbox.put(POISON)
         for thread in self._threads:

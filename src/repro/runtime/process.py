@@ -33,6 +33,7 @@ from repro.runtime.roles import (
     SCHEMAS as _SCHEMAS,  # noqa: F401  (re-exported; see runtime.roles)
     build_handler as _build_handler,
     load_spec as _config_from_spec,
+    spec_from_config as _spec_from_config,
 )
 from repro.runtime.tcp import Router, TcpNode
 from repro.telemetry.clock import WALL_CLOCK
@@ -133,16 +134,7 @@ class ProcessCluster:
             ports[role] = probe.getsockname()[1]
             probe.close()
         self._spec = {
-            "schema": config.schema.name,
-            "domain": {
-                "dmin": config.domain.dmin,
-                "dmax": config.domain.dmax,
-                "bin": config.domain.bin_interval,
-            },
-            "computing_nodes": config.num_computing_nodes,
-            "epsilon": config.epsilon,
-            "alpha": config.alpha,
-            "key_hex": key.hex(),
+            **_spec_from_config(config, key),
             "ports": ports,
             "workdir": str(self.workdir),
             "seeds": {"checking": rng.randrange(2**31),

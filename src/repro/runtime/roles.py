@@ -11,6 +11,7 @@ handler — so the two runtimes cannot drift apart on what a role does.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 
 from repro.core.config import FresqueConfig
@@ -32,9 +33,29 @@ SCHEMAS = {
 }
 
 
+#: Scalar ``FresqueConfig`` fields carried verbatim in a cluster spec.
+#: Derived from the dataclass itself so a new config field automatically
+#: rides every spec — the drift the hardcoded field list used to allow
+#: (schema/domain get structured entries; ``num_computing_nodes`` keeps
+#: its legacy ``computing_nodes`` spec key).
+_SCALAR_FIELDS: tuple[str, ...] = tuple(
+    f.name
+    for f in dataclasses.fields(FresqueConfig)
+    if f.init and f.name not in ("schema", "domain", "num_computing_nodes")
+)
+
+#: Field → dataclass default, the single source of truth for spec
+#: fallbacks (a spec written by an older parent simply omits the field).
+_FIELD_DEFAULTS: dict[str, object] = {
+    f.name: f.default
+    for f in dataclasses.fields(FresqueConfig)
+    if f.init and f.default is not dataclasses.MISSING
+}
+
+
 def spec_from_config(config: FresqueConfig, key: bytes) -> dict:
     """The JSON-able spec a worker needs to rebuild ``config``."""
-    return {
+    spec = {
         "schema": config.schema.name,
         "domain": {
             "dmin": config.domain.dmin,
@@ -42,17 +63,20 @@ def spec_from_config(config: FresqueConfig, key: bytes) -> dict:
             "bin": config.domain.bin_interval,
         },
         "computing_nodes": config.num_computing_nodes,
-        "epsilon": config.epsilon,
-        "alpha": config.alpha,
-        "batch_size": config.batch_size,
-        "max_batch_delay": config.max_batch_delay,
-        "deterministic_ivs": config.deterministic_ivs,
         "key_hex": key.hex(),
     }
+    for name in _SCALAR_FIELDS:
+        spec[name] = getattr(config, name)
+    return spec
 
 
 def config_from_spec(spec: dict) -> FresqueConfig:
-    """Rebuild the deployment configuration from a cluster spec."""
+    """Rebuild the deployment configuration from a cluster spec.
+
+    Missing scalar fields fall back to the ``FresqueConfig`` dataclass
+    defaults — never to values hardcoded here, which drifted once
+    already (``max_batch_delay``).
+    """
     schema_name = spec["schema"]
     if schema_name in SCHEMAS:
         schema_factory, domain_factory = SCHEMAS[schema_name]
@@ -67,11 +91,10 @@ def config_from_spec(spec: dict) -> FresqueConfig:
         schema=schema,
         domain=domain,
         num_computing_nodes=spec["computing_nodes"],
-        epsilon=spec.get("epsilon", 1.0),
-        alpha=spec.get("alpha", 2.0),
-        batch_size=spec.get("batch_size", 1),
-        max_batch_delay=spec.get("max_batch_delay", 0.05),
-        deterministic_ivs=spec.get("deterministic_ivs", False),
+        **{
+            name: spec.get(name, _FIELD_DEFAULTS[name])
+            for name in _SCALAR_FIELDS
+        },
     )
 
 

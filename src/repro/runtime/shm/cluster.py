@@ -17,6 +17,7 @@ Ring topology for ``k`` computing nodes (label → producer → consumer)::
     p2k      parent   → checking  new-publication, publishing
     k2m      checking → merger    templates, removed, AL snapshots
     k2cl     checking → cloud     announce, to-cloud batches, flushes
+    k2p      checking → parent    credit grants (backpressure control)
     m2cl     merger   → cloud     merged publications
     p2cl     parent   → cloud     control requests (raw JSON)
     cl2p     cloud    → parent    receipts + control responses (raw JSON)
@@ -45,6 +46,7 @@ import multiprocessing
 import os
 import pathlib
 import random
+import threading
 import time
 
 from repro.core.config import FresqueConfig
@@ -53,6 +55,7 @@ from repro.core.messages import RawBatch
 from repro.index.perturb import draw_noise_plan
 from repro.index.tree import IndexTree
 from repro.runtime.backoff import await_condition
+from repro.runtime.poller import FlushPoller, poll_interval
 from repro.runtime.roles import spec_from_config
 from repro.runtime.shm.channel import ShmChannel
 from repro.runtime.shm.frames import decode_frame
@@ -148,6 +151,14 @@ class ShmFresqueCluster:
         self._sends = 0
         self._started = False
         self._closed = False
+        # Serialises the feeder thread against the flush poller: both
+        # touch the dispatcher and the parent-consumed rings (k2p and
+        # cl2p are SPSC — one consumer at a time).  Reentrant because
+        # _send's failure path re-enters via _on_cn_death/redispatch.
+        self._flow_lock = threading.RLock()
+        self._poller = FlushPoller(
+            poll_interval(config.max_batch_delay), self._poll_flush
+        )
         self.durable = data_dir is not None
         if self.durable:
             from repro.durability.journal import WriteAheadJournal
@@ -193,6 +204,7 @@ class ShmFresqueCluster:
             self._make_ring(f"c{i}2k", self._ring_capacity)
             self._make_ring(f"k2c{i}", CONTROL_RING_CAPACITY)
         self._make_ring("p2k", CONTROL_RING_CAPACITY)
+        self._make_ring("k2p", CONTROL_RING_CAPACITY)
         self._make_ring("k2m", self._ring_capacity)
         self._make_ring("k2cl", self._ring_capacity)
         self._make_ring("m2cl", self._ring_capacity)
@@ -222,6 +234,7 @@ class ShmFresqueCluster:
                     **{f"cn-{i}": name(f"k2c{i}") for i in range(k)},
                     "merger": name("k2m"),
                     "cloud": name("k2cl"),
+                    "dispatcher": name("k2p"),
                 },
                 k,
             )
@@ -270,6 +283,7 @@ class ShmFresqueCluster:
             self._open_publication()
         else:
             self._send_all(self.dispatcher.start_publication())
+        self._poller.start()
 
     def __enter__(self) -> "ShmFresqueCluster":
         if not self._started:
@@ -306,22 +320,53 @@ class ShmFresqueCluster:
         raise WorkerDied(f"worker {destination!r} is gone")
 
     def _send_all(self, outbox) -> None:
-        for destination, message in outbox:
-            self._send(destination, message)
+        with self._flow_lock:
+            for destination, message in outbox:
+                self._send(destination, message)
 
     def _supervise(self) -> None:
         """Poll worker liveness, drain cloud events, refresh gauges."""
-        for role, proc in list(self._procs.items()):
-            if proc.is_alive():
-                continue
-            if role.startswith("cn-"):
-                self._on_cn_death(int(role[3:]))
-            else:
-                raise WorkerDied(
-                    f"worker {role!r} exited with code {proc.exitcode}"
-                )
-        self._pump_events()
+        with self._flow_lock:
+            for role, proc in list(self._procs.items()):
+                if proc.is_alive():
+                    continue
+                if role.startswith("cn-"):
+                    self._on_cn_death(int(role[3:]))
+                else:
+                    raise WorkerDied(
+                        f"worker {role!r} exited with code {proc.exitcode}"
+                    )
+            self._pump_credits()
+            self._pump_events()
         self._flush_telemetry()
+
+    def _pump_credits(self) -> None:
+        """Drain the checking worker's credit grants (k2p control ring)
+        into the dispatcher, sending whatever batches they release."""
+        ring = self._rings.get("k2p")
+        if ring is None:
+            return
+        with self._flow_lock:
+            while True:
+                payload = ring.pop()
+                if payload is None:
+                    return
+                _, message = decode_frame(memoryview(payload))
+                self._send_all(self.dispatcher.on_credit(message))
+
+    def _poll_flush(self) -> None:
+        """Poller tick: pump credits, fire the delay flush, and feed the
+        dispatcher-side backlog to the adaptive controller."""
+        with self._flow_lock:
+            self._pump_credits()
+            if (
+                self.telemetry.enabled
+                or not self.dispatcher.flow.controller.pinned
+            ):
+                self.dispatcher.observe_queue_depth(
+                    self.dispatcher.backlog_records
+                )
+            self._send_all(self.dispatcher.flush_due())
 
     def _on_cn_death(self, index: int) -> None:
         """Degraded mode: absorb a dead computing node's work.
@@ -367,16 +412,17 @@ class ShmFresqueCluster:
     def _pump_events(self) -> bool:
         ring = self._rings["cl2p"]
         progressed = False
-        while True:
-            payload = ring.pop()
-            if payload is None:
-                return progressed
-            event = json.loads(payload.decode("utf-8"))
-            if event.get("event") == "receipt":
-                self._receipts[event["pub"]] = event["records"]
-            elif event.get("event") == "response":
-                self._responses[event["rid"]] = event
-            progressed = True
+        with self._flow_lock:
+            while True:
+                payload = ring.pop()
+                if payload is None:
+                    return progressed
+                event = json.loads(payload.decode("utf-8"))
+                if event.get("event") == "receipt":
+                    self._receipts[event["pub"]] = event["records"]
+                elif event.get("event") == "response":
+                    self._responses[event["rid"]] = event
+                progressed = True
 
     def _flush_telemetry(self) -> None:
         tel = self.telemetry
@@ -404,12 +450,13 @@ class ShmFresqueCluster:
     # ------------------------------------------------------------------
 
     def _open_publication(self) -> None:
-        grant = self.accountant.grant()
-        plan = draw_noise_plan(
-            self._tree_shape, grant.epsilon, rng=self.dispatcher._rng
-        )
-        self.journal.append_open(grant.publication, plan, grant.epsilon)
-        self._send_all(self.dispatcher.start_publication(plan))
+        with self._flow_lock:
+            grant = self.accountant.grant()
+            plan = draw_noise_plan(
+                self._tree_shape, grant.epsilon, rng=self.dispatcher._rng
+            )
+            self.journal.append_open(grant.publication, plan, grant.epsilon)
+            self._send_all(self.dispatcher.start_publication(plan))
         if self.dispatcher.publication != grant.publication:
             raise RuntimeError(
                 f"grant {grant.publication} does not match dispatcher "
@@ -420,13 +467,33 @@ class ShmFresqueCluster:
         """Feed one raw line into the current publication."""
         if not self._started:
             raise RuntimeError("call start() first")
-        if self.durable:
-            self.journal.append_raw(self.dispatcher.publication, line)
-        self._send_all(self.dispatcher.on_raw(line))
+        with self._flow_lock:
+            if self.durable:
+                self.journal.append_raw(self.dispatcher.publication, line)
+            self._send_all(self.dispatcher.on_raw(line))
+
+    def offer(self, line: str) -> bool:
+        """Admission-controlled :meth:`ingest`; ``False`` means shed.
+
+        With ``config.ingest_queue_limit`` set the dispatcher's
+        :class:`~repro.core.flow.SheddingPolicy` may reject the line (or
+        evict an older unflushed record) instead of growing the backlog.
+        """
+        if not self._started:
+            raise RuntimeError("call start() first")
+        with self._flow_lock:
+            outbox = self.dispatcher.offer_raw(line)
+            if outbox is None:
+                return False
+            if self.durable:
+                self.journal.append_raw(self.dispatcher.publication, line)
+            self._send_all(outbox)
+        return True
 
     def flush_ingest(self) -> None:
         """Flush the dispatcher's in-flight batch through the rings."""
-        self._send_all(self.dispatcher.flush_batch())
+        with self._flow_lock:
+            self._send_all(self.dispatcher.flush_batch())
 
     def run_publication(self, lines, timeout: float = 120.0) -> int:
         """Ingest ``lines`` with interleaved dummies, close the interval,
@@ -444,28 +511,32 @@ class ShmFresqueCluster:
                 self.journal.append_raw_batch(publication, chunk)
                 for offset, line in enumerate(chunk):
                     position = start + offset
-                    self._send_all(
-                        self.dispatcher.due_dummies(
+                    with self._flow_lock:
+                        outbox = self.dispatcher.due_dummies(
                             (position + 1) / (total + 1)
                         )
-                    )
-                    self._send_all(self.dispatcher.on_raw(line))
+                        outbox.extend(self.dispatcher.on_raw(line))
+                        self._send_all(outbox)
         else:
             for position, line in enumerate(lines):
-                self._send_all(
-                    self.dispatcher.due_dummies((position + 1) / (total + 1))
-                )
-                self._send_all(self.dispatcher.on_raw(line))
+                with self._flow_lock:
+                    outbox = self.dispatcher.due_dummies(
+                        (position + 1) / (total + 1)
+                    )
+                    outbox.extend(self.dispatcher.on_raw(line))
+                    self._send_all(outbox)
         if self.durable:
             self.journal.append_close(publication)
-        self._send_all(self.dispatcher.end_publication())
+        with self._flow_lock:
+            self._send_all(self.dispatcher.end_publication())
         if self.durable:
             records = self._await_receipt(publication, timeout)
             self.accountant.commit(publication)
             self.journal.append_commit(publication)
             self._open_publication()
         else:
-            self._send_all(self.dispatcher.start_publication())
+            with self._flow_lock:
+                self._send_all(self.dispatcher.start_publication())
             records = self._await_receipt(publication, timeout)
         return records
 
@@ -573,6 +644,7 @@ class ShmFresqueCluster:
         if not self._started or self._closed:
             return
         self._closed = True
+        self._poller.stop()
         try:
             self._channel.close()
             self._rings["p2cl"].mark_closed()

@@ -20,6 +20,7 @@ import struct
 
 from repro.core.messages import (
     BufferFlush,
+    CreditGrant,
     PairBatch,
     RawBatch,
     ToCloudBatch,
@@ -38,10 +39,15 @@ _KIND_RAW_BATCH = 1
 _KIND_PAIR_BATCH = 2
 _KIND_TO_CLOUD = 3
 _KIND_BUFFER_FLUSH = 4
+#: Control frame: checking-node credit grant back to the dispatcher
+#: (docs/BATCHING.md).  Fixed-size body, decoded without JSON, because
+#: one grant rides the ring per processed PairBatch.
+_KIND_CREDIT = 5
 
 _RAW_HEAD = struct.Struct("<qqqI")  # pub, seq, ordinal, item count
 _PAIR_HEAD = struct.Struct("<qqI")  # pub, seq, pair count
 _CLOUD_HEAD = struct.Struct("<qI")  # pub, pair count
+_CREDIT_HEAD = struct.Struct("<qq")  # pub, granted record count
 _U32 = struct.Struct("<I")
 _PAIR_META = struct.Struct("<iB")  # leaf, dummy flag
 
@@ -91,6 +97,10 @@ def encode_frame(destination: str, message) -> bytearray:
         for leaf, encrypted in message.pairs:
             out += struct.pack("<i", leaf)
             encode_encrypted_into(out, encrypted)
+        return out
+    if type(message) is CreditGrant:
+        out[0] = _KIND_CREDIT
+        out += _CREDIT_HEAD.pack(message.publication, message.records)
         return out
     encoder = _ENCODERS.get(type(message))
     if encoder is None:
@@ -156,4 +166,7 @@ def decode_frame(view) -> tuple[str, object]:
             ToCloudBatch if kind == _KIND_TO_CLOUD else BufferFlush
         )
         return destination, message_type(publication, tuple(pairs))
+    if kind == _KIND_CREDIT:
+        publication, records = _CREDIT_HEAD.unpack_from(view, offset)
+        return destination, CreditGrant(publication, records)
     raise WireError(f"unknown ring-frame kind {kind}")

@@ -51,6 +51,7 @@ from repro.core.merger import Merger
 from repro.core.messages import (
     AlSnapshot,
     CnPublishing,
+    CreditGrant,
     DoneMsg,
     NewPublication,
     NodeDown,
@@ -65,6 +66,7 @@ from repro.core.messages import (
 from repro.core.system import CloudAdapter
 from repro.crypto.cipher import RecordCipher
 from repro.runtime.faults import RESTART
+from repro.runtime.poller import FlushPoller, poll_interval
 from repro.runtime.wire import WireError, decode_message, encode_message, read_frames
 from repro.telemetry.clock import WALL_CLOCK
 from repro.telemetry.context import coalesce
@@ -673,6 +675,18 @@ class TcpFresqueCluster:
         self._dead: set[str] = set()
         self._telemetry_arg = telemetry
         self._started = False
+        # Serialises dispatcher access between the driver thread, the
+        # flush poller and the credit-grant handler (a TcpNode worker).
+        # Reentrant: _send_outbox → _mark_node_down → _send_outbox.
+        self._dispatch_lock = threading.RLock()
+        self._poller = FlushPoller(
+            poll_interval(config.max_batch_delay), self._poll_flush
+        )
+
+    def _poll_flush(self) -> None:
+        """Poller tick: fire the dispatcher's delay flush if due."""
+        with self._dispatch_lock:
+            self._send_outbox(self.dispatcher.flush_due())
 
     @property
     def dead_nodes(self) -> frozenset[str]:
@@ -718,6 +732,16 @@ class TcpFresqueCluster:
                 return self.merger.on_al(message)
             raise TypeError(type(message).__name__)
 
+        def dispatcher_handler(message):
+            # Credit grants from the checking node; released batches go
+            # back out through the dead-node-aware outbox path rather
+            # than the node's own pump.
+            if isinstance(message, CreditGrant):
+                with self._dispatch_lock:
+                    self._send_outbox(self.dispatcher.on_credit(message))
+                return []
+            raise TypeError(type(message).__name__)
+
         telemetry = self._telemetry_arg
         for node in self.computing_nodes:
             self._nodes.append(
@@ -747,6 +771,12 @@ class TcpFresqueCluster:
                 telemetry=telemetry, fault_plan=self._fault_plan,
             )
         )
+        self._nodes.append(
+            TcpNode(
+                "dispatcher", dispatcher_handler, self.router,
+                telemetry=telemetry, fault_plan=self._fault_plan,
+            )
+        )
         for node in self._nodes:
             self._address_book[node.name] = node.port
 
@@ -758,34 +788,38 @@ class TcpFresqueCluster:
         self._make_nodes()
         for node in self._nodes:
             node.start()
-        self._send_outbox(self.dispatcher.start_publication())
+        with self._dispatch_lock:
+            self._send_outbox(self.dispatcher.start_publication())
+        self._poller.start()
 
     def _send_outbox(self, outbox) -> None:
-        pending = deque(outbox)
-        while pending:
-            destination, message = pending.popleft()
-            if destination in self._dead:
-                # Degraded mode: records shift to the survivors; control
-                # messages for the dead node are moot.
-                if isinstance(message, (RawData, RawBatch)):
-                    pending.extend(self.dispatcher.redispatch(message))
-                continue
-            try:
-                self.router.send(destination, message)
-            except PeerUnavailable:
-                if not destination.startswith("cn-"):
-                    raise
-                self._mark_node_down(destination)
-                if isinstance(message, (RawData, RawBatch)):
-                    pending.extend(self.dispatcher.redispatch(message))
+        with self._dispatch_lock:
+            pending = deque(outbox)
+            while pending:
+                destination, message = pending.popleft()
+                if destination in self._dead:
+                    # Degraded mode: records shift to the survivors;
+                    # control messages for the dead node are moot.
+                    if isinstance(message, (RawData, RawBatch)):
+                        pending.extend(self.dispatcher.redispatch(message))
+                    continue
+                try:
+                    self.router.send(destination, message)
+                except PeerUnavailable:
+                    if not destination.startswith("cn-"):
+                        raise
+                    self._mark_node_down(destination)
+                    if isinstance(message, (RawData, RawBatch)):
+                        pending.extend(self.dispatcher.redispatch(message))
 
     def _mark_node_down(self, name: str) -> None:
         """Degrade around computing node ``name``: take it out of the
         rotation and tell the checking node to stop waiting for it."""
-        if name in self._dead:
-            return
-        self._dead.add(name)
-        self._send_outbox(self.dispatcher.mark_node_down(int(name[3:])))
+        with self._dispatch_lock:
+            if name in self._dead:
+                return
+            self._dead.add(name)
+            self._send_outbox(self.dispatcher.mark_node_down(int(name[3:])))
 
     def run_publication(self, lines: list[str], timeout: float = 60.0) -> int:
         """Ingest ``lines``, close the publication, wait for the cloud to
@@ -802,12 +836,14 @@ class TcpFresqueCluster:
         publication = self.dispatcher.publication
         total = max(1, len(lines))
         for position, line in enumerate(lines):
-            self._send_outbox(
-                self.dispatcher.due_dummies((position + 1) / (total + 1))
-            )
-            self._send_outbox(self.dispatcher.on_raw(line))
-        self._send_outbox(self.dispatcher.end_publication())
-        self._send_outbox(self.dispatcher.start_publication())
+            with self._dispatch_lock:
+                self._send_outbox(
+                    self.dispatcher.due_dummies((position + 1) / (total + 1))
+                )
+                self._send_outbox(self.dispatcher.on_raw(line))
+        with self._dispatch_lock:
+            self._send_outbox(self.dispatcher.end_publication())
+            self._send_outbox(self.dispatcher.start_publication())
         deadline = WALL_CLOCK.now() + timeout
         while True:
             self._supervise()
@@ -875,7 +911,8 @@ class TcpFresqueCluster:
         return QueryClient(self.config.schema, self.cipher, self.cloud)
 
     def shutdown(self) -> None:
-        """Stop every node and close all connections."""
+        """Stop the flush poller, every node, and all connections."""
+        self._poller.stop()
         for node in self._nodes:
             node.stop()
         self.router.close()

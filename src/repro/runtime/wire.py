@@ -18,6 +18,7 @@ from repro.core.messages import (
     AnnouncePublication,
     BufferFlush,
     CnPublishing,
+    CreditGrant,
     DoneMsg,
     MergedPublication,
     NewPublication,
@@ -169,6 +170,7 @@ _ENCODERS = {
         "enc": encode_encrypted(m.encrypted),
     },
     PublishingMsg: lambda m: {"pub": m.publication, "last": m.last_seq},
+    CreditGrant: lambda m: {"pub": m.publication, "records": m.records},
     CnPublishing: lambda m: {"pub": m.publication, "node": m.node_id},
     NodeDown: lambda m: {"pub": m.publication, "node": m.node_id},
     AlSnapshot: lambda m: {"pub": m.publication, "al": list(m.al)},
@@ -239,6 +241,7 @@ _DECODERS = {
     "PublishingMsg": lambda p: PublishingMsg(
         p["pub"], last_seq=p.get("last", -1)
     ),
+    "CreditGrant": lambda p: CreditGrant(p["pub"], p["records"]),
     "CnPublishing": lambda p: CnPublishing(p["pub"], p["node"]),
     "NodeDown": lambda p: NodeDown(p["pub"], p["node"]),
     "AlSnapshot": lambda p: AlSnapshot(p["pub"], tuple(p["al"])),

@@ -135,3 +135,66 @@ class TestCloseFlush:
             """
         )
         assert codes_of(diagnostics) == []
+
+
+class TestBatchSizeMutation:
+    def test_direct_assignment_flagged(self):
+        diagnostics = lint_source(
+            """
+            class Dispatcher:
+                def tune(self, size):
+                    self._batch_size = size
+            """
+        )
+        assert codes_of(diagnostics) == ["FRQ-B803"]
+
+    def test_augmented_assignment_flagged(self):
+        diagnostics = lint_source(
+            """
+            class Dispatcher:
+                def grow(self):
+                    self._batch_size += 16
+            """
+        )
+        assert codes_of(diagnostics) == ["FRQ-B803"]
+
+    def test_annotated_assignment_flagged(self):
+        diagnostics = lint_source(
+            """
+            class Dispatcher:
+                def __init__(self):
+                    self._batch_size: int = 64
+            """
+        )
+        assert codes_of(diagnostics) == ["FRQ-B803"]
+
+    def test_controller_module_is_exempt(self):
+        diagnostics = lint_source(
+            """
+            class AdaptiveBatchController:
+                def _adjust(self):
+                    self._batch_size = max(1, self._batch_size // 2)
+            """,
+            display_path="src/repro/core/flow.py",
+        )
+        assert codes_of(diagnostics) == []
+
+    def test_read_and_local_variable_clean(self):
+        diagnostics = lint_source(
+            """
+            class Dispatcher:
+                def snapshot(self):
+                    _batch_size = self.flow.batch_size
+                    return {"size": _batch_size}
+            """
+        )
+        assert codes_of(diagnostics) == []
+
+    def test_bare_annotation_clean(self):
+        diagnostics = lint_source(
+            """
+            class Controller:
+                _batch_size: int
+            """
+        )
+        assert codes_of(diagnostics) == []

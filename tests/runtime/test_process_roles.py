@@ -10,6 +10,7 @@ socket on a background thread.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import socket
 import threading
@@ -94,6 +95,43 @@ class TestSpecRoundtrip:
             b"sixteen byte msg"
         )
         assert low != high  # disjoint counter ranges → different IVs
+
+    def test_every_config_field_survives_the_spec(self):
+        """Drift guard: a field added to FresqueConfig but forgotten in
+        the spec would silently fall back to its default in every worker
+        process (the credit_window bug).  Build a config where *every*
+        scalar field is non-default and demand an exact round trip."""
+        overrides = {
+            "epsilon": 0.7,
+            "alpha": 3.5,
+            "delta": 0.42,
+            "delta_prime": 0.7,
+            "publish_interval": 12.5,
+            "max_batch_delay": 0.125,
+            "shed_policy": "drop-oldest",
+        }
+        values: dict[str, object] = {}
+        for field in dataclasses.fields(FresqueConfig):
+            if not field.init or field.name in ("schema", "domain"):
+                continue
+            if field.name in overrides:
+                value = overrides[field.name]
+            elif field.type == "bool":
+                value = not field.default
+            elif field.type == "int":
+                value = field.default + 3
+            else:  # a new float/str field: update `overrides` above
+                value = field.default + 0.25
+            assert value != field.default, field.name
+            values[field.name] = value
+        config = FresqueConfig(
+            schema=flu_survey_schema(), domain=flu_domain(), **values
+        )
+        rebuilt = config_from_spec(spec_from_config(config, _KEY))
+        for name, value in values.items():
+            assert getattr(rebuilt, name) == value, (
+                f"{name} did not survive spec_from_config/config_from_spec"
+            )
 
 
 class TestBuildHandler:

@@ -81,7 +81,9 @@ class TestInstrumentedThreadedRuntime:
             for sample in telemetry.registry.samples()
             if sample.name == "inbox_depth"
         ]
-        assert len(depth_samples) == flu_config.num_computing_nodes + 3
+        # One per computing node, checking, merger, cloud — plus the
+        # dispatcher's own backlog gauge feeding the flow controller.
+        assert len(depth_samples) == flu_config.num_computing_nodes + 4
         for stage in STAGES:
             assert telemetry.stage_histogram(stage).count > 0, stage
 

@@ -110,6 +110,10 @@ class _BaseCloud:
         """Whether ``publication`` has completed its matching process."""
         return publication in self._done
 
+    def is_announced(self, publication: int) -> bool:
+        """Whether ``publication`` has been announced (active or done)."""
+        return publication in self._active or publication in self._done
+
     def receipt_for(self, publication: int) -> PublicationReceipt | None:
         """The stored receipt of a published publication, if any."""
         return self._receipts.get(publication)

@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.core.config import FresqueConfig
+from repro.core.membership import stale_for
 from repro.core.messages import (
     AlSnapshot,
     AnnouncePublication,
@@ -33,10 +34,12 @@ from repro.core.messages import (
     CnPublishing,
     CreditGrant,
     DoneMsg,
+    MembershipMsg,
     NewPublication,
     NodeDown,
     Pair,
     PairBatch,
+    PublishingMsg,
     RemovedRecord,
     TemplateMsg,
     ToCloudBatch,
@@ -77,6 +80,15 @@ class _PublicationState:
     #: The dispatcher's own *publishing* notice arrived — needed to
     #: finalise a publication whose only missing reports are dead nodes.
     interval_closed: bool = False
+    #: Exact node set this publication waits on (``PublishingMsg.nodes``
+    #: under elastic membership); ``None`` falls back to counting against
+    #: ``config.num_computing_nodes`` (pre-membership wire compatibility).
+    expected: set[int] | None = None
+    #: Nodes this publication will never hear from — seeded with the dead
+    #: set at creation and only ever grown.  Monotone per publication: a
+    #: node that *rejoins* later must not resurrect the wait, because its
+    #: new incarnation never saw this publication's interval.
+    absolved: set[int] = field(default_factory=set)
 
 
 class CheckingNode:
@@ -106,6 +118,20 @@ class CheckingNode:
         self._early_pairs: dict[int, list[Pair]] = {}
         self._early_cn: dict[int, list[CnPublishing]] = {}
         self._dead_nodes: set[int] = set()
+        # Elastic membership (docs/PROTOCOL.md): per-node join-epoch
+        # floors.  A PairBatch stamped with an epoch *below* its
+        # producer's floor is output of a crashed incarnation whose
+        # records were already redispatched — it is discarded, not
+        # processed twice.  ``_membership_epoch`` versions the full-state
+        # MembershipMsg applies (older snapshots are ignored).
+        self._node_epochs: dict[int, int] = {}
+        self._membership_epoch = -1
+        # Highest finalised publication: a CnPublishing at or below it
+        # is a straggler (an absolved-but-live node whose report lost
+        # the race against finalisation), not an early arrival to buffer.
+        self._finalised_floor = -1
+        self.stale_pairs_discarded = 0
+        self.stale_batches_discarded = 0
         self.pairs_processed = 0
         self.dummies_passed = 0
         self.records_removed = 0
@@ -143,6 +169,7 @@ class CheckingNode:
         state = _PublicationState(
             randomer=Randomer(self.config.randomer_buffer_size, rng=self._rng),
             arrays=LeafArrays(message.plan.leaf_noise),
+            absolved=set(self._dead_nodes),
         )
         self._publications[message.publication] = state
         out: list[tuple[str, object]] = [
@@ -190,8 +217,26 @@ class CheckingNode:
         tel.observe_stage("check", pair.publication, start)
         return routed
 
+    def _admit_epoch(self, message) -> bool:
+        """Whether ``message`` passes the membership-epoch staleness check.
+
+        Staleness is keyed by *producer*: a batch whose epoch stamp is
+        below its producing node's join-epoch floor was emitted by that
+        node's previous (crashed) incarnation, and its records are
+        already covered by the crash redispatch.  Unstamped messages
+        (``epoch`` or ``node`` negative — the sync runtime, pre-membership
+        peers, loose pairs) always pass.
+        """
+        if not stale_for(self._node_epochs, message):
+            return True
+        self.stale_batches_discarded += 1
+        self.stale_pairs_discarded += len(getattr(message, "pairs", ()))
+        return False
+
     def on_pair(self, pair: Pair) -> list[tuple[str, object]]:
         """Buffer an arriving pair; process whatever the randomer evicts."""
+        if not self._admit_epoch(pair):
+            return []
         state = self._publications.get(pair.publication)
         if state is None:
             self._early_pairs.setdefault(pair.publication, []).append(pair)
@@ -266,11 +311,14 @@ class CheckingNode:
         at most the negative leaf noise).
         """
         publication = message.publication
+        admitted = self._admit_epoch(message)
         grant: list[tuple[str, object]] = []
         if self._grant_credits and message.pairs:
             # Grant on receipt: the batch reached the trusted node, so
             # its records no longer count against the dispatcher's
-            # credit window — even while they sit in the randomer.
+            # credit window — even while they sit in the randomer.  Stale
+            # batches grant too: their records were charged against the
+            # window by the crashed incarnation's dispatch.
             self._credits_counter.inc(len(message.pairs))
             grant.append(
                 (
@@ -278,6 +326,10 @@ class CheckingNode:
                     CreditGrant(publication, len(message.pairs)),
                 )
             )
+        if not admitted:
+            # Output of a crashed incarnation — the redispatch already
+            # re-covers these records; only the credits matter.
+            return grant
         state = self._publications.get(publication)
         if state is None:
             self._early_pairs.setdefault(publication, []).extend(message.pairs)
@@ -324,6 +376,12 @@ class CheckingNode:
                     "cn_reported": sorted(state.cn_reported),
                     "closed": state.closed,
                     "interval_closed": state.interval_closed,
+                    "expected": (
+                        None
+                        if state.expected is None
+                        else sorted(state.expected)
+                    ),
+                    "absolved": sorted(state.absolved),
                 }
                 for publication, state in self._publications.items()
             },
@@ -339,6 +397,14 @@ class CheckingNode:
                 for publication, messages in self._early_cn.items()
             },
             "dead_nodes": sorted(self._dead_nodes),
+            "node_epochs": {
+                str(node): epoch
+                for node, epoch in sorted(self._node_epochs.items())
+            },
+            "membership_epoch": self._membership_epoch,
+            "finalised_floor": self._finalised_floor,
+            "stale_pairs_discarded": self.stale_pairs_discarded,
+            "stale_batches_discarded": self.stale_batches_discarded,
             "pairs_processed": self.pairs_processed,
             "dummies_passed": self.dummies_passed,
             "records_removed": self.records_removed,
@@ -355,12 +421,15 @@ class CheckingNode:
                 [_decode_pair(payload) for payload in saved["residents"]],
                 released=saved["released"],
             )
+            expected = saved.get("expected")
             self._publications[int(key)] = _PublicationState(
                 randomer=randomer,
                 arrays=LeafArrays.from_state(saved["arrays"]),
                 cn_reported=set(saved["cn_reported"]),
                 closed=saved["closed"],
                 interval_closed=saved["interval_closed"],
+                expected=None if expected is None else set(expected),
+                absolved=set(saved.get("absolved", ())),
             )
         self._early_pairs = {
             int(key): [_decode_pair(payload) for payload in pairs]
@@ -374,11 +443,21 @@ class CheckingNode:
             for key, messages in state["early_cn"].items()
         }
         self._dead_nodes = set(state["dead_nodes"])
+        self._node_epochs = {
+            int(node): epoch
+            for node, epoch in state.get("node_epochs", {}).items()
+        }
+        self._membership_epoch = state.get("membership_epoch", -1)
+        self._finalised_floor = state.get("finalised_floor", -1)
+        self.stale_pairs_discarded = state.get("stale_pairs_discarded", 0)
+        self.stale_batches_discarded = state.get("stale_batches_discarded", 0)
         self.pairs_processed = state["pairs_processed"]
         self.dummies_passed = state["dummies_passed"]
         self.records_removed = state["records_removed"]
 
-    def on_publishing(self, publication: int) -> list[tuple[str, object]]:
+    def on_publishing(
+        self, publishing: int | PublishingMsg
+    ) -> list[tuple[str, object]]:
         """The dispatcher's own *publishing* notice.
 
         With every node live this is informational only — finalisation
@@ -386,28 +465,76 @@ class CheckingNode:
         publication-consistency condition of Section 5.3.  In degraded
         mode it marks the interval closed, which (together with the
         dead set) can itself complete the publication.
+
+        Accepts the full :class:`PublishingMsg` or (legacy call sites) a
+        bare publication number.  When the message carries a non-empty
+        ``nodes`` tuple it pins this publication's *expected* report set
+        — the exact participants the dispatcher broadcast to — so elastic
+        fleets finalise against the true membership, not a static count.
         """
+        publication = publishing
+        nodes: tuple[int, ...] = ()
+        if isinstance(publishing, PublishingMsg):
+            publication = publishing.publication
+            nodes = publishing.nodes
         state = self._publications.get(publication)
         if state is None or state.closed:
             return []
+        if nodes:
+            state.expected = set(nodes)
         state.interval_closed = True
         if self._complete(state):
             return self._finalise(publication)
         return []
 
     def _complete(self, state: _PublicationState) -> bool:
-        """The relaxed consistency condition: every *live* computing
+        """The relaxed consistency condition: every *expected* computing
         node reported, and the interval is known to have ended (any
         ``CnPublishing`` implies it; a dead node's report is replaced by
-        the dispatcher's own *publishing* notice)."""
+        the dispatcher's own *publishing* notice).  With an explicit
+        expected set (elastic membership) completion is exact; otherwise
+        it falls back to counting against the configured fleet size."""
         if not (state.cn_reported or state.interval_closed):
             return False
+        absolved = state.absolved | self._dead_nodes
+        if state.expected is not None:
+            return state.expected <= (state.cn_reported | absolved)
         reported = state.cn_reported | {
             i
-            for i in self._dead_nodes
+            for i in absolved
             if 0 <= i < self.config.num_computing_nodes
         }
         return len(reported) >= self.config.num_computing_nodes
+
+    def on_membership(
+        self, message: MembershipMsg
+    ) -> list[tuple[str, object]]:
+        """Apply a full-state membership snapshot from the dispatcher.
+
+        Snapshots are versioned by epoch and apply monotonically: an
+        older (reordered) snapshot is ignored.  Applying one raises the
+        join-epoch floors (arming the stale-batch discard for rejoined
+        nodes), absolves the currently-down nodes in every open
+        publication, and replaces the global dead set — a rejoined node
+        leaves it, but stays absolved for publications opened before its
+        rejoin (its new incarnation never saw their intervals).
+        """
+        if message.epoch <= self._membership_epoch:
+            return []
+        self._membership_epoch = message.epoch
+        for node, epoch in message.joined:
+            if epoch > self._node_epochs.get(node, 0):
+                self._node_epochs[node] = epoch
+        down = set(message.down)
+        for state in self._publications.values():
+            state.absolved |= down
+        self._dead_nodes = down
+        out: list[tuple[str, object]] = []
+        for publication in sorted(self._publications):
+            state = self._publications[publication]
+            if not state.closed and self._complete(state):
+                out.extend(self._finalise(publication))
+        return out
 
     def on_cn_publishing(
         self, message: CnPublishing
@@ -415,6 +542,10 @@ class CheckingNode:
         """Track per-node *publishing*; finalise when all nodes reported."""
         state = self._publications.get(message.publication)
         if state is None:
+            if message.publication <= self._finalised_floor:
+                # Straggler: absolution completed the publication before
+                # this (live, absolved) node's report was consumed.
+                return []
             self._early_cn.setdefault(message.publication, []).append(message)
             return []
         state.cn_reported.add(message.node_id)
@@ -456,11 +587,24 @@ class CheckingNode:
             ("merger", AlSnapshot(publication, tuple(state.arrays.snapshot())))
         )
         done = DoneMsg(publication)
-        out.extend(
-            (f"cn-{i}", done)
-            for i in range(self.config.num_computing_nodes)
-            if i not in self._dead_nodes
-        )
+        if state.expected is not None:
+            # ``expected`` is exactly the set the dispatcher broadcast
+            # *publishing* to, so every live member holds pairs against
+            # this DoneMsg and must be released — absolution only
+            # waives a node's report, it does not mean the node is
+            # absent (a rejoined node stays absolved for publications
+            # opened before its rejoin yet still entered this one's
+            # publishing window).  Withholding the done would leave it
+            # holding every later publication's output forever.
+            recipients = sorted(state.expected - self._dead_nodes)
+        else:
+            recipients = [
+                i
+                for i in range(self.config.num_computing_nodes)
+                if i not in self._dead_nodes
+            ]
+        out.extend((f"cn-{i}", done) for i in recipients)
         del self._publications[publication]
+        self._finalised_floor = max(self._finalised_floor, publication)
         self._tel.observe_stage("publish", publication, start)
         return out

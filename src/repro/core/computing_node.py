@@ -201,7 +201,15 @@ class ComputingNode:
             # and an all-rejected batch must not stall it.
             if message.seq < 0:
                 return []
-            return self._ship(PairBatch(publication, (), seq=message.seq))
+            return self._ship(
+                PairBatch(
+                    publication,
+                    (),
+                    seq=message.seq,
+                    epoch=message.epoch,
+                    node=self.node_id,
+                )
+            )
         start = tel.now()
         plaintexts = [plaintext for _, _, plaintext, _ in prepared]
         if self.config.deterministic_ivs and message.ordinal >= 0:
@@ -236,7 +244,15 @@ class ComputingNode:
         self.encrypted += len(pairs)
         self.bytes_out += bytes_out
         self._bytes_counter.inc(bytes_out)
-        return self._ship(PairBatch(publication, tuple(pairs), seq=message.seq))
+        return self._ship(
+            PairBatch(
+                publication,
+                tuple(pairs),
+                seq=message.seq,
+                epoch=message.epoch,
+                node=self.node_id,
+            )
+        )
 
     def _ship(self, batch: PairBatch) -> list[tuple[str, object]]:
         """Forward a pair batch, or hold it while waiting for *done*."""
@@ -267,7 +283,20 @@ class ComputingNode:
 
         Pairs flush in order; the first queued *publishing* marker re-arms
         the wait (back-to-back publications pipeline correctly).
+
+        A done for an *older* publication than the one currently waited
+        on is a straggler addressed to a previous incarnation (elastic
+        membership: the checking node releases every node the dispatcher
+        broadcast to, which can include a node that crashed and rejoined
+        meanwhile) — releasing the current hold on it would leak the
+        next publication's pairs past the publishing barrier.
         """
+        if (
+            self._waiting_done
+            and self._publishing is not None
+            and message.publication < self._publishing
+        ):
+            return []
         self._waiting_done = False
         self._publishing = None
         out: list[tuple[str, object]] = []

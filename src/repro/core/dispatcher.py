@@ -40,8 +40,10 @@ from repro.core.flow import (
     FlowController,
     SHED_OLDEST,
 )
+from repro.core.membership import Membership
 from repro.core.messages import (
     CreditGrant,
+    MembershipMsg,
     NewPublication,
     NodeDown,
     PublishingMsg,
@@ -97,12 +99,19 @@ class Dispatcher:
         self._rng = rng if rng is not None else random.Random()
         self._tree_shape = IndexTree(config.domain, fanout=config.fanout)
         self._publication = -1
-        self._next_cn = 0
+        #: Versioned node set + round-robin cursor (docs/PROTOCOL.md);
+        #: every membership transition bumps its epoch, and every
+        #: RawBatch is stamped with the epoch it was dispatched under.
+        self.membership = Membership(config.num_computing_nodes)
+        #: Nodes that participated in the current interval (received or
+        #: could have received batches): the *publishing* broadcast set.
+        #: Retirement keeps a node here — it must still report — while
+        #: nodes down at close are excluded at broadcast time.
+        self._participants: set[int] = set(self.membership.active_ids)
         # A deque: due_dummies pops from the front as the interval
         # advances, and list.pop(0) would shift the whole schedule per
         # dummy (O(n²) across one publication).
         self._dummy_schedule: deque[tuple[float, Record]] = deque()
-        self._dead_nodes: set[int] = set()
         self.records_dispatched = 0
         self.records_rerouted = 0
         self.dummies_generated = 0
@@ -187,6 +196,7 @@ class Dispatcher:
         dummy counts) of the original.
         """
         self._publication += 1
+        self._participants = set(self.membership.active_ids)
         self._tel.open_publication(self._publication)
         if plan is None:
             # fresque-lint: disable=FRQ-P311 -- non-durable fallback: the durable driver injects a granted, journaled plan (durability/system.py); this in-memory path spends config epsilon without a ledger by design
@@ -225,16 +235,17 @@ class Dispatcher:
     @property
     def dead_nodes(self) -> frozenset[int]:
         """Computing nodes reported down (skipped by the round robin)."""
-        return frozenset(self._dead_nodes)
+        return frozenset(self.membership.down_ids)
 
     @property
     def live_computing_nodes(self) -> list[int]:
         """Computing nodes still in the rotation."""
-        return [
-            i
-            for i in range(self.config.num_computing_nodes)
-            if i not in self._dead_nodes
-        ]
+        return self.membership.active_ids
+
+    @property
+    def epoch(self) -> int:
+        """Current membership epoch (stamped onto every RawBatch)."""
+        return self.membership.epoch
 
     def mark_node_down(self, node_id: int) -> list[tuple[str, object]]:
         """Take a crashed computing node out of the rotation.
@@ -244,34 +255,95 @@ class Dispatcher:
         :class:`NodeDown` notice for the checking node so publication
         finalisation stops waiting for the dead node (idempotent).
         """
-        if node_id in self._dead_nodes:
+        if self.membership.state_of(node_id) == "down":
             return []
-        if not 0 <= node_id < self.config.num_computing_nodes:
-            raise ValueError(f"unknown computing node {node_id}")
-        self._dead_nodes.add(node_id)
-        if len(self._dead_nodes) >= self.config.num_computing_nodes:
-            raise RuntimeError("every computing node is down")
+        self.membership.mark_down(node_id)
         return [("checking", NodeDown(self._publication, node_id))]
+
+    def admit_node(
+        self, node_id: int | None = None
+    ) -> tuple[int, list[tuple[str, object]]]:
+        """Admit a computing node into the fleet at runtime.
+
+        Returns ``(node_id, outbox)``.  The in-flight batch flushes
+        first, stamped and routed under the *old* epoch — admission
+        never perturbs batches already sequenced — then the rotation is
+        rebuilt around the grown fleet and the credit window reopens
+        (deferred batches release; they too keep their old stamps and
+        addresses).  The checking node learns the new fleet from the
+        :class:`MembershipMsg`.
+        """
+        out = self._flush(FLUSH_MANUAL)
+        node_id = self.membership.admit(node_id)
+        self._participants.add(node_id)
+        out.extend(self.flow.credits.drain())
+        out.append(("checking", self._membership_msg()))
+        return node_id, out
+
+    def retire_node(self, node_id: int) -> list[tuple[str, object]]:
+        """Drain a computing node out of the rotation (planned removal).
+
+        The in-flight batch flushes under the old epoch (if it was
+        routed to the retiring node it still goes there — drain, not
+        drop), then the node leaves the rotation.  Its share of the
+        dummy schedule needs no reassignment: dummies are scheduled
+        centrally and routed at release time, so the survivors absorb
+        them through the ordinary rotation.  The retired node stays
+        reachable until the interval closes — it reports *publishing*
+        for the records it processed and receives its final *done*.
+        """
+        out = self._flush(FLUSH_MANUAL)
+        self.membership.retire(node_id)
+        out.append(("checking", self._membership_msg()))
+        return out
+
+    def rejoin_node(self, node_id: int) -> list[tuple[str, object]]:
+        """A crashed node returns to the rotation under a fresh epoch.
+
+        The new join epoch is the staleness floor the checking side
+        uses to discard the previous incarnation's late pair batches
+        (the crash redispatch already re-covered them).
+        """
+        out = self._flush(FLUSH_MANUAL)
+        self.membership.rejoin(node_id)
+        self._participants.add(node_id)
+        out.append(("checking", self._membership_msg()))
+        return out
+
+    def _membership_msg(self) -> MembershipMsg:
+        m = self.membership
+        return MembershipMsg(
+            epoch=m.epoch,
+            members=tuple(m.active_ids),
+            retired=tuple(m.retired_ids),
+            down=tuple(m.down_ids),
+            joined=tuple(sorted(m.join_epochs.items())),
+        )
 
     def redispatch(
         self, message: RawData | RawBatch
     ) -> list[tuple[str, object]]:
-        """Re-route a message whose computing node died before reading it."""
+        """Re-route a message whose computing node died before reading it.
+
+        The message object is forwarded unchanged — its seq/ordinal/
+        epoch stamps must survive the reroute (the ordering gate dedups
+        by seq, deterministic IVs key off the ordinal).  The dead node's
+        credits are refunded (its batches may never reach the checking
+        node to be granted back), which can release deferred batches —
+        they follow the rerouted one in the returned outbox.
+        """
         if isinstance(message, RawBatch):
             self.records_rerouted += len(message.items)
+            released = self.flow.credits.refund(len(message.items))
         else:
             self.records_rerouted += 1
-        return [(self._next_node(), message)]
+            released = self.flow.credits.refund(1)
+        out = [(self._next_node(), message)]
+        out.extend(released)
+        return out
 
     def _next_node(self) -> str:
-        for _ in range(self.config.num_computing_nodes):
-            node_id = self._next_cn
-            self._next_cn = (
-                self._next_cn + 1
-            ) % self.config.num_computing_nodes
-            if node_id not in self._dead_nodes:
-                return f"cn-{node_id}"
-        raise RuntimeError("every computing node is down")
+        return self.membership.next_destination()
 
     def on_raw(self, line: str) -> list[tuple[str, object]]:
         """Accumulate one raw line; forward a batch when a flush triggers."""
@@ -359,7 +431,11 @@ class Dispatcher:
         self._seq += 1
         destination = self._next_node()
         message = RawBatch(
-            self._publication, items, seq=seq, ordinal=self._batch_ordinal
+            self._publication,
+            items,
+            seq=seq,
+            ordinal=self._batch_ordinal,
+            epoch=self.membership.epoch,
         )
         self._flush_counters[reason].inc()
         self._batch_histogram.observe(float(len(items)))
@@ -420,8 +496,12 @@ class Dispatcher:
         """
         return {
             "publication": self._publication,
-            "next_cn": self._next_cn,
-            "dead_nodes": sorted(self._dead_nodes),
+            # next_cn/dead_nodes are derived from the membership state;
+            # kept for downgrade-readability of the journal.
+            "next_cn": self.membership.snapshot()["cursor"],
+            "dead_nodes": self.membership.down_ids,
+            "membership": self.membership.snapshot(),
+            "participants": sorted(self._participants),
             "dummy_schedule": [
                 [fraction, encode_record(dummy)]
                 for fraction, dummy in self._dummy_schedule
@@ -442,8 +522,18 @@ class Dispatcher:
     def restore(self, state: dict) -> None:
         """Inverse of :meth:`snapshot` (crash recovery)."""
         self._publication = state["publication"]
-        self._next_cn = state["next_cn"]
-        self._dead_nodes = set(state["dead_nodes"])
+        self.membership = Membership(self.config.num_computing_nodes)
+        if "membership" in state:
+            self.membership.restore(state["membership"])
+        else:
+            # Pre-membership snapshot: cursor + dead set over the
+            # configured fleet.
+            self.membership.restore_legacy(
+                state["next_cn"], set(state["dead_nodes"])
+            )
+        self._participants = set(
+            state.get("participants", self.membership.active_ids)
+        )
         self._dummy_schedule = deque(
             (fraction, decode_record(payload))
             for fraction, payload in state["dummy_schedule"]
@@ -480,7 +570,16 @@ class Dispatcher:
         # computing nodes before the broadcast: release every deferred
         # batch and reset the credit window at the boundary.
         out.extend(self.flow.credits.drain())
-        message = PublishingMsg(self._publication, last_seq=self._seq - 1)
-        out.extend((f"cn-{i}", message) for i in self.live_computing_nodes)
+        down = set(self.membership.down_ids)
+        nodes = tuple(
+            i for i in sorted(self._participants) if i not in down
+        )
+        message = PublishingMsg(
+            self._publication,
+            last_seq=self._seq - 1,
+            epoch=self.membership.epoch,
+            nodes=nodes,
+        )
+        out.extend((f"cn-{i}", message) for i in nodes)
         out.append(("checking", message))
         return out

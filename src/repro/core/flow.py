@@ -383,6 +383,23 @@ class CreditGate:
             self._publish()
         return released
 
+    def refund(self, records: int) -> list[tuple[str, RawBatch]]:
+        """Return the credits of a batch whose node died before reading it.
+
+        ``try_send`` charged the window when the batch first left; if
+        the destination crashed, the checking node may never see the
+        batch (dropped inbox frames, torn rings), so the grant that
+        would have repaid those credits never arrives.  The redispatch
+        path refunds them instead — without this, a dry window after
+        ``mark_node_down`` deadlocks the dispatcher (deferred batches
+        wait on grants that are never coming).  If the batch *does*
+        reach the checking node through a survivor, the extra grant is
+        absorbed by the window cap, so refunding can only unstick the
+        pipeline, never grow the window.  Returns the deferred batches
+        the refund released.
+        """
+        return self.grant(records)
+
     def drain(self) -> list[tuple[str, RawBatch]]:
         """Release every deferred batch and refill the window.
 

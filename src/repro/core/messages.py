@@ -79,12 +79,19 @@ class RawBatch:
     worker restore dispatch order across parallel computing nodes (and
     deduplicate crash redispatches), ``ordinal`` keys the deterministic
     per-record IVs of ``config.deterministic_ivs`` (docs/RUNTIMES.md).
+
+    ``epoch`` is the membership epoch the batch was dispatched under
+    (:class:`~repro.core.membership.Membership`; -1 when unstamped).  A
+    crash redispatch forwards the same message object, so the stamp
+    survives rerouting — epochs version the *membership*, never the
+    data (docs/PROTOCOL.md).
     """
 
     publication: int
     items: tuple[str | Record, ...]
     seq: int = -1
     ordinal: int = -1
+    epoch: int = -1
 
 
 @dataclass(frozen=True)
@@ -115,11 +122,20 @@ class PairBatch:
     number through the computing node (-1 on transports that do not
     stamp it); multiprocess runtimes use it to re-serialise batches into
     dispatch order before the randomer sees them.
+
+    ``epoch`` propagates the RawBatch's membership epoch and ``node``
+    identifies the producing computing node (-1 when unstamped).
+    Together they let the checking side discard *stale* batches — the
+    output of a crashed node's previous incarnation, already covered by
+    the crash redispatch — once the node's rejoin epoch is known
+    (docs/PROTOCOL.md).
     """
 
     publication: int
     pairs: tuple[Pair, ...]
     seq: int = -1
+    epoch: int = -1
+    node: int = -1
 
 
 @dataclass(frozen=True)
@@ -162,10 +178,20 @@ class PublishingMsg:
     consumers hold the message until every batch with ``seq <= last_seq``
     has been processed, restoring the synchronous runtime's guarantee
     that *publishing* arrives after the publication's final batch.
+
+    ``nodes`` is the exact set of computing nodes the dispatcher
+    broadcast this notice to — every node that participated in the
+    interval (including nodes retired mid-interval, excluding nodes
+    down at close).  The checking node finalises against this set
+    instead of the static configured fleet; an empty tuple falls back
+    to the pre-membership counting rule.  ``epoch`` is the membership
+    epoch at interval close (-1 when unstamped).
     """
 
     publication: int
     last_seq: int = -1
+    epoch: int = -1
+    nodes: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -205,6 +231,42 @@ class NodeDown:
 
     publication: int
     node_id: int
+
+
+@dataclass(frozen=True)
+class MembershipMsg:
+    """Dispatcher → checking node: the fleet changed (admit/retire/rejoin).
+
+    Full-state and versioned: carries the complete membership under
+    ``epoch`` — the active ``members``, the drained ``retired`` set, the
+    crashed ``down`` set and the per-node join epochs (``joined`` is a
+    tuple of ``(node_id, epoch)`` pairs).  Consumers apply it only when
+    ``epoch`` is newer than what they have, so duplicated or delayed
+    copies are harmless.  The join epochs are the staleness floors for
+    the crash+rejoin discard rule (docs/PROTOCOL.md).
+    """
+
+    epoch: int
+    members: tuple[int, ...] = ()
+    retired: tuple[int, ...] = ()
+    down: tuple[int, ...] = ()
+    joined: tuple[tuple[int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class RingAttach:
+    """Shm parent → checking worker: a new computing node's rings exist.
+
+    Runtime-admission plumbing for the shared-memory cluster: the parent
+    creates the rings for an admitted (or rejoined) node, then tells the
+    checking worker which ring names to attach — ``inbound`` for the
+    node's pair stream, ``outbound`` for the *done* channel back to it.
+    Other runtimes never see this message.
+    """
+
+    node_id: int
+    inbound: str
+    outbound: str
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,7 @@ from repro.cloud.node import FresqueCloud
 from repro.core.computing_node import ComputingNode
 from repro.core.config import FresqueConfig
 from repro.core.dispatcher import Dispatcher
+from repro.core.membership import stale_for
 from repro.core.merger import Merger
 from repro.core.messages import (
     AlSnapshot,
@@ -32,6 +33,7 @@ from repro.core.messages import (
     BufferFlush,
     CnPublishing,
     DoneMsg,
+    MembershipMsg,
     NewPublication,
     Pair,
     PairBatch,
@@ -106,6 +108,10 @@ class CheckingShard:
         self.pairs_processed = 0
         self.dummies_passed = 0
         self.records_removed = 0
+        # Per-producer join-epoch floors (elastic membership,
+        # docs/PROTOCOL.md); dormant until a MembershipMsg arms them.
+        self._node_epochs: dict[int, int] = {}
+        self.stale_batches_discarded = 0
 
     @property
     def name(self) -> str:
@@ -155,8 +161,26 @@ class CheckingShard:
             ToCloudPair(pair.publication, pair.leaf_offset, pair.encrypted),
         )
 
+    def on_membership(self, message: MembershipMsg) -> list[tuple[str, object]]:
+        """Track join-epoch floors for the staleness check (monotone)."""
+        for node, epoch in message.joined:
+            if epoch > self._node_epochs.get(node, 0):
+                self._node_epochs[node] = epoch
+        return []
+
+    def _admit_epoch(self, message) -> bool:
+        """Membership-epoch staleness check (mirrors
+        :meth:`CheckingNode._admit_epoch`); unstamped messages — all of
+        them until a sharded deployment stamps its split batches — pass."""
+        if not stale_for(self._node_epochs, message):
+            return True
+        self.stale_batches_discarded += 1
+        return False
+
     def on_pair(self, pair: Pair) -> list[tuple[str, object]]:
         """Buffer one owned pair; process whatever the randomer evicts."""
+        if not self._admit_epoch(pair):
+            return []
         if not self.owns(pair.leaf_offset):
             raise ValueError(
                 f"pair for leaf {pair.leaf_offset} routed to shard "
@@ -170,6 +194,8 @@ class CheckingShard:
 
     def on_pair_batch(self, message: PairBatch) -> list[tuple[str, object]]:
         """Buffer one shard-split batch; process every eviction in order."""
+        if not self._admit_epoch(message):
+            return []
         state = self._states[message.publication]
         insert = state.randomer.insert
         out: list[tuple[str, object]] = []

@@ -28,6 +28,7 @@ from repro.core.messages import (
     CnPublishing,
     CreditGrant,
     DoneMsg,
+    MembershipMsg,
     MergedPublication,
     NewPublication,
     NodeDown,
@@ -202,6 +203,11 @@ class FresqueSystem:
             ComputingNode(i, config, cipher, telemetry=telemetry)
             for i in range(config.num_computing_nodes)
         ]
+        # Routing map keyed by node id: elastic membership can admit ids
+        # past the initial fleet and replace crashed incarnations.
+        self._nodes: dict[int, ComputingNode] = {
+            node.node_id: node for node in self.computing_nodes
+        }
         self.checking = CheckingNode(
             config, rng=random.Random(rng.random()), telemetry=telemetry
         )
@@ -223,7 +229,7 @@ class FresqueSystem:
 
     def _deliver(self, destination: str, message) -> list[tuple[str, object]]:
         if destination.startswith("cn-"):
-            node = self.computing_nodes[int(destination[3:])]
+            node = self._nodes[int(destination[3:])]
             if isinstance(message, RawBatch):
                 return node.on_raw_batch(message)
             if isinstance(message, RawData):
@@ -240,11 +246,13 @@ class FresqueSystem:
             if isinstance(message, Pair):
                 return self.checking.on_pair(message)
             if isinstance(message, PublishingMsg):
-                return self.checking.on_publishing(message.publication)
+                return self.checking.on_publishing(message)
             if isinstance(message, CnPublishing):
                 return self.checking.on_cn_publishing(message)
             if isinstance(message, NodeDown):
                 return self.checking.on_node_down(message)
+            if isinstance(message, MembershipMsg):
+                return self.checking.on_membership(message)
         elif destination == "merger":
             if isinstance(message, TemplateMsg):
                 return self.merger.on_template(message)
@@ -359,6 +367,78 @@ class FresqueSystem:
             removed=self.checking.records_removed - removed_before,
             published_pairs=receipt.records_matched,
         )
+
+    def pump_dummies(self, fraction: float) -> None:
+        """Release every dummy scheduled before ``fraction`` of the
+        interval (the chaos harness's dummy-pacing hook; matches the
+        :meth:`run_publication` loop)."""
+        self._pump(self.dispatcher.due_dummies(fraction))
+
+    def close_publication(self) -> None:
+        """Close the current publication and open the next one."""
+        self._pump(self.dispatcher.end_publication())
+        self._pump(self.dispatcher.start_publication())
+
+    def settle(self, publication: int, timeout: float = 120.0) -> None:
+        """No-op: the synchronous driver is always quiescent."""
+
+    # ------------------------------------------------------------------
+    # Elastic membership (docs/PROTOCOL.md)
+    # ------------------------------------------------------------------
+
+    def admit_node(self, node_id: int | None = None) -> int:
+        """Admit a new computing node into the live fleet.
+
+        Flushes the in-flight batch under the old epoch, rebuilds the
+        dispatch rotation, and broadcasts the membership snapshot.
+        Returns the admitted node's id.
+        """
+        node_id, outbox = self.dispatcher.admit_node(node_id)
+        node = ComputingNode(
+            node_id, self.config, self.cipher, telemetry=self.telemetry
+        )
+        self.computing_nodes.append(node)
+        self._nodes[node_id] = node
+        self._pump(outbox)
+        return node_id
+
+    def retire_node(self, node_id: int) -> None:
+        """Gracefully drain ``node_id`` out of the dispatch rotation.
+
+        The node stays reachable until the current publication closes
+        (it still reports *publishing* and receives *done*); it simply
+        receives no further batches.
+        """
+        self._pump(self.dispatcher.retire_node(node_id))
+
+    def crash_node(self, node_id: int) -> None:
+        """Simulate a computing-node crash.
+
+        The node object is discarded (its held state dies with it) and
+        the dispatcher takes it out of rotation; the checking node hears
+        :class:`NodeDown` and stops waiting for its reports.  The
+        synchronous driver pumps to quiescence between ingests, so no
+        in-flight batch is lost — matching the concurrent runtimes,
+        which redispatch the backlog to the survivors.
+        """
+        self._pump(self.dispatcher.mark_node_down(node_id))
+
+    def rejoin_node(self, node_id: int) -> None:
+        """Bring a crashed node back as a fresh incarnation.
+
+        The replacement starts from empty state under the new epoch;
+        the membership broadcast raises its join-epoch floor so any
+        straggler output of the dead incarnation is discarded.
+        """
+        node = ComputingNode(
+            node_id, self.config, self.cipher, telemetry=self.telemetry
+        )
+        self._nodes[node_id] = node
+        self.computing_nodes = [
+            existing if existing.node_id != node_id else node
+            for existing in self.computing_nodes
+        ]
+        self._pump(self.dispatcher.rejoin_node(node_id))
 
     def make_client(self, schema=None) -> QueryClient:
         """A query client bound to this deployment.

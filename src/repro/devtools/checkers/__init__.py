@@ -13,6 +13,7 @@ from repro.devtools.checkers import (
     durability,
     hygiene,
     lockorder,
+    membership,
     privacy,
     runtime,
     security_flow,
@@ -28,6 +29,7 @@ __all__ = [
     "durability",
     "hygiene",
     "lockorder",
+    "membership",
     "privacy",
     "runtime",
     "security_flow",

@@ -68,6 +68,10 @@ class Inbox:
         """Dequeue the next message, blocking."""
         return self._queue.get()
 
+    def get_nowait(self):
+        """Dequeue the next message, or raise :class:`queue.Empty`."""
+        return self._queue.get_nowait()
+
     def qsize(self) -> int:
         """Approximate queue length."""
         return self._queue.qsize()

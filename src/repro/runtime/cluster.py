@@ -25,6 +25,7 @@ from repro.core.messages import (
     CnPublishing,
     CreditGrant,
     DoneMsg,
+    MembershipMsg,
     NewPublication,
     NodeDown,
     Pair,
@@ -38,9 +39,31 @@ from repro.core.messages import (
 from repro.core.system import CloudAdapter
 from repro.crypto.cipher import RecordCipher
 from repro.runtime.channel import POISON, Inbox, InFlightTracker
+from repro.runtime.gate import CheckingGate
 from repro.runtime.poller import FlushPoller, poll_interval
 from repro.telemetry.clock import WALL_CLOCK
 from repro.telemetry.context import coalesce
+
+
+class _Control:
+    """In-band control message for a node thread.
+
+    Runs ``action`` *on the node's thread*, after every message queued
+    ahead of it — a FIFO barrier.  Crash handling uses it to salvage a
+    dead node's held pairs only once the zombie loop has diverted the
+    whole backlog, and rejoin uses it to know the backlog is empty
+    before swapping the fresh incarnation in.
+    """
+
+    def __init__(self, action):
+        self.action = action
+        self.done = threading.Event()
+
+    def run(self):
+        try:
+            return self.action()
+        finally:
+            self.done.set()
 
 
 class ThreadedFresque:
@@ -111,7 +134,20 @@ class ThreadedFresque:
             "runtime_messages_total"
         )
         self._threads: list[threading.Thread] = []
-        self._handlers = {"checking": self._handle_checking}
+        self._handlers: dict[str, object] = {}
+        self._nodes: dict[int, ComputingNode] = {
+            node.node_id: node for node in self.computing_nodes
+        }
+        # Names whose thread keeps running but no longer *handles*
+        # messages: a crashed node's loop turns zombie and diverts its
+        # backlog (RawBatches are redispatched) so the in-flight
+        # tracker can never leak on a crash.
+        self._halted: set[str] = set()
+        # Under deterministic IVs the checking inbox is fed through the
+        # membership-aware ordering gate, making the final cloud state
+        # byte-identical to the synchronous system's even with crashes
+        # and rejoins interleaving arrivals (docs/PROTOCOL.md).
+        self._checking_gate: CheckingGate | None = None
         self._errors: list[BaseException] = []
         self._started = False
         self.wall_seconds = 0.0
@@ -146,11 +182,13 @@ class ThreadedFresque:
         if isinstance(message, Pair):
             return self.checking.on_pair(message)
         if isinstance(message, PublishingMsg):
-            return self.checking.on_publishing(message.publication)
+            return self.checking.on_publishing(message)
         if isinstance(message, CnPublishing):
             return self.checking.on_cn_publishing(message)
         if isinstance(message, NodeDown):
             return self.checking.on_node_down(message)
+        if isinstance(message, MembershipMsg):
+            return self.checking.on_membership(message)
         raise TypeError(f"checking cannot handle {type(message).__name__}")
 
     def _handle_merger(self, message):
@@ -229,52 +267,170 @@ class ThreadedFresque:
         for destination, message in outbox:
             self._send(destination, message)
 
-    def _node_loop(self, name: str, handler) -> None:
+    def _node_loop(self, name: str) -> None:
         inbox = self._inboxes[name]
         while True:
             message = inbox.get()
             if message is POISON:
                 return
             try:
-                self._pump_outbox(handler(message))
+                if isinstance(message, _Control):
+                    self._pump_outbox(message.run() or [])
+                elif name in self._halted:
+                    self._divert_dead(message)
+                else:
+                    self._pump_outbox(self._handlers[name](message))
             except BaseException as exc:  # surfaced by the driver
                 self._errors.append(exc)
             finally:
                 self._tracker.decrement()
+
+    def _divert_dead(self, message) -> None:
+        """Reroute a message that reached a crashed node's inbox.
+
+        RawBatches are redispatched to a survivor (refunding their
+        credits); control traffic is simply dropped — the ``NodeDown``
+        absolution stands in for the dead node's acknowledgements.
+        """
+        if isinstance(message, RawBatch):
+            with self._dispatch_lock:
+                outbox = self.dispatcher.redispatch(message)
+            self._pump_outbox(outbox)
+
+    def _cn_handler(self, node: ComputingNode):
+        return lambda message, node=node: self._handle_cn(node, message)
+
+    def _spawn_node_thread(self, name: str) -> None:
+        self._inboxes[name] = Inbox(name)
+        self._depth_gauges[name] = self.telemetry.gauge(
+            "inbox_depth", node=name
+        )
+        thread = threading.Thread(
+            target=self._node_loop,
+            args=(name,),
+            name=f"fresque-{name}",
+            daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
 
     def start(self) -> None:
         """Spawn all node threads and open the first publication."""
         if self._started:
             raise RuntimeError("runtime already started")
         self._started = True
-        handlers = {
-            "checking": self._handle_checking,
+        checking_handler = self._handle_checking
+        if self.config.deterministic_ivs:
+            self._checking_gate = CheckingGate(
+                checking_handler, self.config.num_computing_nodes
+            )
+            checking_handler = self._checking_gate.feed
+        self._handlers = {
+            "checking": checking_handler,
             "merger": self._handle_merger,
             "cloud": self.cloud_adapter.handle,
             "dispatcher": self._handle_dispatcher,
         }
         for node in self.computing_nodes:
-            handlers[f"cn-{node.node_id}"] = (
-                lambda message, node=node: self._handle_cn(node, message)
-            )
-        for name, handler in handlers.items():
-            self._inboxes[name] = Inbox(name)
-            self._depth_gauges[name] = self.telemetry.gauge(
-                "inbox_depth", node=name
-            )
-            thread = threading.Thread(
-                target=self._node_loop,
-                args=(name, handler),
-                name=f"fresque-{name}",
-                daemon=True,
-            )
-            self._threads.append(thread)
-        for thread in self._threads:
-            thread.start()
+            self._handlers[f"cn-{node.node_id}"] = self._cn_handler(node)
+        for name in list(self._handlers):
+            self._spawn_node_thread(name)
         with self._dispatch_lock:
             outbox = self.dispatcher.start_publication()
         self._pump_outbox(outbox)
         self._poller.start()
+
+    # ------------------------------------------------------------------
+    # Elastic membership (docs/PROTOCOL.md)
+    # ------------------------------------------------------------------
+
+    def admit_node(self, node_id: int | None = None) -> int:
+        """Admit a new computing node at runtime: a fresh thread joins
+        the fleet under a new membership epoch."""
+        if not self._started:
+            raise RuntimeError("call start() first")
+        with self._dispatch_lock:
+            node_id, outbox = self.dispatcher.admit_node(node_id)
+            node = ComputingNode(
+                node_id, self.config, self.cipher, telemetry=self.telemetry
+            )
+            self.computing_nodes.append(node)
+            self._nodes[node_id] = node
+            name = f"cn-{node_id}"
+            self._handlers[name] = self._cn_handler(node)
+            self._spawn_node_thread(name)
+        self._pump_outbox(outbox)
+        return node_id
+
+    def retire_node(self, node_id: int) -> None:
+        """Gracefully retire a node: its in-flight work completes (the
+        thread stays up to flush and acknowledge), but the dispatcher
+        stops routing new batches to it."""
+        with self._dispatch_lock:
+            outbox = self.dispatcher.retire_node(node_id)
+        self._pump_outbox(outbox)
+
+    def crash_node(self, node_id: int) -> None:
+        """Simulate a node crash: the node stops handling messages and
+        its backlog is diverted (RawBatches redispatched to survivors).
+
+        Pairs the node already produced but held while awaiting *done*
+        are salvaged and forwarded — their source batches were consumed,
+        so redispatch can no longer recreate them.
+        """
+        name = f"cn-{node_id}"
+        if name in self._halted:
+            return
+        with self._dispatch_lock:
+            notice = self.dispatcher.mark_node_down(node_id)
+            self._halted.add(name)
+        self._pump_outbox(notice)
+        node = self._nodes[node_id]
+        # FIFO barrier: runs after the backlog has been diverted, on the
+        # node's own thread — no handler can be mid-flight touching
+        # ``_held`` when the salvage reads it.
+        self._tracker.increment()
+        self._deliver(name, _Control(lambda: self._salvage_held(node)))
+
+    def _salvage_held(self, node: ComputingNode) -> list:
+        held, node._held = node._held, []
+        out = []
+        for kind, payload in held:
+            if kind in ("pair", "batch"):
+                out.append(("checking", payload))
+            # "publishing" markers die with the node: NodeDown absolves.
+        return out
+
+    def rejoin_node(self, node_id: int) -> int:
+        """Bring a crashed node back as a fresh incarnation.
+
+        Blocks until the dead incarnation's backlog has fully diverted,
+        then swaps in a new :class:`ComputingNode` on the same thread
+        and raises the membership epoch — any still-travelling pair of
+        the old incarnation is discarded as stale by the checking side.
+        """
+        name = f"cn-{node_id}"
+        if name not in self._halted:
+            raise ValueError(f"node {node_id} is not down")
+        barrier = _Control(lambda: [])
+        self._tracker.increment()
+        self._deliver(name, barrier)
+        if not barrier.done.wait(timeout=30.0):
+            raise TimeoutError(f"crashed node {node_id} backlog stuck")
+        node = ComputingNode(
+            node_id, self.config, self.cipher, telemetry=self.telemetry
+        )
+        with self._dispatch_lock:
+            self._nodes[node_id] = node
+            for index, existing in enumerate(self.computing_nodes):
+                if existing.node_id == node_id:
+                    self.computing_nodes[index] = node
+                    break
+            self._handlers[name] = self._cn_handler(node)
+            self._halted.discard(name)
+            outbox = self.dispatcher.rejoin_node(node_id)
+        self._pump_outbox(outbox)
+        return node_id
 
     def ingest(self, line: str) -> None:
         """Feed one raw line into the current publication.
@@ -287,6 +443,29 @@ class ThreadedFresque:
         with self._dispatch_lock:
             outbox = self.dispatcher.on_raw(line)
         self._pump_outbox(outbox)
+
+    def pump_dummies(self, fraction: float) -> None:
+        """Release every dummy scheduled before ``fraction`` of the
+        interval (the chaos harness's dummy-pacing hook)."""
+        with self._dispatch_lock:
+            outbox = self.dispatcher.due_dummies(fraction)
+        self._pump_outbox(outbox)
+
+    def close_publication(self) -> None:
+        """Close the current publication and open the next one."""
+        with self._dispatch_lock:
+            outbox = self.dispatcher.end_publication()
+            outbox.extend(self.dispatcher.start_publication())
+        self._pump_outbox(outbox)
+
+    def settle(self, publication: int, timeout: float = 120.0) -> None:
+        """Block until every in-flight message has drained."""
+        if not self._tracker.wait_quiescent(timeout=timeout):
+            raise TimeoutError(
+                f"publication {publication} did not drain "
+                f"({self._tracker.count} in flight)"
+            )
+        self._raise_errors()
 
     def _feed_publication(self, lines: list[str]) -> None:
         total = max(1, len(lines))

@@ -157,6 +157,7 @@ def build_handler(role: str, config, cipher, seeds: dict):
         from repro.core.checking import CheckingNode
         from repro.core.messages import (
             CnPublishing,
+            MembershipMsg,
             NewPublication,
             NodeDown,
             Pair,
@@ -174,11 +175,13 @@ def build_handler(role: str, config, cipher, seeds: dict):
             if isinstance(message, Pair):
                 return node.on_pair(message)
             if isinstance(message, PublishingMsg):
-                return node.on_publishing(message.publication)
+                return node.on_publishing(message)
             if isinstance(message, CnPublishing):
                 return node.on_cn_publishing(message)
             if isinstance(message, NodeDown):
                 return node.on_node_down(message)
+            if isinstance(message, MembershipMsg):
+                return node.on_membership(message)
             raise TypeError(type(message).__name__)
 
         return handle, node

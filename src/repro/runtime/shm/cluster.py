@@ -51,7 +51,7 @@ import time
 
 from repro.core.config import FresqueConfig
 from repro.core.dispatcher import Dispatcher
-from repro.core.messages import RawBatch
+from repro.core.messages import RawBatch, RingAttach
 from repro.index.perturb import draw_noise_plan
 from repro.index.tree import IndexTree
 from repro.runtime.backoff import await_condition
@@ -128,8 +128,15 @@ class ShmFresqueCluster:
         horizon: int = 52,
         total_epsilon: float | None = None,
         put_timeout: float = 30.0,
+        fault_plan=None,
     ):
         self.config = config
+        #: Optional :class:`~repro.runtime.faults.FaultPlan` consulted
+        #: once per parent-side send: frames can be dropped, delayed or
+        #: duplicated exactly as on the TCP/threaded transports.  Sever
+        #: rules are no-ops here (rings have no connection to sever);
+        #: node crashes use :meth:`kill_worker` / :meth:`crash_node`.
+        self.fault_plan = fault_plan
         self.telemetry = coalesce(telemetry)
         rng = random.Random(seed)
         self.dispatcher = Dispatcher(
@@ -143,8 +150,16 @@ class ShmFresqueCluster:
         self._put_timeout = put_timeout
         self._rings: dict[str, RingBuffer] = {}
         self._stats: dict[str, StatsBlock] = {}
+        self._retired_stats: list[StatsBlock] = []
         self._procs: dict[str, object] = {}
         self._dead: set[int] = set()
+        # Elastic membership bookkeeping: node id → its current
+        # incarnation's rings, node id → incarnation counter (ring and
+        # stats segment names must be unique per incarnation), and the
+        # next worker index (fresh IV-counter namespace per spawn).
+        self._node_rings: dict[int, dict[str, RingBuffer]] = {}
+        self._generations: dict[int, int] = {}
+        self._next_worker_index = 0
         self._receipts: dict[int, int] = {}
         self._responses: dict[int, dict] = {}
         self._next_rid = 0
@@ -210,6 +225,16 @@ class ShmFresqueCluster:
         self._make_ring("m2cl", self._ring_capacity)
         self._make_ring("p2cl", CONTROL_RING_CAPACITY)
         self._make_ring("cl2p", CONTROL_RING_CAPACITY)
+        self._node_rings = {
+            i: {
+                "data": self._rings[f"p2c{i}"],
+                "pair": self._rings[f"c{i}2k"],
+                "done": self._rings[f"k2c{i}"],
+            }
+            for i in range(k)
+        }
+        self._generations = {i: 0 for i in range(k)}
+        self._next_worker_index = k + 3
 
         def name(label: str) -> str:
             return self._rings[label].name
@@ -304,6 +329,18 @@ class ShmFresqueCluster:
         return lambda: not proc.is_alive()
 
     def _send(self, destination: str, message) -> None:
+        if self.fault_plan is not None:
+            decision = self.fault_plan.on_send(destination)
+            if decision.faulted:
+                if decision.delay:
+                    time.sleep(decision.delay)
+                if decision.drop:
+                    self.telemetry.counter("shm_frames_dropped").inc()
+                    return
+                for _ in range(decision.duplicates):
+                    # Extra at-least-once copies; a failed duplicate is
+                    # absorbed by the primary send's death handling.
+                    self._channel.send(destination, message)
         if self._channel.send(destination, message):
             self._sends += 1
             if self._sends % SUPERVISE_EVERY == 0:
@@ -391,14 +428,15 @@ class ShmFresqueCluster:
                 proc.terminate()
                 proc.join(timeout=2.0)
         notice = self.dispatcher.mark_node_down(index)
-        data_ring = self._rings[f"p2c{index}"]
+        rings = self._node_rings[index]
+        data_ring = rings["data"]
         backlog = data_ring.drain_backlog()
         data_ring.mark_closed()
         # Take over the dead producer's end-of-stream duty so the
         # checking worker can drain its ring and move on; close the
         # done ring so checking's future sends to it fail fast.
-        self._rings[f"c{index}2k"].mark_closed()
-        self._rings[f"k2c{index}"].mark_closed()
+        rings["pair"].mark_closed()
+        rings["done"].mark_closed()
         self._send_all(notice)
         redispatched = 0
         for payload in backlog:
@@ -494,6 +532,27 @@ class ShmFresqueCluster:
         """Flush the dispatcher's in-flight batch through the rings."""
         with self._flow_lock:
             self._send_all(self.dispatcher.flush_batch())
+
+    def pump_dummies(self, fraction: float) -> None:
+        """Release every dummy scheduled before ``fraction`` of the
+        interval (the chaos harness's dummy-pacing hook)."""
+        with self._flow_lock:
+            self._send_all(self.dispatcher.due_dummies(fraction))
+
+    def close_publication(self) -> None:
+        """Close the current publication and open the next one.
+
+        The non-durable boundary only — the durable driver's close path
+        (journal + ε commit) lives in :meth:`run_publication`.
+        """
+        with self._flow_lock:
+            self._send_all(self.dispatcher.end_publication())
+        with self._flow_lock:
+            self._send_all(self.dispatcher.start_publication())
+
+    def settle(self, publication: int, timeout: float = 120.0) -> None:
+        """Block until the cloud's receipt for ``publication`` lands."""
+        self._await_receipt(publication, timeout)
 
     def run_publication(self, lines, timeout: float = 120.0) -> int:
         """Ingest ``lines`` with interleaved dummies, close the interval,
@@ -628,6 +687,119 @@ class ShmFresqueCluster:
         }
 
     # ------------------------------------------------------------------
+    # Elastic membership (docs/PROTOCOL.md)
+    # ------------------------------------------------------------------
+
+    def _spawn_cn(self, node_id: int) -> tuple[RingBuffer, RingBuffer]:
+        """Create rings + stats + process for one cn incarnation.
+
+        Returns the (pair, done) rings the checking worker must attach.
+        Every incarnation gets fresh shared-memory segments (unique
+        names) and a fresh worker index — a disjoint IV-counter
+        namespace, so a rejoined worker can never reuse its dead
+        predecessor's counter IVs.
+        """
+        gen = self._generations.get(node_id, -1) + 1
+        self._generations[node_id] = gen
+        suffix = f"g{gen}" if gen else ""
+        data = self._make_ring(f"p2c{node_id}{suffix}", self._ring_capacity)
+        pair = self._make_ring(f"c{node_id}2k{suffix}", self._ring_capacity)
+        done = self._make_ring(
+            f"k2c{node_id}{suffix}", CONTROL_RING_CAPACITY
+        )
+        self._node_rings[node_id] = {
+            "data": data, "pair": pair, "done": done,
+        }
+        role = f"cn-{node_id}"
+        old_stats = self._stats.pop(role, None)
+        if old_stats is not None:
+            self._retired_stats.append(old_stats)
+        block = StatsBlock(
+            stats_fields(role),
+            name=f"frq{self._token}-st-{role}{suffix}",
+            create=True,
+        )
+        self._stats[role] = block
+        index = self._next_worker_index
+        self._next_worker_index += 1
+        proc = _fork_context().Process(
+            target=run_worker,
+            args=(
+                role,
+                self._spec,
+                {"data": data.name, "done": done.name},
+                {"checking": pair.name},
+                block.name,
+                index,
+            ),
+            name=f"fresque-shm-{role}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[role] = proc
+        self._channel.rings[role] = data
+        return pair, done
+
+    def admit_node(self, node_id: int | None = None) -> int:
+        """Admit a new computing node into the running fleet.
+
+        The dispatcher flushes the in-flight batch under the old epoch,
+        the worker process and its rings come up, the checking worker
+        attaches them (the :class:`RingAttach` rides the parent ring,
+        ahead of the membership broadcast), and the rotation rebuilds.
+        Returns the admitted node's id.
+        """
+        with self._flow_lock:
+            node_id, outbox = self.dispatcher.admit_node(node_id)
+            pair, done = self._spawn_cn(node_id)
+            self._send("checking", RingAttach(node_id, pair.name, done.name))
+            self._send_all(outbox)
+        return node_id
+
+    def retire_node(self, node_id: int) -> None:
+        """Drain a computing node out of the rotation (planned removal).
+
+        The node receives no further batches but stays reachable until
+        the interval closes (it reports *publishing* and receives its
+        final *done*); its worker exits with the shutdown cascade.
+        """
+        with self._flow_lock:
+            self._send_all(self.dispatcher.retire_node(node_id))
+
+    def crash_node(self, node_id: int) -> None:
+        """Hard-kill one computing node and absorb its work now.
+
+        Deterministic variant of :meth:`kill_worker` + supervision: the
+        death is handled synchronously, so callers can script
+        crash/rejoin sequences without racing the supervision cadence.
+        """
+        role = f"cn-{node_id}"
+        with self._flow_lock:
+            proc = self._procs.get(role)
+            if proc is not None:
+                proc.kill()
+                proc.join(timeout=5.0)
+            self._on_cn_death(node_id)
+
+    def rejoin_node(self, node_id: int) -> None:
+        """Bring a crashed computing node back under a fresh epoch.
+
+        A fresh worker process attaches fresh rings (the checking worker
+        drains the dead incarnation's leftovers first, then swaps); the
+        membership broadcast raises the node's join-epoch floor so any
+        straggler output of the old incarnation is discarded downstream.
+        """
+        with self._flow_lock:
+            self._supervise()
+            if node_id not in self._dead:
+                raise ValueError(f"computing node {node_id} is not down")
+            outbox = self.dispatcher.rejoin_node(node_id)
+            self._dead.discard(node_id)
+            pair, done = self._spawn_cn(node_id)
+            self._send("checking", RingAttach(node_id, pair.name, done.name))
+            self._send_all(outbox)
+
+    # ------------------------------------------------------------------
     # Fault injection + teardown
     # ------------------------------------------------------------------
 
@@ -663,7 +835,7 @@ class ShmFresqueCluster:
                     ring.unlink()
                 except FileNotFoundError:  # pragma: no cover
                     pass
-            for block in self._stats.values():
+            for block in [*self._stats.values(), *self._retired_stats]:
                 block.detach()
                 try:
                     block.unlink()

@@ -44,8 +44,8 @@ _KIND_BUFFER_FLUSH = 4
 #: one grant rides the ring per processed PairBatch.
 _KIND_CREDIT = 5
 
-_RAW_HEAD = struct.Struct("<qqqI")  # pub, seq, ordinal, item count
-_PAIR_HEAD = struct.Struct("<qqI")  # pub, seq, pair count
+_RAW_HEAD = struct.Struct("<qqqqI")  # pub, seq, ordinal, epoch, item count
+_PAIR_HEAD = struct.Struct("<qqqqI")  # pub, seq, epoch, node, pair count
 _CLOUD_HEAD = struct.Struct("<qI")  # pub, pair count
 _CREDIT_HEAD = struct.Struct("<qq")  # pub, granted record count
 _U32 = struct.Struct("<I")
@@ -64,6 +64,7 @@ def encode_frame(destination: str, message) -> bytearray:
             message.publication,
             message.seq,
             message.ordinal,
+            message.epoch,
             len(message.items),
         )
         for item in message.items:
@@ -81,7 +82,11 @@ def encode_frame(destination: str, message) -> bytearray:
     if type(message) is PairBatch:
         out[0] = _KIND_PAIR_BATCH
         out += _PAIR_HEAD.pack(
-            message.publication, message.seq, len(message.pairs)
+            message.publication,
+            message.seq,
+            message.epoch,
+            message.node,
+            len(message.pairs),
         )
         for pair in message.pairs:
             out += _PAIR_META.pack(pair.leaf_offset, int(pair.dummy))
@@ -126,7 +131,9 @@ def decode_frame(view) -> tuple[str, object]:
             raise WireError(f"cannot decode {envelope['type']!r}")
         return destination, decoder(envelope["payload"])
     if kind == _KIND_RAW_BATCH:
-        publication, seq, ordinal, count = _RAW_HEAD.unpack_from(view, offset)
+        publication, seq, ordinal, epoch, count = _RAW_HEAD.unpack_from(
+            view, offset
+        )
         offset += _RAW_HEAD.size
         items = []
         for _ in range(count):
@@ -139,10 +146,12 @@ def decode_frame(view) -> tuple[str, object]:
             )
             offset = start + length
         return destination, RawBatch(
-            publication, tuple(items), seq=seq, ordinal=ordinal
+            publication, tuple(items), seq=seq, ordinal=ordinal, epoch=epoch
         )
     if kind == _KIND_PAIR_BATCH:
-        publication, seq, count = _PAIR_HEAD.unpack_from(view, offset)
+        publication, seq, epoch, node, count = _PAIR_HEAD.unpack_from(
+            view, offset
+        )
         offset += _PAIR_HEAD.size
         pairs = []
         for _ in range(count):
@@ -153,7 +162,9 @@ def decode_frame(view) -> tuple[str, object]:
             pairs.append(
                 Pair(publication, leaf, encrypted, dummy=bool(dummy))
             )
-        return destination, PairBatch(publication, tuple(pairs), seq=seq)
+        return destination, PairBatch(
+            publication, tuple(pairs), seq=seq, epoch=epoch, node=node
+        )
     if kind in (_KIND_TO_CLOUD, _KIND_BUFFER_FLUSH):
         publication, count = _CLOUD_HEAD.unpack_from(view, offset)
         offset += _CLOUD_HEAD.size

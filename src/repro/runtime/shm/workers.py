@@ -26,15 +26,9 @@ from __future__ import annotations
 
 import json
 import time
-from collections import deque
 
-from repro.core.messages import (
-    CnPublishing,
-    NewPublication,
-    NodeDown,
-    PairBatch,
-    PublishingMsg,
-)
+from repro.core.messages import RingAttach
+from repro.runtime.gate import CheckingGate
 from repro.runtime.roles import (
     build_handler,
     cipher_from_spec,
@@ -60,6 +54,7 @@ STATS_FIELDS = {
         "dummies_passed",
         "records_removed",
         "duplicates",
+        "stale_discards",
     ),
     "merger": ("heartbeat", "handled"),
     "cloud": ("heartbeat", "handled"),
@@ -69,136 +64,6 @@ STATS_FIELDS = {
 def stats_fields(role: str) -> tuple[str, ...]:
     """The stats-block layout for ``role`` (cluster and worker agree)."""
     return STATS_FIELDS["cn" if role.startswith("cn-") else role]
-
-
-class CheckingGate:
-    """Order-restoring front of the checking node.
-
-    Three rules, applied before any message reaches the wrapped
-    handler:
-
-    1. **PairBatch reorder**: batches are delivered strictly in the
-       dispatcher's global ``seq`` order.  A batch with ``seq`` below
-       the next expected — or equal to one already buffered — is a
-       crash-redispatch duplicate and is dropped (counted).
-    2. **Publishing gate**: a :class:`PublishingMsg` waits until every
-       batch with ``seq <= last_seq`` has been delivered.
-    3. **CnPublishing gate**: a node's publishing acknowledgement waits
-       until its publication's :class:`PublishingMsg` has been
-       delivered (the synchronous broadcast order).
-    4. **NewPublication gate**: the next publication's announcement
-       waits until the previous one has *finalised* — its publishing
-       broadcast delivered and every live node's acknowledgement in.
-       Finalisation shuffles the randomer buffer (an RNG draw), so the
-       next interval's eviction draws must not overtake it.
-
-    :class:`NodeDown` passes through immediately (matching the
-    dispatcher, which emits it out of band) and relaxes the ack gate —
-    a dead node's acknowledgement stops being waited for.
-    """
-
-    def __init__(self, handler, num_nodes: int):
-        self._handler = handler
-        self._num_nodes = num_nodes
-        self.next_seq = 0
-        self.duplicates = 0
-        self._buffered: dict[int, PairBatch] = {}
-        self._pending_publishing: deque[PublishingMsg] = deque()
-        self._pending_cn: deque[CnPublishing] = deque()
-        self._pending_new: deque[NewPublication] = deque()
-        self._publishing_delivered: set[int] = set()
-        # publication → nodes that acknowledged; the entry exists while
-        # finalisation is outstanding (created at PublishingMsg delivery).
-        self._acked: dict[int, set[int]] = {}
-        self._dead: set[int] = set()
-
-    @property
-    def pending(self) -> int:
-        """Messages held back waiting for a gate."""
-        return (
-            len(self._buffered)
-            + len(self._pending_publishing)
-            + len(self._pending_cn)
-            + len(self._pending_new)
-        )
-
-    def feed(self, message) -> list[tuple[str, object]]:
-        """Admit one message; returns the outbox of everything released."""
-        out: list[tuple[str, object]] = []
-        if isinstance(message, PairBatch) and message.seq >= 0:
-            if message.seq < self.next_seq or message.seq in self._buffered:
-                self.duplicates += 1
-                return out
-            self._buffered[message.seq] = message
-            while self.next_seq in self._buffered:
-                out.extend(
-                    self._handler(self._buffered.pop(self.next_seq))
-                )
-                self.next_seq += 1
-        elif isinstance(message, PublishingMsg):
-            self._pending_publishing.append(message)
-        elif isinstance(message, CnPublishing):
-            if message.publication in self._publishing_delivered:
-                out.extend(self._deliver_cn(message))
-            else:
-                self._pending_cn.append(message)
-        elif isinstance(message, NewPublication):
-            self._pending_new.append(message)
-        elif isinstance(message, NodeDown):
-            self._dead.add(message.node_id)
-            out.extend(self._handler(message))
-        else:
-            out.extend(self._handler(message))
-        out.extend(self._drain_gates())
-        return out
-
-    def _deliver_cn(self, message: CnPublishing) -> list[tuple[str, object]]:
-        acked = self._acked.get(message.publication)
-        if acked is not None:
-            acked.add(message.node_id)
-        return self._handler(message)
-
-    def _finalised(self, publication: int) -> bool:
-        acked = self._acked[publication]
-        return all(
-            node in acked or node in self._dead
-            for node in range(self._num_nodes)
-        )
-
-    def _drain_gates(self) -> list[tuple[str, object]]:
-        out: list[tuple[str, object]] = []
-        progress = True
-        while progress:
-            progress = False
-            while self._pending_publishing:
-                head = self._pending_publishing[0]
-                if head.last_seq >= 0 and self.next_seq <= head.last_seq:
-                    break
-                self._pending_publishing.popleft()
-                out.extend(self._handler(head))
-                self._publishing_delivered.add(head.publication)
-                self._acked.setdefault(head.publication, set())
-                released, still_waiting = [], deque()
-                for waiting in self._pending_cn:
-                    if waiting.publication in self._publishing_delivered:
-                        released.append(waiting)
-                    else:
-                        still_waiting.append(waiting)
-                self._pending_cn = still_waiting
-                for message in released:
-                    out.extend(self._deliver_cn(message))
-                progress = True
-            while self._pending_new:
-                if self._pending_publishing or not all(
-                    self._finalised(p) for p in self._acked
-                ):
-                    break
-                done = [p for p in self._acked if self._finalised(p)]
-                for publication in done:
-                    del self._acked[publication]
-                out.extend(self._handler(self._pending_new.popleft()))
-                progress = True
-        return out
 
 
 class _IdleBackoff:
@@ -326,9 +191,10 @@ def _checking_loop(
     )
     gate = CheckingGate(handler, config.num_computing_nodes)
     parent = in_rings["parent"]
-    cn_rings = [
-        ring for key, ring in sorted(in_rings.items()) if key.startswith("cn-")
-    ]
+    cn_rings = {
+        key: ring for key, ring in sorted(in_rings.items())
+        if key.startswith("cn-")
+    }
     backoff = _IdleBackoff(parent)
     handled = 0
 
@@ -343,10 +209,54 @@ def _checking_loop(
         stats.write("dummies_passed", node.dummies_passed)
         stats.write("records_removed", node.records_removed)
         stats.write("duplicates", gate.duplicates)
+        stats.write("stale_discards", gate.stale_discards)
+
+    def attach(message: RingAttach) -> None:
+        # Runtime admission/rejoin (docs/PROTOCOL.md): swap in the new
+        # incarnation's rings.  A rejoining node's old inbound ring is
+        # drained through the gate first — forwards the dead incarnation
+        # committed are the only copy of their batches; anything else is
+        # deduplicated or discarded as stale.  The parent closed the old
+        # ring at death time, so the drain terminates.
+        key = f"cn-{message.node_id}"
+        old = cn_rings.pop(key, None)
+        if old is not None:
+            while True:
+                frame = old.read()
+                if frame is None:
+                    if old.drained():
+                        break
+                    time.sleep(0.0001)
+                    continue
+                _, leftover = decode_frame(frame.view)
+                channel.send_all(gate.feed(leftover))
+                old.commit(frame)
+            in_rings.pop(key, None)
+            old.detach()
+        ring = RingBuffer(name=message.inbound)
+        in_rings[key] = ring
+        cn_rings[key] = ring
+        stale_out = channel.rings.pop(key, None)
+        if stale_out is not None:
+            stale_out.detach()
+        channel.rings[key] = RingBuffer(name=message.outbound)
 
     while True:
         progressed = False
-        for ring in [parent, *cn_rings]:
+        # Parent frames first: a RingAttach may rewire the cn ring set.
+        frame = parent.read()
+        if frame is not None:
+            _, message = decode_frame(frame.view)
+            if isinstance(message, RingAttach):
+                attach(message)
+            else:
+                outbox = gate.feed(message)
+                handled += 1
+                flush_stats()
+                channel.send_all(outbox)
+            parent.commit(frame)
+            progressed = True
+        for ring in list(cn_rings.values()):
             frame = ring.read()
             if frame is None:
                 continue
@@ -360,7 +270,9 @@ def _checking_loop(
         if progressed:
             backoff.progressed()
             continue
-        if parent.drained() and all(ring.drained() for ring in cn_rings):
+        if parent.drained() and all(
+            ring.drained() for ring in cn_rings.values()
+        ):
             flush_stats()
             return
         backoff.idle()

@@ -53,6 +53,7 @@ from repro.core.messages import (
     CnPublishing,
     CreditGrant,
     DoneMsg,
+    MembershipMsg,
     NewPublication,
     NodeDown,
     Pair,
@@ -66,6 +67,7 @@ from repro.core.messages import (
 from repro.core.system import CloudAdapter
 from repro.crypto.cipher import RecordCipher
 from repro.runtime.faults import RESTART
+from repro.runtime.gate import CheckingGate
 from repro.runtime.poller import FlushPoller, poll_interval
 from repro.runtime.wire import WireError, decode_message, encode_message, read_frames
 from repro.telemetry.clock import WALL_CLOCK
@@ -163,6 +165,12 @@ class Router:
         self.reconnects = 0
         #: Failed attempts that were retried (evict + backoff + redial).
         self.retries = 0
+        #: Destination → frames successfully transmitted.  The driver's
+        #: crash injection uses this to wait until the victim has
+        #: accounted for every frame addressed to it (inboxed or
+        #: handled) before cutting it down — a frame still in the
+        #: victim's kernel buffer would otherwise vanish untracked.
+        self.sent_to: dict[str, int] = {}
         tel = coalesce(telemetry)
         self._sent_bytes = tel.counter("tcp_sent_bytes_total")
         self._sent_frames = tel.counter("tcp_sent_frames_total")
@@ -191,6 +199,10 @@ class Router:
             self._transmit(destination, frame)
             self._sent_bytes.inc(len(frame))
             self._sent_frames.inc()
+            with self._guard:
+                self.sent_to[destination] = (
+                    self.sent_to.get(destination, 0) + 1
+                )
 
     def _transmit(self, destination: str, frame: bytes) -> None:
         attempt = 0
@@ -490,7 +502,7 @@ class TcpNode:
             self._shutdown_socket(connection)
         for reader in readers:
             reader.join(timeout=2)
-        dropped = [pending_frame]
+        dropped = [] if pending_frame is None else [pending_frame]
         while True:
             try:
                 item = self._inbox.get_nowait()
@@ -502,6 +514,35 @@ class TcpNode:
             self.dropped_frames = self.dropped_frames + dropped
         if not restart:
             return False
+        self._rebind()
+        return True
+
+    def crash(self) -> None:
+        """Driver-side crash injection: same effect as a fault-plan
+        crash, enacted from outside the worker thread.  The worker
+        stays parked on the (now empty) inbox, ready for
+        :meth:`restart`."""
+        self._enact_crash(None, restart=False)
+
+    def restart(self) -> None:
+        """Bring a crashed node back up on the same port — the
+        transport half of the rejoin handshake (docs/PROTOCOL.md).
+        Respawns the worker thread if the crash terminated it."""
+        with self._lock:
+            if not self.crashed:
+                return
+        self._rebind()
+        worker = self._worker
+        if worker is None or not worker.is_alive():
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"tcp-worker-{self.name}",
+                daemon=True,
+            )
+            self._worker = worker
+            worker.start()
+
+    def _rebind(self) -> None:
+        """Fresh server socket + acceptor on the node's original port."""
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         server.bind(("127.0.0.1", self.port))
@@ -518,7 +559,6 @@ class TcpNode:
             self._closing = False
             self._running = True
         acceptor.start()
-        return True
 
     @staticmethod
     def _shutdown_socket(sock: socket.socket) -> None:
@@ -542,6 +582,13 @@ class TcpNode:
         """Decoded messages lost to an injected crash (for accounting)."""
         with self._lock:
             frames = list(self.dropped_frames)
+        return [decode_message(frame)[1] for frame in frames]
+
+    def take_dropped_messages(self) -> list:
+        """Decoded messages lost to a crash, clearing the ledger — the
+        caller owns their recovery (crash_node redispatches batches)."""
+        with self._lock:
+            frames, self.dropped_frames = self.dropped_frames, []
         return [decode_message(frame)[1] for frame in frames]
 
     def health(self) -> dict:
@@ -672,7 +719,12 @@ class TcpFresqueCluster:
             retry_policy=retry_policy,
         )
         self._nodes: list[TcpNode] = []
+        self._node_map: dict[str, TcpNode] = {}
         self._dead: set[str] = set()
+        # Under deterministic IVs the checking handler runs behind the
+        # membership-aware ordering gate (byte-identical cloud state
+        # even with crashes/rejoins interleaving frame arrivals).
+        self._checking_gate: CheckingGate | None = None
         self._telemetry_arg = telemetry
         self._started = False
         # Serialises dispatcher access between the driver thread, the
@@ -693,21 +745,21 @@ class TcpFresqueCluster:
         """Names of computing nodes the cluster degraded around."""
         return frozenset(self._dead)
 
+    def _cn_handler(self, node: ComputingNode):
+        def handle(message):
+            if isinstance(message, RawBatch):
+                return node.on_raw_batch(message)
+            if isinstance(message, RawData):
+                return node.on_raw(message)
+            if isinstance(message, PublishingMsg):
+                return node.on_publishing(message.publication)
+            if isinstance(message, DoneMsg):
+                return node.on_done(message)
+            raise TypeError(type(message).__name__)
+
+        return handle
+
     def _make_nodes(self) -> None:
-        def cn_handler(node):
-            def handle(message):
-                if isinstance(message, RawBatch):
-                    return node.on_raw_batch(message)
-                if isinstance(message, RawData):
-                    return node.on_raw(message)
-                if isinstance(message, PublishingMsg):
-                    return node.on_publishing(message.publication)
-                if isinstance(message, DoneMsg):
-                    return node.on_done(message)
-                raise TypeError(type(message).__name__)
-
-            return handle
-
         def checking_handler(message):
             if isinstance(message, NewPublication):
                 return self.checking.on_new_publication(message)
@@ -716,11 +768,13 @@ class TcpFresqueCluster:
             if isinstance(message, Pair):
                 return self.checking.on_pair(message)
             if isinstance(message, PublishingMsg):
-                return self.checking.on_publishing(message.publication)
+                return self.checking.on_publishing(message)
             if isinstance(message, CnPublishing):
                 return self.checking.on_cn_publishing(message)
             if isinstance(message, NodeDown):
                 return self.checking.on_node_down(message)
+            if isinstance(message, MembershipMsg):
+                return self.checking.on_membership(message)
             raise TypeError(type(message).__name__)
 
         def merger_handler(message):
@@ -747,15 +801,21 @@ class TcpFresqueCluster:
             self._nodes.append(
                 TcpNode(
                     f"cn-{node.node_id}",
-                    cn_handler(node),
+                    self._cn_handler(node),
                     self.router,
                     telemetry=telemetry,
                     fault_plan=self._fault_plan,
                 )
             )
+        checking_entry = checking_handler
+        if self.config.deterministic_ivs:
+            self._checking_gate = CheckingGate(
+                checking_handler, self.config.num_computing_nodes
+            )
+            checking_entry = self._checking_gate.feed
         self._nodes.append(
             TcpNode(
-                "checking", checking_handler, self.router,
+                "checking", checking_entry, self.router,
                 telemetry=telemetry, fault_plan=self._fault_plan,
             )
         )
@@ -779,6 +839,7 @@ class TcpFresqueCluster:
         )
         for node in self._nodes:
             self._address_book[node.name] = node.port
+            self._node_map[node.name] = node
 
     def start(self) -> None:
         """Boot every node server and open the first publication."""
@@ -821,6 +882,162 @@ class TcpFresqueCluster:
             self._dead.add(name)
             self._send_outbox(self.dispatcher.mark_node_down(int(name[3:])))
 
+    # ------------------------------------------------------------------
+    # Elastic membership (docs/PROTOCOL.md)
+    # ------------------------------------------------------------------
+
+    def admit_node(self, node_id: int | None = None) -> int:
+        """Admit a new computing node at runtime: a fresh TCP server
+        joins the address book under a new membership epoch."""
+        if not self._started:
+            raise RuntimeError("call start() first")
+        with self._dispatch_lock:
+            node_id, outbox = self.dispatcher.admit_node(node_id)
+            node = ComputingNode(
+                node_id, self.config, self.cipher,
+                telemetry=self._telemetry_arg,
+            )
+            self.computing_nodes.append(node)
+            tcp_node = TcpNode(
+                f"cn-{node_id}",
+                self._cn_handler(node),
+                self.router,
+                telemetry=self._telemetry_arg,
+                fault_plan=self._fault_plan,
+            )
+            self._nodes.append(tcp_node)
+            self._node_map[tcp_node.name] = tcp_node
+            self._address_book[tcp_node.name] = tcp_node.port
+            tcp_node.start()
+            self._send_outbox(outbox)
+        return node_id
+
+    def retire_node(self, node_id: int) -> None:
+        """Gracefully retire a node: its server stays up to flush and
+        acknowledge in-flight work, but the dispatcher stops routing
+        new batches to it."""
+        with self._dispatch_lock:
+            self._send_outbox(self.dispatcher.retire_node(node_id))
+
+    def crash_node(self, node_id: int) -> None:
+        """Crash a computing node's server (driver-side injection) and
+        degrade around it: its outbound connection is evicted, trapped
+        inbox frames are recovered (RawBatches redispatched with their
+        credits refunded), and the checking node is told to stop
+        waiting for it."""
+        name = f"cn-{node_id}"
+        tcp_node = self._node_map[name]
+        # Enactment barrier: every frame transmitted to the victim must
+        # be accounted for (inboxed or handled) before the cut — a frame
+        # still in its kernel receive buffer would vanish *untracked*,
+        # invisible to both the dropped-frame ledger and redispatch.
+        deadline = WALL_CLOCK.now() + 5.0
+        while WALL_CLOCK.now() < deadline:
+            sent = self.router.sent_to.get(name, 0)
+            if tcp_node.handled + tcp_node.pending >= sent:
+                break
+            time.sleep(0.001)
+        tcp_node.crash()
+        self.router.evict(name)
+        self._mark_node_down(name)
+        self._recover_dropped(tcp_node)
+
+    def _recover_dropped(self, tcp_node: TcpNode) -> None:
+        """Redispatch the RawBatches a crash trapped in a dead node's
+        inbox; trapped control frames are covered by the NodeDown
+        absolution."""
+        with self._dispatch_lock:
+            for message in tcp_node.take_dropped_messages():
+                if isinstance(message, (RawData, RawBatch)):
+                    self._send_outbox(self.dispatcher.redispatch(message))
+
+    def rejoin_node(self, node_id: int) -> int:
+        """Bring a crashed node back as a fresh incarnation on the same
+        port.  The membership epoch rises, so any still-travelling pair
+        stamped by the old incarnation is discarded as stale on the
+        checking side (reconnect-as-rejoin, docs/PROTOCOL.md).
+
+        Only call once the surrounding publication has completed — the
+        cloud receipt guarantees the checking node has consumed every
+        frame the old incarnation sent.
+        """
+        name = f"cn-{node_id}"
+        tcp_node = self._node_map[name]
+        if name not in self._dead:
+            raise ValueError(f"node {node_id} is not down")
+        self._recover_dropped(tcp_node)
+        node = ComputingNode(
+            node_id, self.config, self.cipher, telemetry=self._telemetry_arg
+        )
+        for index, existing in enumerate(self.computing_nodes):
+            if existing.node_id == node_id:
+                self.computing_nodes[index] = node
+                break
+        tcp_node.handler = self._cn_handler(node)
+        tcp_node.restart()
+        with self._dispatch_lock:
+            self._dead.discard(name)
+            self._send_outbox(self.dispatcher.rejoin_node(node_id))
+        return node_id
+
+    def ingest(self, line: str) -> None:
+        """Feed one raw line into the current publication."""
+        if not self._started:
+            raise RuntimeError("call start() first")
+        with self._dispatch_lock:
+            self._send_outbox(self.dispatcher.on_raw(line))
+
+    def pump_dummies(self, fraction: float) -> None:
+        """Release every dummy scheduled before ``fraction`` of the
+        interval (the chaos harness's dummy-pacing hook)."""
+        with self._dispatch_lock:
+            self._send_outbox(self.dispatcher.due_dummies(fraction))
+
+    def close_publication(self) -> None:
+        """Close the current publication and open the next one."""
+        with self._dispatch_lock:
+            self._send_outbox(self.dispatcher.end_publication())
+            self._send_outbox(self.dispatcher.start_publication())
+
+    def settle(self, publication: int, timeout: float = 120.0) -> None:
+        """Block until the cloud's receipt for ``publication`` lands,
+        supervising node health while waiting."""
+        deadline = WALL_CLOCK.now() + timeout
+        while True:
+            self._supervise()
+            remaining = deadline - WALL_CLOCK.now()
+            if remaining <= 0:
+                raise ClusterTimeout(
+                    publication, timeout, self.health_report()
+                )
+            receipt = self.cloud_adapter.wait_for_receipt(
+                publication, timeout=min(0.25, remaining)
+            )
+            if receipt is not None:
+                self._supervise()
+                self._await_announce(deadline)
+                return
+
+    def _await_announce(self, deadline: float) -> None:
+        """Wait until the cloud has opened the dispatcher's *current*
+        publication.
+
+        The receipt for publication *N* says nothing about the trailing
+        ``start_publication`` cascade (NewPublication → template →
+        merger → cloud) that opened *N+1*: those frames may still be in
+        flight when the receipt lands.  Post-settle state inspection
+        (fingerprints) must not race that tail, so block until the
+        cloud has announced every publication the dispatcher has
+        opened — the same announce barrier the shm runtime applies
+        before fingerprinting.
+        """
+        current = self.dispatcher.publication
+        while not self.cloud.is_announced(current):
+            if WALL_CLOCK.now() >= deadline:
+                raise ClusterTimeout(current, 0.0, self.health_report())
+            self._supervise()
+            time.sleep(0.001)
+
     def run_publication(self, lines: list[str], timeout: float = 60.0) -> int:
         """Ingest ``lines``, close the publication, wait for the cloud to
         match it.  Returns the matched pair count.
@@ -857,6 +1074,7 @@ class TcpFresqueCluster:
             )
             if receipt is not None:
                 self._supervise()
+                self._await_announce(deadline)
                 return receipt.records_matched
 
     def _supervise(self) -> None:

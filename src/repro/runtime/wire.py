@@ -20,6 +20,7 @@ from repro.core.messages import (
     CnPublishing,
     CreditGrant,
     DoneMsg,
+    MembershipMsg,
     MergedPublication,
     NewPublication,
     NodeDown,
@@ -29,6 +30,7 @@ from repro.core.messages import (
     RawBatch,
     RawData,
     RemovedRecord,
+    RingAttach,
     TemplateMsg,
     ToCloudBatch,
     ToCloudPair,
@@ -133,6 +135,7 @@ _ENCODERS = {
         ],
         "seq": m.seq,
         "ord": m.ordinal,
+        "epoch": m.epoch,
     },
     Pair: lambda m: {
         "pub": m.publication,
@@ -143,6 +146,8 @@ _ENCODERS = {
     PairBatch: lambda m: {
         "pub": m.publication,
         "seq": m.seq,
+        "epoch": m.epoch,
+        "node": m.node,
         "pairs": [
             {
                 "leaf": pair.leaf_offset,
@@ -169,10 +174,27 @@ _ENCODERS = {
         "leaf": m.leaf_offset,
         "enc": encode_encrypted(m.encrypted),
     },
-    PublishingMsg: lambda m: {"pub": m.publication, "last": m.last_seq},
+    PublishingMsg: lambda m: {
+        "pub": m.publication,
+        "last": m.last_seq,
+        "epoch": m.epoch,
+        "nodes": list(m.nodes),
+    },
     CreditGrant: lambda m: {"pub": m.publication, "records": m.records},
     CnPublishing: lambda m: {"pub": m.publication, "node": m.node_id},
     NodeDown: lambda m: {"pub": m.publication, "node": m.node_id},
+    MembershipMsg: lambda m: {
+        "epoch": m.epoch,
+        "members": list(m.members),
+        "retired": list(m.retired),
+        "down": list(m.down),
+        "joined": [list(pair) for pair in m.joined],
+    },
+    RingAttach: lambda m: {
+        "node": m.node_id,
+        "in": m.inbound,
+        "out": m.outbound,
+    },
     AlSnapshot: lambda m: {"pub": m.publication, "al": list(m.al)},
     BufferFlush: lambda m: {
         "pub": m.publication,
@@ -208,6 +230,7 @@ _DECODERS = {
         ),
         seq=p.get("seq", -1),
         ordinal=p.get("ord", -1),
+        epoch=p.get("epoch", -1),
     ),
     "Pair": lambda p: Pair(
         p["pub"], p["leaf"], decode_encrypted(p["enc"]), dummy=p["dummy"]
@@ -224,6 +247,8 @@ _DECODERS = {
             for item in p["pairs"]
         ),
         seq=p.get("seq", -1),
+        epoch=p.get("epoch", -1),
+        node=p.get("node", -1),
     ),
     "ToCloudBatch": lambda p: ToCloudBatch(
         p["pub"],
@@ -239,11 +264,22 @@ _DECODERS = {
         p["pub"], p["leaf"], decode_encrypted(p["enc"])
     ),
     "PublishingMsg": lambda p: PublishingMsg(
-        p["pub"], last_seq=p.get("last", -1)
+        p["pub"],
+        last_seq=p.get("last", -1),
+        epoch=p.get("epoch", -1),
+        nodes=tuple(p.get("nodes", ())),
     ),
     "CreditGrant": lambda p: CreditGrant(p["pub"], p["records"]),
     "CnPublishing": lambda p: CnPublishing(p["pub"], p["node"]),
     "NodeDown": lambda p: NodeDown(p["pub"], p["node"]),
+    "MembershipMsg": lambda p: MembershipMsg(
+        p["epoch"],
+        members=tuple(p.get("members", ())),
+        retired=tuple(p.get("retired", ())),
+        down=tuple(p.get("down", ())),
+        joined=tuple((n, e) for n, e in p.get("joined", ())),
+    ),
+    "RingAttach": lambda p: RingAttach(p["node"], p["in"], p["out"]),
     "AlSnapshot": lambda p: AlSnapshot(p["pub"], tuple(p["al"])),
     "BufferFlush": lambda p: BufferFlush(
         p["pub"],

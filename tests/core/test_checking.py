@@ -252,3 +252,56 @@ class TestDegradedMode:
         assert not checking.state_of(0).closed
         out = checking.on_publishing(0)
         assert any(isinstance(m, BufferFlush) for _, m in out)
+
+    def test_done_released_to_absolved_live_node(
+        self, checking, flu_config, plan
+    ):
+        """A node absolved for a publication (crashed, then rejoined
+        before its close) that still entered the publishing window must
+        receive the DoneMsg: finalisation can complete off its
+        absolution before its own report is consumed, but the node is
+        live, reported, and holds the next publication's pairs against
+        exactly this release.  Regression — it used to be excluded from
+        the done broadcast and deadlocked every later publication."""
+        from repro.core.messages import MembershipMsg, PublishingMsg
+
+        # Node 2 crashed before this publication was announced (the
+        # announcement seeds its absolved set from the dead set), then
+        # rejoins: it leaves the dead set but stays absolved here.
+        checking.on_node_down(self._node_down(0, 2))
+        checking.on_new_publication(NewPublication(0, plan))
+        checking.on_membership(
+            MembershipMsg(epoch=2, members=(0, 1, 2), joined=((2, 2),))
+        )
+        # The dispatcher broadcast publishing to the full (rejoined)
+        # fleet; reports from nodes 0 and 1 plus node 2's absolution
+        # complete the publication before node 2's report arrives.
+        checking.on_publishing(PublishingMsg(0, nodes=(0, 1, 2)))
+        out = checking.on_cn_publishing(CnPublishing(0, 0))
+        out += checking.on_cn_publishing(CnPublishing(0, 1))
+        done_destinations = {
+            dest for dest, m in out if isinstance(m, DoneMsg)
+        }
+        assert done_destinations == {"cn-0", "cn-1", "cn-2"}
+        # The straggling report of the finalised publication is dropped,
+        # not buffered as an early arrival of a future one.
+        assert checking.on_cn_publishing(CnPublishing(0, 2)) == []
+        assert checking._early_cn == {}
+
+    def test_done_broadcast_still_skips_dead_nodes_with_expected(
+        self, checking, flu_config, plan
+    ):
+        """With a pinned expected set, a node that is genuinely down at
+        finalisation stays out of the done broadcast."""
+        from repro.core.messages import PublishingMsg
+
+        checking.on_new_publication(NewPublication(0, plan))
+        checking.on_node_down(self._node_down(0, 1))
+        out = []
+        checking.on_publishing(PublishingMsg(0, nodes=(0, 1, 2)))
+        for node_id in (0, 2):
+            out.extend(checking.on_cn_publishing(CnPublishing(0, node_id)))
+        done_destinations = {
+            dest for dest, m in out if isinstance(m, DoneMsg)
+        }
+        assert done_destinations == {"cn-0", "cn-2"}

@@ -86,3 +86,19 @@ class TestPublishBoundary:
         node.on_raw(_raw(flu_config, publication=1))
         assert node.parsed == 1
         assert node.encrypted == 1
+
+    def test_stale_done_does_not_release_current_hold(
+        self, node, flu_config
+    ):
+        """A done for an older publication than the one being waited on
+        (elastic membership: addressed to a previous incarnation of
+        this node id) must not leak the held pairs past the current
+        publishing barrier."""
+        node.on_publishing(1)
+        node.on_raw(_raw(flu_config, publication=2))
+        assert node.on_done(DoneMsg(0)) == []
+        assert node.waiting_for_done
+        assert node.held_pairs == 1
+        out = node.on_done(DoneMsg(1))
+        assert len(out) == 1
+        assert not node.waiting_for_done

@@ -94,6 +94,7 @@ class TestRegistry:
             "crypto",
             "durability",
             "lock-order",
+            "membership",
             "privacy-budget",
             "hygiene",
             "security-dataflow",

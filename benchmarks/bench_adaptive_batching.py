@@ -1,190 +1,29 @@
-"""Adaptive batching vs the static sweet spot on a bursty arrival mix.
+"""Adaptive batching vs the static sweet spot (fabric port).
 
 The static sweep in ``bench_batching.py`` picks one batch size for the
 whole run, but the size that wins a 200k records/s burst (256+) is the
 one that stalls a trickle: a lone record sits in the dispatcher batch
 for the full ``max_batch_delay`` before the delay flush fires.  The
-adaptive controller (``repro.core.flow``) is supposed to resolve that
-trade-off at runtime — grow the batch while the source bursts, halve
-the flush delay when delay flushes dominate.
+adaptive controller (``repro.core.flow``) resolves that trade-off at
+runtime — grow the batch while the source bursts, halve the flush delay
+when delay flushes dominate.
 
-This benchmark drives the real pipeline through alternating phases:
-bursts of ``_BURST_RECORDS`` back-to-back arrivals, then a trickle of
-single records drained via ``poll_flush`` on a simulated clock (the
-same clock the controller's rate windows read, so the run is
-deterministic).  Two gates, measured after two warm-up bursts:
-
-* throughput — adaptive must match the best static size on burst
-  ingest (>= ``_THROUGHPUT_GATE`` of the best static rate);
-* latency SLO — adaptive p99 trickle ingest-to-flush latency must be
-  under ``_P99_SLO`` simulated seconds *and* under half of the static
-  batch-256 p99 (the cliff this controller exists to fix).
-
-Series lands in ``benchmarks/out/BENCH_adaptive_batching.json``.
+The burst/trickle drive (wall-clock bursts, simulated-clock trickle
+latency) is the fabric's ``burst-trickle`` workload; the four variants
+(static 8/64/256 + adaptive) are the ``"adaptive_batching"`` scenario
+matrix.  The old asserts are declarative rules, ported
+threshold-for-threshold: throughput ≥0.9× the best static size, final
+batch size grown past the start, p99 trickle latency ≤0.1 simulated
+seconds and ≤0.5× the static-256 p99 (the cliff this controller exists
+to fix).  Scorecards land in
+``benchmarks/out/BENCH_adaptive_batching.json``.
 """
 
 from __future__ import annotations
 
-import time
-
-from benchmarks.common import emit_series, milliseconds, thousands
-from repro.core.config import FresqueConfig
-from repro.core.system import FresqueSystem
-from repro.crypto.cipher import SimulatedCipher
-from repro.crypto.keys import KeyStore
-from repro.datasets.gowalla import GowallaGenerator
-from repro.index.domain import gowalla_domain
-from repro.records.schema import gowalla_schema
-from repro.telemetry.clock import SimulatedClock
-from repro.telemetry.context import Telemetry
-
-#: Static batch sizes the adaptive controller competes against.
-SIZES = (8, 64, 256)
-
-_BURSTS = 6
-_WARMUP_BURSTS = 2
-_BURST_RECORDS = 2000
-_TRICKLE_RECORDS = 40
-_ARRIVAL = 1.0 / 200_000.0  # simulated burst inter-arrival (Section 7.1)
-_POLL = 0.01  # simulated flush-poll cadence during trickle
-_DELAY = 0.2  # max_batch_delay for every variant
-_MASTER_KEY = b"fresque-bench-master-key-32bytes"
-
-_THROUGHPUT_GATE = 0.9
-_P99_SLO = 0.1  # seconds, simulated
-
-
-class _Loop:
-    def __init__(self):
-        self.now = 0.0
-
-
-def _config(**overrides) -> FresqueConfig:
-    return FresqueConfig(
-        schema=gowalla_schema(),
-        domain=gowalla_domain(),
-        num_computing_nodes=4,
-        epsilon=1.0,
-        alpha=2.0,
-        max_batch_delay=_DELAY,
-        **overrides,
-    )
-
-
-def _lines() -> list[str]:
-    total = _BURSTS * (_BURST_RECORDS + _TRICKLE_RECORDS)
-    return list(GowallaGenerator(seed=71).raw_lines(total))
-
-
-def _drive(config: FresqueConfig, lines: list[str]) -> dict:
-    """Run the burst/trickle mix; return throughput + latency stats.
-
-    Burst throughput is wall-clock (the Python pipeline doing real
-    work); trickle latency is simulated-clock (enqueue to delay-flush,
-    the quantity the controller's delay knob governs).
-    """
-    loop = _Loop()
-    telemetry = Telemetry(clock=SimulatedClock(loop))
-    cipher = SimulatedCipher(KeyStore(_MASTER_KEY, key_size=16))
-    system = FresqueSystem(config, cipher, seed=9, telemetry=telemetry)
-    system.start()
-    feed = iter(lines)
-    busy_wall = 0.0
-    busy_records = 0
-    latencies: list[float] = []
-    for burst in range(_BURSTS):
-        measured = burst >= _WARMUP_BURSTS
-        started = time.perf_counter()
-        for _ in range(_BURST_RECORDS):
-            loop.now += _ARRIVAL
-            system.ingest(next(feed))
-        if measured:
-            busy_wall += time.perf_counter() - started
-            busy_records += _BURST_RECORDS
-        system.flush_ingest()  # clear burst leftovers before the trickle
-        for _ in range(_TRICKLE_RECORDS):
-            system.ingest(next(feed))
-            enqueued = loop.now
-            for _ in range(10_000):
-                if system.dispatcher.pending_batch_records == 0:
-                    break
-                loop.now += _POLL
-                system.poll_flush()
-            else:
-                raise AssertionError("trickle record never flushed")
-            if measured:
-                latencies.append(loop.now - enqueued)
-    latencies.sort()
-    return {
-        "rate": busy_records / busy_wall,
-        "p50": latencies[len(latencies) // 2],
-        "p99": latencies[int(0.99 * (len(latencies) - 1))],
-        "final_batch_size": system.dispatcher.batch_size,
-    }
+from benchmarks.common import run_fabric
 
 
 def test_adaptive_vs_static_series(benchmark):
-    """Regenerate the series, emit the artifact, enforce both gates."""
-    lines = _lines()
-
-    def _sweep():
-        static = {
-            size: _drive(_config(batch_size=size), lines) for size in SIZES
-        }
-        adaptive = _drive(
-            _config(
-                batch_size=8,
-                adaptive_batching=True,
-                min_batch_size=4,
-                max_batch_size=512,
-            ),
-            lines,
-        )
-        return static, adaptive
-
-    static, adaptive = benchmark.pedantic(_sweep, rounds=1, iterations=1)
-    rows = [
-        [
-            f"static-{size}",
-            thousands(static[size]["rate"]),
-            milliseconds(static[size]["p50"]),
-            milliseconds(static[size]["p99"]),
-            size,
-        ]
-        for size in SIZES
-    ]
-    rows.append(
-        [
-            "adaptive",
-            thousands(adaptive["rate"]),
-            milliseconds(adaptive["p50"]),
-            milliseconds(adaptive["p99"]),
-            adaptive["final_batch_size"],
-        ]
-    )
-    emit_series(
-        "adaptive_batching",
-        f"Adaptive vs static batching, bursty Gowalla mix "
-        f"({_BURSTS}x{_BURST_RECORDS} burst + {_TRICKLE_RECORDS} trickle)",
-        ["variant", "burst-rate", "trickle-p50", "trickle-p99", "batch"],
-        rows,
-    )
-    best_static = max(result["rate"] for result in static.values())
-    # Gate 1: adaptive matches (or beats) the best static batch size on
-    # burst throughput — it must have grown out of its size-8 start.
-    assert adaptive["rate"] >= _THROUGHPUT_GATE * best_static, (
-        f"adaptive burst rate {adaptive['rate']:.0f} below "
-        f"{_THROUGHPUT_GATE:.0%} of best static {best_static:.0f}"
-    )
-    assert adaptive["final_batch_size"] > 8
-    # Gate 2: the p99 ingest-to-flush latency SLO on the trickle — the
-    # batch-256 cliff is a full max_batch_delay stall; adaptive must
-    # shrink its delay out of it.
-    assert adaptive["p99"] <= _P99_SLO, (
-        f"adaptive trickle p99 {adaptive['p99']:.3f}s over the "
-        f"{_P99_SLO}s SLO"
-    )
-    assert adaptive["p99"] <= 0.5 * static[256]["p99"], (
-        f"adaptive p99 {adaptive['p99']:.3f}s not under half the "
-        f"static-256 cliff {static[256]['p99']:.3f}s"
-    )
+    """Run the adaptive-vs-static matrix through the fabric."""
+    run_fabric(benchmark, "adaptive_batching")

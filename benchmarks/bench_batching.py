@@ -1,133 +1,28 @@
-"""Batched ingestion throughput on the Figure 9 workload.
+"""Batched ingestion throughput on the Figure 9 workload (fabric port).
 
 Measures the real pipeline (no DES) ingesting the Gowalla check-in
-stream under the fast record cipher, sweeping ``batch_size``:
+stream under the fast record cipher, sweeping ``batch_size`` over the
+in-memory and durable (``sync_every=16`` write-ahead journal) drivers.
+Batching under the journal is group commit: a 64-record chunk is one
+``rawb`` frame, so the same durability discipline costs one fsync per
+~1k records instead of one per 16.
 
-* the in-memory driver isolates the per-record dispatch/parse/encrypt
-  overhead that batching amortises (one RawBatch, one ``encrypt_batch``,
-  one bulk check per batch);
-* the durable driver adds the write-ahead journal under a *strict* fsync
-  cadence — ``sync_every=16`` journal appends — where batching is group
-  commit: a 64-record chunk is one ``rawb`` frame, so the same
-  durability discipline costs one fsync per ~1k records instead of one
-  per 16.  This is the headline gate: ≥2× at ``batch_size=64``.
-
-Both series land in ``benchmarks/out/BENCH_batching.json``.
+The scenario matrix, the workload drive and the gates all live in the
+benchmark fabric now (``repro.benchfab.scenarios``, bench
+``"batching"``): the old hard-coded asserts — ≥2× durable and ≥1.15×
+in-memory speedup at ``batch_size=64`` — are the declarative
+``durable-batch64-speedup`` / ``memory-batch64-speedup`` rules, ported
+threshold-for-threshold.  The unified scorecard artifact lands in
+``benchmarks/out/BENCH_batching.json``; ``python -m repro.benchfab
+compare batching`` evaluates it (and retroactively flags the batch-256
+durable cliff in the stored legacy artifact).
 """
 
 from __future__ import annotations
 
-import time
-
-from benchmarks.common import emit_series, thousands
-from repro.core.config import FresqueConfig
-from repro.core.system import FresqueSystem
-from repro.crypto.cipher import SimulatedCipher
-from repro.crypto.keys import KeyStore
-from repro.datasets.gowalla import GowallaGenerator
-from repro.durability.system import DurableFresqueSystem
-from repro.index.domain import gowalla_domain
-from repro.records.schema import gowalla_schema
-
-#: Swept batch sizes; 1 is the per-record baseline, 64 the gated point.
-SIZES = (1, 8, 64, 256)
-
-_RECORDS = 12_000
-_MASTER_KEY = b"fresque-bench-master-key-32bytes"
-
-
-def _config(batch_size: int) -> FresqueConfig:
-    return FresqueConfig(
-        schema=gowalla_schema(),
-        domain=gowalla_domain(),
-        num_computing_nodes=4,
-        epsilon=1.0,
-        alpha=2.0,
-        batch_size=batch_size,
-    )
-
-
-def _cipher() -> SimulatedCipher:
-    return SimulatedCipher(KeyStore(_MASTER_KEY, key_size=16))
-
-
-def _lines() -> list[str]:
-    return list(GowallaGenerator(seed=71).raw_lines(_RECORDS))
-
-
-def _memory_rate(lines: list[str], batch_size: int) -> float:
-    """Ingest-only records/s of the in-memory pipeline."""
-    system = FresqueSystem(_config(batch_size), _cipher(), seed=9)
-    system.start()
-    started = time.perf_counter()
-    system.ingest_batch(lines)
-    system.flush_ingest()
-    return len(lines) / (time.perf_counter() - started)
-
-
-def _durable_rate(lines: list[str], batch_size: int, root) -> float:
-    """Ingest-only records/s with the write-ahead journal, fsync every
-    16 appends (one fsync per 16 records at size 1; group commit makes
-    it one per 16 *chunks* at larger sizes)."""
-    system = DurableFresqueSystem(
-        _config(batch_size),
-        _cipher(),
-        root,
-        seed=9,
-        checkpoint_every=0,
-        sync_every=16,
-    )
-    system.start()
-    started = time.perf_counter()
-    system.ingest_batch(lines)
-    system.flush_ingest()
-    return len(lines) / (time.perf_counter() - started)
+from benchmarks.common import run_fabric
 
 
 def test_batching_series(benchmark, tmp_path):
-    """Regenerate both series, emit the artifact, enforce the 2× gate."""
-    lines = _lines()
-
-    def _sweep():
-        memory = {size: _memory_rate(lines, size) for size in SIZES}
-        durable = {
-            size: _durable_rate(lines, size, tmp_path / f"wal-{size}")
-            for size in SIZES
-        }
-        return memory, durable
-
-    memory, durable = benchmark.pedantic(_sweep, rounds=1, iterations=1)
-    rows = [
-        [
-            size,
-            thousands(memory[size]),
-            thousands(durable[size]),
-            f"{memory[size] / memory[1]:.2f}x",
-            f"{durable[size] / durable[1]:.2f}x",
-        ]
-        for size in SIZES
-    ]
-    emit_series(
-        "batching",
-        f"Batched ingestion, Gowalla x{_RECORDS} (records/s)",
-        ["batch", "memory", "durable", "memory-speedup", "durable-speedup"],
-        rows,
-    )
-    # The headline acceptance gate: at batch_size=64 the journalled
-    # pipeline — same fsync discipline on both sides — must ingest at
-    # least 2x the per-record rate (group commit; measured ~4x).
-    assert durable[64] >= 2.0 * durable[1], (
-        f"durable batch speedup below gate: {durable[64] / durable[1]:.2f}x"
-    )
-    # The in-memory pipeline has no fsync to amortise, only Python
-    # per-record overhead; batching must still clearly win.
-    assert memory[64] >= 1.15 * memory[1], (
-        f"memory batch speedup regressed: {memory[64] / memory[1]:.2f}x"
-    )
-
-
-def test_batching_single_point(benchmark):
-    """Benchmark the gated point itself: batch_size=64, in memory."""
-    lines = _lines()
-    rate = benchmark(_memory_rate, lines, 64)
-    assert rate > 10_000
+    """Run the batching matrix through the fabric; gates are rules."""
+    run_fabric(benchmark, "batching", data_root=tmp_path)

@@ -1,228 +1,29 @@
-"""Extension — cost of the crash-safe collector (journal + checkpoints).
+"""Write-ahead journal overhead and crash recovery (fabric port).
 
-The paper's collector keeps its whole publication state in memory, so a
-crash mid-interval loses every raw record since the last publish and can
-double-spend ε.  PR 4 adds a write-ahead journal, periodic checkpoints
-and a durable ε ledger; this benchmark prices that safety:
+Two questions, both answered by the ``"durability"`` fabric bench:
 
-* journal-on vs journal-off *ingestion* cost (the acceptance budget is
-  ≤15% overhead).  The gated configuration uses the paper's own record
-  cipher (:class:`~repro.crypto.cipher.AesCbcCipher`): the journal adds
-  a fixed ~4µs per record (encode, CRC, one unbuffered ``write(2)``),
-  which must be priced against a collector doing real per-record work.
-  The :class:`~repro.crypto.cipher.SimulatedCipher` ratio is recorded
-  too, as an upper bound — it strips the crypto to ~nothing, so the
-  same 4µs looks several times larger against that toy baseline.
-  Rounds are paired — baseline then durable, back to back — and both
-  numbers are the **median of per-round CPU-time ratios**: wall clock
-  on a shared CI box swings far more than the 15% budget, while the
-  journal's real cost is CPU, measured stably by ``time.process_time``.
-* recovery time as a function of the journal suffix replayed (with and
-  without a checkpoint to bound the replay).
+* **What does the journal cost?**  Paired journal-on/off ingestion
+  rounds (the fabric's ``overhead`` workload), reported as the median
+  CPU-time ratio — CPU, not wall, so a busy CI box doesn't flake the
+  gate; median, not mean, so one noisy round doesn't either.  The
+  acceptance budget (≤15% under the paper's AES record cipher) is the
+  ``journal-overhead-budget`` rule.
+* **What does a crash cost?**  Collector crash drills at increasing
+  depths (the ``recovery`` workload): crash mid-interval, run the
+  recovery manager, report recovery seconds and the replayed-record
+  count.  The ``checkpoint-bounds-replay`` rule pins the point of
+  checkpoints — with ``checkpoint_every=64`` a 500-record crash
+  replays at most one checkpoint interval plus the journal tail, while
+  the no-checkpoint contrast row replays the whole stream.
 
-Results land in ``benchmarks/out/BENCH_durability.json`` so CI can track
-the overhead across PRs.
+Scorecards land in ``benchmarks/out/BENCH_durability.json``.
 """
 
-import statistics
-import time
+from __future__ import annotations
 
-from benchmarks.common import _OUT_DIR, emit, format_series
-from repro.core.config import FresqueConfig
-from repro.core.system import FresqueSystem
-from repro.crypto.cipher import AesCbcCipher, SimulatedCipher
-from repro.crypto.keys import KeyStore
-from repro.datasets.flu import FluSurveyGenerator, flu_domain
-from repro.durability.recovery import RecoveryManager
-from repro.durability.system import CollectorCrash, DurableFresqueSystem
-from repro.records.schema import flu_survey_schema
-from repro.runtime.faults import FaultPlan
-from repro.telemetry.exporters import write_bench_json
-
-RECORDS = 600
-OVERHEAD_BUDGET = 0.15
-ROUNDS = 7
+from benchmarks.common import run_fabric
 
 
-def _config() -> FresqueConfig:
-    return FresqueConfig(
-        schema=flu_survey_schema(),
-        domain=flu_domain(),
-        num_computing_nodes=3,
-        epsilon=1.0,
-        alpha=2.0,
-    )
-
-
-def _cipher() -> SimulatedCipher:
-    return SimulatedCipher(
-        KeyStore(b"durability-bench-master-key-32b!", key_size=16)
-    )
-
-
-def _aes_cipher() -> AesCbcCipher:
-    return AesCbcCipher(
-        KeyStore(b"durability-bench-master-key-32b!", key_size=16)
-    )
-
-
-def _lines() -> list[str]:
-    return list(FluSurveyGenerator(seed=90).raw_lines(RECORDS))
-
-
-def _ingest_times(system, lines) -> tuple[float, float]:
-    """(cpu_seconds, wall_seconds) of one interval's ingestion loop."""
-    system.start()
-    total = max(1, len(lines))
-    cpu = time.process_time()
-    wall = time.perf_counter()
-    for position, line in enumerate(lines):
-        system._pump(
-            system.dispatcher.due_dummies((position + 1) / (total + 1))
-        )
-        system.ingest(line)
-    return time.process_time() - cpu, time.perf_counter() - wall
-
-
-def _recovery_seconds(tmp_path, crash_after: int, checkpoint_every: int):
-    """Crash at ``crash_after`` records and time the recovery."""
-    root = tmp_path / f"drill-{crash_after}-{checkpoint_every}"
-    plan = FaultPlan(seed=5).crash_collector(after_records=crash_after)
-    system = DurableFresqueSystem(
-        _config(),
-        _cipher(),
-        root,
-        seed=101,
-        fault_plan=plan,
-        checkpoint_every=checkpoint_every,
-    )
-    system.start()
-    try:
-        for line in _lines():
-            system.ingest(line)
-    except CollectorCrash:
-        pass
-    started = time.perf_counter()
-    _, report = RecoveryManager(
-        _config(),
-        _cipher(),
-        root,
-        cloud=system.cloud,
-        seed=202,
-        checkpoint_every=checkpoint_every,
-    ).recover()
-    return time.perf_counter() - started, report
-
-
-def _overhead_rounds(make_cipher, lines, tmp_path, tag) -> list[dict]:
-    rounds = []
-    for i in range(ROUNDS):
-        base_cpu, base_wall = _ingest_times(
-            FresqueSystem(_config(), make_cipher(), seed=101), lines
-        )
-        durable_cpu, durable_wall = _ingest_times(
-            DurableFresqueSystem(
-                _config(),
-                make_cipher(),
-                tmp_path / f"durable-{tag}-{i}",
-                seed=101,
-                checkpoint_every=0,
-            ),
-            lines,
-        )
-        rounds.append(
-            {
-                "base_cpu": base_cpu,
-                "durable_cpu": durable_cpu,
-                "base_wall": base_wall,
-                "durable_wall": durable_wall,
-                "cpu_ratio": durable_cpu / base_cpu,
-            }
-        )
-    return rounds
-
-
-def _median_overhead(rounds: list[dict]) -> float:
-    return statistics.median(r["cpu_ratio"] for r in rounds) - 1.0
-
-
-def test_durability_bench_json(tmp_path):
-    """Journal overhead budget + recovery-time scaling artifact."""
-    aes_rounds = _overhead_rounds(
-        _aes_cipher, _lines()[:300], tmp_path, "aes"
-    )
-    sim_rounds = _overhead_rounds(_cipher, _lines(), tmp_path, "sim")
-    overhead = _median_overhead(aes_rounds)
-    overhead_simulated = _median_overhead(sim_rounds)
-    # The acceptance budget: the write-ahead journal (unbuffered appends,
-    # batched fsync) may cost at most 15% over the in-memory collector
-    # running the paper's record cipher.
-    assert overhead <= OVERHEAD_BUDGET, (
-        f"journal overhead {overhead:.1%} exceeds {OVERHEAD_BUDGET:.0%}"
-    )
-
-    recovery_rows = []
-    recovery_data = []
-    for crash_after, checkpoint_every in (
-        (100, 64),
-        (300, 64),
-        (500, 64),
-        (500, 0),
-    ):
-        seconds, report = _recovery_seconds(
-            tmp_path, crash_after, checkpoint_every
-        )
-        recovery_rows.append(
-            [
-                crash_after,
-                checkpoint_every or "-",
-                report.replayed_raw,
-                "yes" if report.checkpoint_used else "no",
-                f"{seconds * 1000:.1f} ms",
-            ]
-        )
-        recovery_data.append(
-            {
-                "crash_after": crash_after,
-                "checkpoint_every": checkpoint_every,
-                "replayed_raw": report.replayed_raw,
-                "checkpoint_used": report.checkpoint_used,
-                "seconds": seconds,
-            }
-        )
-
-    # Checkpoints bound the replay: with them on, the suffix replayed at
-    # the deepest crash point is shorter than the no-checkpoint replay.
-    assert recovery_data[2]["replayed_raw"] < recovery_data[3]["replayed_raw"]
-
-    emit(
-        "durability",
-        format_series(
-            f"Durability: recovery time vs journal suffix "
-            f"({RECORDS} records per interval)",
-            ["crash@", "ckpt every", "replayed", "ckpt used", "recovery"],
-            recovery_rows,
-        )
-        + (
-            f"\n\njournal-on ingestion overhead {overhead:+.1%} with the "
-            f"paper's AES-CBC cipher (budget {OVERHEAD_BUDGET:.0%}; "
-            f"median CPU ratio of {ROUNDS} paired rounds)\n"
-            f"simulated-cipher upper bound {overhead_simulated:+.1%} "
-            f"(toy baseline, not gated)"
-        ),
-    )
-    _OUT_DIR.mkdir(exist_ok=True)
-    path = write_bench_json(
-        _OUT_DIR / "BENCH_durability.json",
-        "durability",
-        {
-            "records": RECORDS,
-            "overhead": overhead,
-            "overhead_budget": OVERHEAD_BUDGET,
-            "overhead_simulated_cipher": overhead_simulated,
-            "rounds_aes": aes_rounds,
-            "rounds_simulated": sim_rounds,
-            "recovery": recovery_data,
-        },
-    )
-    assert path.exists()
+def test_durability_bench_json(benchmark, tmp_path):
+    """Run the overhead rounds and crash drills through the fabric."""
+    run_fabric(benchmark, "durability", data_root=tmp_path)

@@ -1,144 +1,30 @@
-"""Extension — ingest throughput of the TCP runtime under injected faults.
+"""Ingest throughput of the TCP runtime under injected faults (fabric port).
 
 The paper's evaluation (Figures 9–12) assumes a healthy 17-node cluster;
 this extension measures what the *real* socket runtime delivers when the
 transport misbehaves: a severed (and reconnected) router connection, and
 a computing node crashing mid-publication with the survivors absorbing
-its share of the stream (degraded mode).  Alongside the throughput we
-record the fault-tolerance counters — retries, reconnects, rerouted
-records — as the machine-readable ``BENCH_fault_recovery.json`` artifact
-CI uploads next to the Figure 12 degradation series.
+its share of the stream (degraded mode).
 
-Python-scale caveat: absolute rates are far below the paper's 200k rec/s
-Java testbed; the meaningful outputs are the *relative* degradation under
-each fault and the recovery counters.
+The three runs are the ``"fault_recovery"`` fabric scenarios (healthy
+baseline, ``sever-checking`` plan, ``crash-cn1`` plan — the named
+plans live in ``repro.benchfab.runner.FAULT_PLANS``).  The old asserts
+are declarative rules: severing loses nothing (matched pairs equal to
+baseline — every failed write retried in full), at least one
+reconnect, the crash degrades instead of dying (≥0.5× baseline matched,
+with the drift from the old raw-record-count form recorded in the rule
+note) and reroutes the dead node's backlog.
+
+Python-scale caveat: absolute rates are far below the paper's 200k
+rec/s Java testbed; the meaningful outputs are the *relative*
+degradation under each fault and the recovery counters.
 """
 
-from benchmarks.common import _OUT_DIR, emit, format_series
-from repro.core.config import FresqueConfig
-from repro.crypto.cipher import SimulatedCipher
-from repro.crypto.keys import KeyStore
-from repro.datasets.flu import FluSurveyGenerator, flu_domain
-from repro.records.schema import flu_survey_schema
-from repro.runtime.faults import FaultPlan
-from repro.runtime.tcp import RetryPolicy, TcpFresqueCluster
-from repro.telemetry.clock import WALL_CLOCK
-from repro.telemetry.exporters import write_bench_json
+from __future__ import annotations
 
-#: Figure 12 reference: FRESQUE's simulated collector degradation on the
-#: evaluation datasets (healthy cluster) — context for the fault numbers.
-FIG12_FRESQUE_DEGRADATION = {"nasa": 0.089, "gowalla": 0.066}
-
-RECORDS = 400
-RETRY = RetryPolicy(max_attempts=6, base_delay=0.01, max_delay=0.1)
+from benchmarks.common import run_fabric
 
 
-def _config() -> FresqueConfig:
-    return FresqueConfig(
-        schema=flu_survey_schema(),
-        domain=flu_domain(),
-        num_computing_nodes=3,
-        epsilon=1.0,
-        alpha=2.0,
-    )
-
-
-def _run(fault_plan=None) -> dict:
-    """One publication over real sockets; returns throughput + counters."""
-    cipher = SimulatedCipher(KeyStore(b"fault-recovery-bench-master-key!"))
-    lines = list(FluSurveyGenerator(seed=90).raw_lines(RECORDS))
-    cluster = TcpFresqueCluster(
-        _config(),
-        cipher,
-        seed=17,
-        fault_plan=fault_plan,
-        retry_policy=RETRY,
-    )
-    with cluster:
-        started = WALL_CLOCK.now()
-        matched = cluster.run_publication(lines, timeout=120.0)
-        elapsed = WALL_CLOCK.now() - started
-    checking = cluster.checking
-    assert matched == checking.pairs_processed - checking.records_removed
-    return {
-        "records": RECORDS,
-        "matched": matched,
-        "seconds": elapsed,
-        "throughput_rps": RECORDS / elapsed if elapsed > 0 else 0.0,
-        "retries": cluster.router.retries,
-        "reconnects": cluster.router.reconnects,
-        "rerouted": cluster.dispatcher.records_rerouted,
-        "dead_nodes": sorted(cluster.dead_nodes),
-    }
-
-
-def test_fault_recovery_bench_json():
-    """Baseline vs severed-connection vs crashed-CN publication runs."""
-    baseline = _run()
-    severed = _run(
-        FaultPlan(seed=5).sever_connection("checking", at_frames=(50, 150))
-    )
-    # The 1ms delay paces the driver against cn-1's worker so the crash
-    # reliably lands mid-stream and the survivors absorb a rerouted
-    # share (without it the whole stream can already sit in the dead
-    # node's inbox, leaving nothing to reroute).
-    crashed = _run(
-        FaultPlan(seed=5)
-        .crash_node("cn-1", after_handled=30)
-        .delay_frames("cn-1", 0.001, probability=1.0)
-    )
-
-    # Severing loses nothing: every failed write is retried in full, so
-    # the same pairs reach the cloud as in the healthy run.
-    assert severed["matched"] == baseline["matched"]
-    assert severed["reconnects"] >= 1
-    # The crash drops only the dead node's queued frames; the cluster
-    # degrades instead of timing out and reroutes the remaining stream.
-    assert crashed["dead_nodes"] == ["cn-1"]
-    assert crashed["rerouted"] > 0
-    assert crashed["matched"] > RECORDS // 2
-
-    def degradation(run: dict) -> float:
-        if baseline["throughput_rps"] <= 0:
-            return 0.0
-        return 1.0 - run["throughput_rps"] / baseline["throughput_rps"]
-
-    series = {
-        "baseline": baseline,
-        "severed": severed,
-        "crashed_cn": crashed,
-        "degradation": {
-            "severed": degradation(severed),
-            "crashed_cn": degradation(crashed),
-        },
-        "fig12_reference": FIG12_FRESQUE_DEGRADATION,
-    }
-    rows = [
-        [
-            name,
-            run["matched"],
-            f"{run['throughput_rps']:.0f}",
-            run["reconnects"],
-            run["rerouted"],
-            ",".join(run["dead_nodes"]) or "-",
-        ]
-        for name, run in (
-            ("baseline", baseline),
-            ("severed", severed),
-            ("crashed_cn", crashed),
-        )
-    ]
-    emit(
-        "fault_recovery",
-        format_series(
-            "Fault recovery: TCP runtime under injected faults "
-            f"({RECORDS} records, 3 CNs)",
-            ["scenario", "matched", "rec/s", "reconnects", "rerouted", "dead"],
-            rows,
-        ),
-    )
-    _OUT_DIR.mkdir(exist_ok=True)
-    path = write_bench_json(
-        _OUT_DIR / "BENCH_fault_recovery.json", "fault_recovery", series
-    )
-    assert path.exists()
+def test_fault_recovery_bench_json(benchmark):
+    """Run baseline vs severed vs crashed-CN through the fabric."""
+    run_fabric(benchmark, "fault_recovery")

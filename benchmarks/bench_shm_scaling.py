@@ -1,163 +1,30 @@
-"""Shared-memory multiprocess runtime scaling (Section 7.2 analogue).
+"""Shared-memory multiprocess runtime scaling (fabric port).
 
 Measures the real zero-copy pipeline end to end — dispatcher in the
 parent, computing/checking/merger/cloud workers in their own processes
-over shared-memory rings — against the GIL-bound threaded runtime:
+over shared-memory rings — against the GIL-bound threaded runtime and
+the single-process durable baseline, sweeping 1/2/4/8 computing
+workers at batch 64, plus a batch 16/64/256 sweep at 4 workers.
 
-* **worker sweep** — full-publication throughput at 1/2/4/8 computing
-  workers, in-memory and with the write-ahead/ledger discipline, plus
-  the threaded and single-process durable baselines at the same batch
-  size.  This is where the multiprocess runtime escapes the GIL: the
-  parse+encrypt stages run on other cores while the parent keeps
-  dispatching.
-* **batch sweep** — throughput at batch 16/64/256 with 4 workers.  The
-  sweet spot sits mid-range: tiny batches pay per-frame overhead on
-  every hop, while 256-record batches occupy so much ring space that
-  producer and consumer serialize on ring stalls (the batch-256 cliff).
-
-Both series land in ``benchmarks/out/BENCH_shm_scaling.json``.  The
-hard gates — ≥2× durable throughput at 4 workers over the threaded
-baseline, and worker-count monotonicity up to 4 — assert only on
-machines with ≥4 CPUs; single-core CI still regenerates the artifact.
+Both sweeps are fabric scenario matrices now (benches
+``"shm_scaling"`` and ``"shm_batch_sweep"``); the old cpu-gated
+asserts — ≥2× durable throughput at 4 workers over the threaded
+baseline, and worker-count monotonicity up to 4 — are declarative
+rules with ``min_cpus=4`` guards, so small CI boxes *skip* them
+(exactly like the old ``_GATED`` flag) while still regenerating the
+artifacts.
 """
 
 from __future__ import annotations
 
-import os
-import time
-
-from benchmarks.common import emit_series, thousands
-from repro.core.config import FresqueConfig
-from repro.crypto.cipher import SimulatedCipher
-from repro.crypto.keys import KeyStore
-from repro.datasets.gowalla import GowallaGenerator
-from repro.durability.system import DurableFresqueSystem
-from repro.index.domain import gowalla_domain
-from repro.records.schema import gowalla_schema
-from repro.runtime.cluster import ThreadedFresque
-from repro.runtime.shm.cluster import ShmFresqueCluster
-
-#: Computing-worker counts swept (processes for shm, threads for the
-#: threaded baseline).
-WORKERS = (1, 2, 4, 8)
-
-#: Batch sizes swept at 4 workers for the sweet-spot series.
-BATCHES = (16, 64, 256)
-
-_RECORDS = 8_000
-_BATCH = 64
-_MASTER_KEY = b"fresque-bench-master-key-32bytes"
-_GATED = (os.cpu_count() or 1) >= 4
-
-
-def _config(workers: int, batch_size: int = _BATCH) -> FresqueConfig:
-    return FresqueConfig(
-        schema=gowalla_schema(),
-        domain=gowalla_domain(),
-        num_computing_nodes=workers,
-        epsilon=1.0,
-        alpha=2.0,
-        batch_size=batch_size,
-    )
-
-
-def _cipher() -> SimulatedCipher:
-    return SimulatedCipher(KeyStore(_MASTER_KEY, key_size=16))
-
-
-def _lines() -> list[str]:
-    return list(GowallaGenerator(seed=71).raw_lines(_RECORDS))
-
-
-def _shm_rate(
-    lines: list[str], workers: int, batch_size: int = _BATCH, data_dir=None
-) -> float:
-    """Full-publication records/s of the multiprocess runtime."""
-    with ShmFresqueCluster(
-        _config(workers, batch_size), _MASTER_KEY, seed=9, data_dir=data_dir
-    ) as cluster:
-        started = time.perf_counter()
-        cluster.run_publication(lines)
-        return len(lines) / (time.perf_counter() - started)
-
-
-def _threaded_rate(lines: list[str], workers: int) -> float:
-    """Full-publication records/s of the thread-per-node runtime."""
-    system = ThreadedFresque(_config(workers), _cipher(), seed=9)
-    system.start()
-    try:
-        started = time.perf_counter()
-        system.run_publication(lines)
-        return len(lines) / (time.perf_counter() - started)
-    finally:
-        system.shutdown()
-
-
-def _durable_baseline_rate(lines: list[str], workers: int, root) -> float:
-    """Full-publication records/s of the single-process durable driver."""
-    system = DurableFresqueSystem(
-        _config(workers), _cipher(), root, seed=9, checkpoint_every=0
-    )
-    system.start()
-    started = time.perf_counter()
-    system.run_publication(lines)
-    return len(lines) / (time.perf_counter() - started)
+from benchmarks.common import run_fabric
 
 
 def test_shm_scaling_series(benchmark, tmp_path):
-    """Regenerate both series, emit the artifact, enforce the gates."""
-    lines = _lines()
+    """Run the worker sweep through the fabric."""
+    run_fabric(benchmark, "shm_scaling", data_root=tmp_path)
 
-    def _sweep():
-        memory = {w: _shm_rate(lines, w) for w in WORKERS}
-        durable = {
-            w: _shm_rate(lines, w, data_dir=tmp_path / f"shm-{w}")
-            for w in WORKERS
-        }
-        threaded = {w: _threaded_rate(lines, w) for w in WORKERS}
-        baseline = {
-            w: _durable_baseline_rate(lines, w, tmp_path / f"sp-{w}")
-            for w in WORKERS
-        }
-        batches = {b: _shm_rate(lines, 4, batch_size=b) for b in BATCHES}
-        return memory, durable, threaded, baseline, batches
 
-    memory, durable, threaded, baseline, batches = benchmark.pedantic(
-        _sweep, rounds=1, iterations=1
-    )
-    emit_series(
-        "shm_scaling",
-        f"Shared-memory runtime scaling, Gowalla x{_RECORDS} "
-        f"(records/s, batch {_BATCH})",
-        ["workers", "shm", "shm-durable", "threaded", "durable-1proc"],
-        [
-            [
-                w,
-                thousands(memory[w]),
-                thousands(durable[w]),
-                thousands(threaded[w]),
-                thousands(baseline[w]),
-            ]
-            for w in WORKERS
-        ],
-    )
-    emit_series(
-        "shm_batch_sweep",
-        f"Shared-memory batch sweep at 4 workers, Gowalla x{_RECORDS} "
-        f"(records/s)",
-        ["batch", "shm"],
-        [[b, thousands(batches[b])] for b in BATCHES],
-    )
-    for series in (memory, durable, threaded, baseline):
-        assert all(rate > 0 for rate in series.values())
-    if not _GATED:
-        return  # 1-core machine: the parallel gates are unattainable
-    # The headline gate: at 4 workers the multiprocess durable pipeline
-    # must at least double the GIL-bound threaded runtime.
-    assert durable[4] >= 2.0 * threaded[4], (
-        f"shm durable at 4 workers only "
-        f"{durable[4] / threaded[4]:.2f}x threaded"
-    )
-    # Scaling must not regress when adding cores up to the CPU count.
-    assert memory[2] >= 0.9 * memory[1], "2 workers slower than 1"
-    assert memory[4] >= memory[2], "4 workers slower than 2"
+def test_shm_batch_sweep(benchmark):
+    """Run the batch sweep at 4 workers through the fabric."""
+    run_fabric(benchmark, "shm_batch_sweep")

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.benchfab``."""
+
+import sys
+
+from repro.benchfab.cli import main
+
+sys.exit(main())

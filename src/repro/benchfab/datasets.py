@@ -1,0 +1,81 @@
+"""Named arrival streams for benchmark scenarios.
+
+A scenario names its workload dataset; this registry maps the name to
+the schema, binned domain and seeded generator the runner needs.  The
+stream for a scenario is fully determined by ``(dataset, stream_seed,
+records, publications)`` — the same scenario record always replays the
+same bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.datasets.flu import FluSurveyGenerator, flu_domain
+from repro.datasets.gowalla import GowallaGenerator
+from repro.datasets.nasa import NasaLogGenerator
+from repro.index.domain import AttributeDomain, gowalla_domain, nasa_domain
+from repro.records.schema import (
+    Schema,
+    flu_survey_schema,
+    gowalla_schema,
+    nasa_log_schema,
+)
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One named workload: schema + domain + seeded line generator."""
+
+    name: str
+    schema_factory: Callable[[], Schema]
+    domain_factory: Callable[[], AttributeDomain]
+    generator_factory: Callable[[int], object]
+
+    def schema(self) -> Schema:
+        return self.schema_factory()
+
+    def domain(self) -> AttributeDomain:
+        return self.domain_factory()
+
+    def lines(
+        self, stream_seed: int, records: int, publications: int = 1
+    ) -> list[list[str]]:
+        """The scenario's publication intervals, one list per interval."""
+        generator = self.generator_factory(stream_seed)
+        return [
+            list(generator.raw_lines(records)) for _ in range(publications)
+        ]
+
+
+DATASETS: dict[str, Dataset] = {
+    "flu": Dataset(
+        "flu",
+        flu_survey_schema,
+        flu_domain,
+        lambda seed: FluSurveyGenerator(seed=seed),
+    ),
+    "gowalla": Dataset(
+        "gowalla",
+        gowalla_schema,
+        gowalla_domain,
+        lambda seed: GowallaGenerator(seed=seed),
+    ),
+    "nasa": Dataset(
+        "nasa",
+        nasa_log_schema,
+        nasa_domain,
+        lambda seed: NasaLogGenerator(seed=seed),
+    ),
+}
+
+
+def dataset(name: str) -> Dataset:
+    """Look up a registered dataset; raises ``KeyError`` with the menu."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; registered: {sorted(DATASETS)}"
+        ) from None

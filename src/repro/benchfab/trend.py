@@ -1,0 +1,253 @@
+"""The trend engine: trajectories, default rule sets, comparison.
+
+``compare_artifact`` loads any ``BENCH_*.json`` — fabric scorecards or
+legacy layouts — normalises it into points, picks the tolerance rules
+(explicit > embedded in the artifact > the per-bench registry below),
+optionally loads the stored trajectory of prior runs, and returns the
+verdicts plus the readable scorecard diff.
+
+The registry encodes the repo's standing trend expectations as data.
+The flagship entry is the batching cliff: *durable throughput within
+10% of best prior* over the batch axis retroactively flags the
+batch-256 regression (49.7k vs 67.3k rec/s) that sat unnoticed in
+``BENCH_batching.json`` until a human read the JSON —
+``tests/benchfab/test_trend.py`` pins that forever.
+
+A :class:`TrajectoryStore` is a directory of ``<bench>.jsonl`` files,
+one envelope per line, append-only: ``benchfab run`` appends each
+fresh artifact, ``benchfab compare`` reads the history for
+``trajectory-within`` rules.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.benchfab.rules import (
+    Rule,
+    Verdict,
+    evaluate_rules,
+    render_report,
+    violations,
+)
+from repro.benchfab.scorecard import (
+    BenchArtifact,
+    Point,
+    extract_points,
+    load_bench_artifact,
+)
+
+#: Default trajectory directory, next to ``benchmarks/out``.
+DEFAULT_TRAJECTORY_DIR = "benchmarks/trajectory"
+
+
+#: Standing trend expectations per bench family.  These apply to the
+#: *stored* artifacts too — they are how the fabric retroactively
+#: catches regressions the bespoke gates never looked for.
+TREND_RULES: dict[str, tuple[Rule, ...]] = {
+    "batching": (
+        Rule(
+            id="durable-no-batch-cliff",
+            kind="monotone",
+            metric="durable",
+            order_by="batch",
+            frac=0.10,
+            note=(
+                "the batch-256 durable-throughput cliff (49.7k vs 67.3k "
+                "rec/s) sat unnoticed in BENCH_batching.json until a human "
+                "read the JSON; this rule flags it from the stored data "
+                "(monotone-with-tolerance, so the expected slow batch-1 "
+                "point is not noise)"
+            ),
+        ),
+        Rule(
+            id="memory-no-batch-cliff",
+            kind="monotone",
+            metric="memory",
+            order_by="batch",
+            frac=0.15,
+            note="in-memory sweep has no fsync cliff; wider band",
+        ),
+    ),
+    "adaptive_batching": (
+        Rule(
+            id="trickle-p99-slo",
+            kind="max-value",
+            metric="trickle-p99",
+            select=(("variant", "adaptive"),),
+            agg="max",
+            threshold=0.1,
+            note="p99 SLO of bench_adaptive_batching (simulated seconds)",
+        ),
+    ),
+    "shm_scaling": (
+        Rule(
+            id="shm-monotone-to-4-workers",
+            kind="monotone",
+            metric="shm",
+            order_by="workers",
+            select=(),
+            frac=0.10,
+            min_cpus=4,
+            note=(
+                "ported from bench_shm_scaling's scaling asserts; only "
+                "meaningful on >= 4 cores (the stored artifact was "
+                "generated on a smaller box and is exempt there)"
+            ),
+        ),
+    ),
+    "membership_churn": (
+        Rule(
+            id="steady-state-within-10pct",
+            kind="min-ratio",
+            metric="throughput_rps",
+            select=(("series", "series"), ("phase", "recovery")),
+            agg="max",
+            baseline=(("series", "series"), ("phase", "baseline")),
+            baseline_agg="median",
+            threshold=0.90,
+            note=(
+                "ported from bench_membership_churn: best post-churn "
+                "publication within 10% of the pre-churn median (best, "
+                "not median — GIL runtimes jitter +-15% on shared boxes)"
+            ),
+        ),
+    ),
+    "durability": (
+        Rule(
+            id="journal-overhead-budget",
+            kind="max-value",
+            metric="overhead",
+            select=(("section", "summary"),),
+            agg="last",
+            threshold=0.15,
+            note="ported from bench_durability: <= 15% CPU overhead",
+        ),
+    ),
+    "fault_recovery": (
+        Rule(
+            id="severed-loses-nothing",
+            kind="min-ratio",
+            metric="matched",
+            select=(("section", "severed"),),
+            agg="last",
+            baseline=(("section", "baseline"),),
+            baseline_agg="last",
+            threshold=1.0,
+            note="ported from bench_fault_recovery: retries recover all",
+        ),
+    ),
+}
+
+
+class TrajectoryStore:
+    """Append-only JSONL history of BENCH artifacts, one file per bench."""
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+
+    def _path(self, bench: str) -> pathlib.Path:
+        return self.root / f"{bench}.jsonl"
+
+    def append(self, artifact: BenchArtifact) -> pathlib.Path:
+        """Record one run at the end of the bench's trajectory."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(artifact.bench)
+        envelope = {
+            "bench": artifact.bench,
+            "format": artifact.format,
+            "python": artifact.python,
+            "data": artifact.data,
+        }
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(envelope) + "\n")
+        return path
+
+    def history(self, bench: str) -> list[BenchArtifact]:
+        """Prior runs, oldest first; empty when none recorded."""
+        path = self._path(bench)
+        if not path.exists():
+            return []
+        artifacts = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                artifacts.append(load_bench_artifact(json.loads(line)))
+        return artifacts
+
+    def benches(self) -> list[str]:
+        if not self.root.exists():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.jsonl"))
+
+
+@dataclass
+class Comparison:
+    """The outcome of one ``benchfab compare`` invocation."""
+
+    artifact: BenchArtifact
+    verdicts: list[Verdict] = field(default_factory=list)
+    history_runs: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return any(verdict.status == "fail" for verdict in self.verdicts)
+
+    def violations(self):
+        return violations(self.verdicts)
+
+    def report(self) -> str:
+        suffix = (
+            f"\ntrajectory: {self.history_runs} prior runs"
+            if self.history_runs
+            else ""
+        )
+        return render_report(self.artifact.bench, self.verdicts) + suffix
+
+
+def rules_for(artifact: BenchArtifact) -> list[Rule]:
+    """The tolerance rules governing an artifact.
+
+    Fabric artifacts embed their rules; legacy artifacts fall back to
+    the per-bench registry, so stored BENCH files get trend gates
+    without being rewritten.
+    """
+    embedded = artifact.rules()
+    if embedded:
+        return [Rule.from_dict(rule) for rule in embedded]
+    return list(TREND_RULES.get(artifact.bench, ()))
+
+
+def compare_artifact(
+    source,
+    *,
+    rules: Sequence[Rule] | None = None,
+    trajectory: TrajectoryStore | None = None,
+    cpu_count: int | None = None,
+) -> Comparison:
+    """Evaluate one BENCH artifact against its tolerance rules.
+
+    ``source`` is a path or an envelope dict; ``rules`` overrides the
+    artifact's own; ``trajectory`` feeds ``trajectory-within`` rules
+    with the stored history of the same bench.
+    """
+    artifact = load_bench_artifact(source)
+    chosen = list(rules) if rules is not None else rules_for(artifact)
+    points = extract_points(artifact)
+    cards = artifact.scorecards() if artifact.is_scorecard else []
+    history: list[list[Point]] = []
+    if trajectory is not None:
+        history = [
+            extract_points(prior)
+            for prior in trajectory.history(artifact.bench)
+        ]
+    verdicts = evaluate_rules(
+        points,
+        chosen,
+        cards=cards,
+        history=history,
+        cpu_count=cpu_count,
+    )
+    return Comparison(artifact, verdicts, history_runs=len(history))

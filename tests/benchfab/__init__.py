@@ -1,0 +1,1 @@
+"""Benchmark-fabric unit tests."""

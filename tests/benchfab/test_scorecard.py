@@ -1,0 +1,153 @@
+"""Scorecard schema, number coercion, and the BENCH_*.json loader.
+
+The flagship guarantee: every artifact this repository has ever emitted
+— all the legacy layouts in ``benchmarks/out/`` — loads, validates and
+normalises into evaluable points.  Legacy artifacts stay readable
+forever.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.benchfab.scorecard import (
+    BenchArtifact,
+    Scorecard,
+    ScorecardError,
+    coerce_number,
+    extract_points,
+    load_bench_artifact,
+    write_scorecards,
+)
+
+_OUT = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "out"
+
+
+def test_coerce_number_parses_the_repo_house_formats():
+    assert coerce_number("49.7k") == pytest.approx(49_700.0)
+    assert coerce_number("1.5m") == pytest.approx(1_500_000.0)
+    assert coerce_number("210.0 ms") == pytest.approx(0.21)
+    assert coerce_number("4.58x") == pytest.approx(4.58)
+    assert coerce_number("12 %") == pytest.approx(0.12)
+    assert coerce_number("0.5 s") == pytest.approx(0.5)
+    assert coerce_number(36104) == 36104.0
+    assert coerce_number(1.25) == 1.25
+    assert coerce_number("n/a") is None
+    assert coerce_number("cn-1") is None
+    assert coerce_number(True) is None
+    assert coerce_number(None) is None
+
+
+def test_scorecard_validation_rejects_garbage():
+    with pytest.raises(ScorecardError):
+        Scorecard.from_dict({"key": {}})  # no scenario
+    with pytest.raises(ScorecardError):
+        Scorecard.from_dict({"scenario": "s", "metrics": {"rate": "fast"}})
+    with pytest.raises(ScorecardError):
+        Scorecard.from_dict({"scenario": "s", "surprise": 1})
+
+
+def test_envelope_validation():
+    with pytest.raises(ScorecardError):
+        load_bench_artifact({"format": 1, "data": {}})  # no bench
+    with pytest.raises(ScorecardError):
+        load_bench_artifact({"bench": "b", "format": 99, "data": {}})
+    with pytest.raises(ScorecardError):
+        load_bench_artifact({"bench": "b", "format": 1, "data": []})
+
+
+@pytest.mark.parametrize(
+    "path",
+    sorted(_OUT.glob("BENCH_*.json")),
+    ids=lambda path: path.stem,
+)
+def test_every_stored_artifact_round_trips(path):
+    """Loader + extractor over every committed BENCH file: validates,
+    yields points, and every point carries at least one metric."""
+    artifact = load_bench_artifact(path)
+    assert artifact.bench
+    assert artifact.format >= 1
+    points = extract_points(artifact)
+    assert points, f"{path.name}: no evaluable points extracted"
+    for point in points:
+        assert point.metrics, f"{path.name}: metric-less point {point.key}"
+        for name, value in point.metrics.items():
+            assert isinstance(value, float), (path.name, name, value)
+    # And the artifact's own JSON round-trips through the loader again.
+    assert extract_points(
+        load_bench_artifact(json.loads(path.read_text()))
+    ) == points
+
+
+def test_stored_batching_table_coerces_to_base_units():
+    artifact = load_bench_artifact(_OUT / "BENCH_batching.json")
+    points = extract_points(artifact)
+    by_batch = {point.get("batch"): point for point in points}
+    assert by_batch[256].metrics["durable"] == pytest.approx(49_700.0)
+    assert by_batch[64].metrics["durable"] == pytest.approx(67_300.0)
+    assert by_batch[1].metrics["memory-speedup"] == pytest.approx(1.0)
+
+
+def test_write_scorecards_round_trip(tmp_path):
+    cards = [
+        Scorecard(
+            scenario="t/a",
+            key={"batch_size": 8, "runtime": "sync"},
+            metrics={"throughput_rps": 123.0},
+            counters={"cloud_pairs_total": 9.0},
+            fingerprint="abc",
+        ),
+        Scorecard(scenario="t/b", metrics={"recovery_s": 0.5}),
+    ]
+    path = write_scorecards(
+        tmp_path, "t", cards, title="T", scenarios=[{"name": "t/a"}],
+        rules=[],
+    )
+    assert path == tmp_path / "BENCH_t.json"
+    artifact = load_bench_artifact(path)
+    assert artifact.is_scorecard
+    assert [card.scenario for card in artifact.scorecards()] == ["t/a", "t/b"]
+    assert artifact.scenarios() == [{"name": "t/a"}]
+    points = extract_points(artifact)
+    # Counters merge into evaluable metrics; card metrics win collisions.
+    assert points[0].metrics == {
+        "throughput_rps": 123.0,
+        "cloud_pairs_total": 9.0,
+    }
+    assert points[0].get("batch_size") == 8
+
+
+def test_extract_points_handles_nested_and_series_layouts():
+    artifact = BenchArtifact(
+        bench="mixed",
+        format=1,
+        python="3",
+        data={
+            "series": [
+                {"phase": "baseline", "throughput_rps": 10.0},
+                {"phase": "churn", "throughput_rps": 7.0},
+            ],
+            "summary": {"dip": 0.3, "label": "x"},
+            "means": {"op_a": 1.5, "op_b": "2.5"},
+            "overhead": 0.12,
+        },
+    )
+    points = extract_points(artifact)
+    series = [point for point in points if point.get("series") == "series"]
+    assert [point.get("phase") for point in series] == ["baseline", "churn"]
+    sections = [
+        point.metrics for point in points if point.get("section") == "summary"
+    ]
+    # The nested "summary" dict and the top-level scalars both land as
+    # section=summary points (nested first, numeric leaves only).
+    assert {"dip": 0.3} in sections
+    assert {"overhead": 0.12} in sections
+    mean_points = {
+        point.get("means"): point.metrics["means"]
+        for point in points
+        if point.get("means") is not None
+    }
+    assert mean_points == {"op_a": 1.5, "op_b": 2.5}

@@ -1,0 +1,175 @@
+"""The trend engine — including the retroactive batch-256 cliff catch.
+
+The committed ``benchmarks/out/BENCH_batching.json`` records a durable
+throughput series of 14.7k / 47.7k / 67.3k / 49.7k records/s over batch
+sizes 1/8/64/256: the batch-256 point sits 26% below the batch-64 peak,
+a real regression that sat unnoticed in the artifact until a human read
+the JSON.  The fabric's standing trend rules must flag it from the
+stored bytes — and keep flagging it, which this module pins.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.benchfab.rules import Rule
+from repro.benchfab.scorecard import load_bench_artifact
+from repro.benchfab.trend import (
+    TREND_RULES,
+    TrajectoryStore,
+    compare_artifact,
+    rules_for,
+)
+
+_OUT = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "out"
+_BATCHING = _OUT / "BENCH_batching.json"
+
+
+def _legacy_batching(durable):
+    """A batching-layout envelope with a custom durable series."""
+    return {
+        "bench": "batching",
+        "format": 1,
+        "python": "3.11.7",
+        "data": {
+            "title": "t",
+            "header": ["batch", "durable"],
+            "rows": [
+                [batch, f"{rate / 1000:.1f}k"]
+                for batch, rate in zip((1, 8, 64, 256), durable)
+            ],
+        },
+    }
+
+
+def test_stored_batching_artifact_flags_the_batch_256_cliff():
+    """The acceptance criterion: the real committed artifact fails the
+    durable-no-batch-cliff rule, naming the batch-256 point."""
+    comparison = compare_artifact(_BATCHING)
+    assert comparison.failed
+    failed = [v for v in comparison.verdicts if v.status == "fail"]
+    assert [v.rule.id for v in failed] == ["durable-no-batch-cliff"]
+    violation = failed[0].violations[0]
+    assert "batch=256" in violation.message
+    assert "49700" in violation.message
+    assert "67300" in violation.message
+    # The in-memory series has no cliff of that depth.
+    memory = next(
+        v for v in comparison.verdicts if v.rule.id == "memory-no-batch-cliff"
+    )
+    assert memory.status == "pass"
+
+
+def test_stored_batching_scorecard_diff_is_readable():
+    """Golden shape of the CI output for the stored regression."""
+    report = compare_artifact(_BATCHING).report()
+    lines = report.splitlines()
+    assert lines[0] == "scorecard: batching"
+    assert any(
+        line.startswith("[FAIL] durable-no-batch-cliff (monotone)")
+        for line in lines
+    )
+    assert any(
+        "batch=256 49700 < batch=64 67300" in line for line in lines
+    )
+    # The note explains why the rule exists, in the output itself.
+    assert any("batch-256 durable-throughput cliff" in line for line in lines)
+    assert lines[-1] == "2 rules: 1 passed, 1 failed, 0 skipped"
+
+
+def test_healthy_series_passes_the_same_rules():
+    healthy = _legacy_batching((14_700, 47_700, 62_000, 67_300))
+    comparison = compare_artifact(healthy)
+    assert not comparison.failed
+    assert [v.status for v in comparison.verdicts] == ["pass", "skip"]
+
+
+def test_rules_for_prefers_embedded_rules():
+    legacy = load_bench_artifact(_BATCHING)
+    assert rules_for(legacy) == list(TREND_RULES["batching"])
+    embedded = {
+        "bench": "batching",
+        "format": 1,
+        "data": {
+            "scorecards": [],
+            "rules": [
+                Rule(id="own", kind="min-value", metric="m", threshold=1).to_dict()
+            ],
+        },
+    }
+    assert [rule.id for rule in rules_for(load_bench_artifact(embedded))] == ["own"]
+
+
+def test_unknown_bench_without_rules_passes_vacuously():
+    comparison = compare_artifact(
+        {"bench": "novel", "format": 1, "data": {"x": {"m": 1.0}}}
+    )
+    assert comparison.verdicts == []
+    assert not comparison.failed
+
+
+def test_trajectory_store_round_trip(tmp_path):
+    store = TrajectoryStore(tmp_path / "trajectory")
+    assert store.history("batching") == []
+    assert store.benches() == []
+    first = load_bench_artifact(_legacy_batching((10_000,) * 4))
+    second = load_bench_artifact(_legacy_batching((11_000,) * 4))
+    store.append(first)
+    store.append(second)
+    history = store.history("batching")
+    assert len(history) == 2
+    assert history[0].data["rows"][0][1] == "10.0k"
+    assert history[1].data["rows"][0][1] == "11.0k"
+    assert store.benches() == ["batching"]
+    # Each line is one valid envelope.
+    lines = (tmp_path / "trajectory" / "batching.jsonl").read_text().splitlines()
+    assert all(json.loads(line)["bench"] == "batching" for line in lines)
+
+
+def test_compare_feeds_trajectory_rules(tmp_path):
+    store = TrajectoryStore(tmp_path)
+    store.append(load_bench_artifact(_legacy_batching((10_000, 20_000, 30_000, 30_000))))
+    rules = [
+        Rule(
+            id="durable-trajectory",
+            kind="trajectory-within",
+            metric="durable",
+            agg="max",
+            frac=0.10,
+        )
+    ]
+    healthy = compare_artifact(
+        _legacy_batching((10_000, 20_000, 29_000, 29_000)),
+        rules=rules,
+        trajectory=store,
+    )
+    assert not healthy.failed
+    assert healthy.history_runs == 1
+    assert "trajectory: 1 prior runs" in healthy.report()
+    regressed = compare_artifact(
+        _legacy_batching((9_000, 12_000, 15_000, 15_000)),
+        rules=rules,
+        trajectory=store,
+    )
+    assert regressed.failed
+
+
+def test_shm_rule_guard_matches_old_gated_flag():
+    """The stored shm artifact was generated on a small box: on <4 CPUs
+    the scaling rule skips (like the old ``_GATED`` flag); on a big box
+    it flags the 4-worker collapse the stored series actually shows."""
+    shm = _OUT / "BENCH_shm_scaling.json"
+    if not shm.exists():
+        pytest.skip("no stored shm artifact")
+    small = compare_artifact(shm, cpu_count=2)
+    assert not small.failed
+    assert {v.status for v in small.verdicts} <= {"pass", "skip"}
+    big = compare_artifact(shm, cpu_count=8)
+    monotone = next(
+        v for v in big.verdicts if v.rule.id == "shm-monotone-to-4-workers"
+    )
+    assert monotone.status == "fail"
+    assert "workers=4" in monotone.detail

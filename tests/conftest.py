@@ -7,6 +7,7 @@ import random
 
 import pytest
 
+from repro.benchfab.fingerprint import cloud_state_fingerprint  # noqa: F401
 from repro.core.config import FresqueConfig
 from repro.crypto.cipher import AesCbcCipher, SimulatedCipher
 from repro.crypto.keys import KeyStore
@@ -14,37 +15,10 @@ from repro.datasets.flu import FluSurveyGenerator, flu_domain
 from repro.index.domain import AttributeDomain
 from repro.records.schema import flu_survey_schema
 
-
-def cloud_state_fingerprint(system) -> dict:
-    """Canonical, byte-level serialization of a deployment's cloud state.
-
-    The batch-equivalence harness compares two pipelines through this:
-    per publication file, the ordered stream of ``(ciphertext, leaf)``
-    bytes is hashed, and the matching receipts plus the collector's
-    check counters ride along.  Two runs agree on this fingerprint iff
-    the cloud holds byte-identical publications in identical order.
-    """
-    files = {}
-    for file_id in sorted(system.cloud.store._files):
-        handle = system.cloud.store.file(file_id)
-        digest = hashlib.sha256()
-        for record in handle._records:
-            digest.update(record.leaf_offset.to_bytes(4, "little"))
-            digest.update(len(record.ciphertext).to_bytes(4, "little"))
-            digest.update(record.ciphertext)
-        files[file_id] = (handle.record_count, digest.hexdigest())
-    receipts = {
-        publication: system.cloud.receipt_for(publication).records_matched
-        for publication in sorted(system.cloud._done)
-    }
-    return {
-        "files": files,
-        "receipts": receipts,
-        "pairs_processed": system.checking.pairs_processed,
-        "dummies_passed": system.checking.dummies_passed,
-        "records_removed": system.checking.records_removed,
-        "duplicate_pairs": system.cloud.duplicate_pairs,
-    }
+# cloud_state_fingerprint — the canonical byte-level serialization of a
+# deployment's cloud state — now lives in repro.benchfab.fingerprint so
+# the benchmark fabric and the equivalence harnesses share one
+# implementation; tests keep importing it from here.
 
 
 def query_fingerprint(system, low: float, high: float) -> tuple:
